@@ -1,0 +1,125 @@
+// Ablation: the three call mechanisms the paper situates EActors against,
+// under one cost model — round-trip latency of a small request into an
+// enclave and back:
+//
+//   Native   — SDK-style synchronous ECall (two transitions per call)
+//   HotCalls — asynchronous call slot polled by an enclave-resident thread
+//              (Weisse et al. [52]; no transitions, but the caller blocks)
+//   EActors  — message over a channel to an enclaved actor and back (no
+//              transitions, fully asynchronous; requests can be pipelined,
+//              which neither of the call-shaped interfaces offers)
+//
+// Expected shape: Native pays ~2x transition cost per call; HotCalls and
+// EActors are transition-free; with pipelining (in-flight > 1) EActors
+// exceeds HotCalls' one-at-a-time ceiling.
+#include <thread>
+
+#include "bench/common.hpp"
+#include "core/runtime.hpp"
+#include "sgxsim/hotcalls.hpp"
+#include "sgxsim/transition.hpp"
+
+using namespace ea;
+
+namespace {
+
+std::uint64_t work(std::uint64_t x) { return x * 2654435761u + 1; }
+
+double run_native(std::uint64_t calls) {
+  sgxsim::Enclave& e = sgxsim::EnclaveManager::instance().create("abl.native");
+  volatile std::uint64_t sink = 0;
+  bench::Timer timer;
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    sink = sgxsim::ecall(e, [&] { return work(i); });
+  }
+  (void)sink;
+  return static_cast<double>(calls) / timer.seconds();
+}
+
+double run_hotcalls(std::uint64_t calls) {
+  sgxsim::Enclave& e = sgxsim::EnclaveManager::instance().create("abl.hot");
+  sgxsim::HotCallService service(e, [](std::uint64_t op, void* data) {
+    *static_cast<std::uint64_t*>(data) = work(op);
+  });
+  std::uint64_t out = 0;
+  service.call(0, &out);  // responder resident
+  bench::Timer timer;
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    service.call(i, &out);
+  }
+  return static_cast<double>(calls) / timer.seconds();
+}
+
+struct Server : core::Actor {
+  using core::Actor::Actor;
+  void construct(core::Runtime&) override { ch_ = connect("abl.req"); }
+  bool body() override {
+    bool progress = false;
+    while (auto msg = ch_->recv()) {
+      std::uint64_t v = util::load_le64(msg->payload());
+      std::uint8_t buf[8];
+      util::store_le64(buf, work(v));
+      ch_->send(std::span<const std::uint8_t>(buf, 8));
+      progress = true;
+    }
+    return progress;
+  }
+  core::ChannelEnd* ch_ = nullptr;
+};
+
+double run_eactors(std::uint64_t calls, std::uint64_t inflight) {
+  core::RuntimeOptions options;
+  options.pool_nodes = 256;
+  options.node_payload_bytes = 64;
+  core::Runtime rt(options);
+  core::ChannelOptions plain;
+  plain.force_plain = true;  // measure the call mechanism, not the cipher
+  rt.channel("abl.req", plain);
+  rt.add_actor(std::make_unique<Server>("server"), "abl.ea");
+  rt.add_worker("w", {1}, {"server"});
+  core::ChannelEnd* client = rt.channel("abl.req").connect(sgxsim::kUntrusted);
+  rt.start();
+
+  bench::Timer timer;
+  std::uint64_t sent = 0, done = 0;
+  std::uint8_t buf[8];
+  while (done < calls) {
+    while (sent < calls && sent - done < inflight) {
+      util::store_le64(buf, sent);
+      if (!client->send(std::span<const std::uint8_t>(buf, 8))) break;
+      ++sent;
+    }
+    if (auto msg = client->recv()) {
+      ++done;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  double tput = static_cast<double>(calls) / timer.seconds();
+  rt.stop();
+  sgxsim::EnclaveManager::instance().reset_for_testing();
+  return tput;
+}
+
+}  // namespace
+
+int main() {
+  bench::csv_header();
+  const std::uint64_t calls = bench::scaled(20000);
+
+  double native = run_native(calls);
+  bench::row("ablation-hotcalls", "Native-ECall", 1, native / 1000.0,
+             "1e3call/s");
+  double hot = run_hotcalls(calls);
+  bench::row("ablation-hotcalls", "HotCalls", 1, hot / 1000.0, "1e3call/s");
+  double ea1 = run_eactors(calls, 1);
+  bench::row("ablation-hotcalls", "EActors", 1, ea1 / 1000.0, "1e3call/s");
+  double ea16 = run_eactors(calls, 16);
+  bench::row("ablation-hotcalls", "EActors", 16, ea16 / 1000.0, "1e3call/s");
+
+  bench::note("transition-free mechanisms beat Native (HotCalls %.1fx, "
+              "EActors %.1fx); pipelining lifts EActors further (%.1fx at "
+              "16 in flight)",
+              hot / native, ea1 / native, ea16 / native);
+  return 0;
+}

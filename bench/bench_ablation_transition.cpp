@@ -1,0 +1,40 @@
+// Ablation: how much of the EActors advantage comes from avoiding
+// transitions? Re-runs the short-vector secure-sum comparison with the
+// transition cost swept from 0 to 16000 cycles. At 0, EC and EA converge
+// (modulo threading); at the paper's 8000, the gap is the paper's gap —
+// isolating the mechanism behind Figures 12/13.
+#include "bench/smc_harness.hpp"
+#include "sgxsim/cost_model.hpp"
+
+using namespace ea;
+
+int main() {
+  bench::csv_header();
+  sgxsim::ScopedCostModel scoped;  // restore the cost model on exit
+  const std::uint64_t requests = bench::scaled(300);
+
+  smc::SmcConfig config;
+  config.parties = 5;
+  config.dim = 10;
+
+  double gap_at_zero = 0, gap_at_8000 = 0;
+  for (std::uint64_t cost : {0ull, 2000ull, 4000ull, 8000ull, 16000ull}) {
+    sgxsim::cost_model().ecall_cycles = cost;
+    sgxsim::cost_model().ocall_cycles = cost;
+
+    double ec = bench::run_smc_sdk(config, requests);
+    bench::reset_enclaves();
+    double ea = bench::run_smc_ea(config, requests);
+    bench::reset_enclaves();
+    bench::row("ablation-transition", "EC", static_cast<double>(cost), ec,
+               "1e3req/s");
+    bench::row("ablation-transition", "EA", static_cast<double>(cost), ea,
+               "1e3req/s");
+    if (cost == 0) gap_at_zero = ea / ec;
+    if (cost == 8000) gap_at_8000 = ea / ec;
+  }
+  bench::note("EA/EC at 0-cycle transitions: %.2fx; at 8000 cycles: %.2fx — "
+              "the delta is the transition-avoidance contribution",
+              gap_at_zero, gap_at_8000);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 12: plain secure-sum execution.
+//  (a) throughput vs vector dimension, short vectors (20..100), 3 and 8
+//      parties;  series EC/3, EA/3, EC/8, EA/8
+//  (b) same for long vectors (2000..10000)
+//  (c) throughput vs number of parties for dims 1, 1000, 2000;
+//      series EC-<dim>, EA-<dim>
+//
+// Paper shape: EA above EC, gap largest for short vectors and many parties
+// (per-hop transitions dominate); for very long vectors the trusted RNG
+// dominates and the implementations converge.
+#include "bench/smc_harness.hpp"
+
+using namespace ea;
+
+int main() {
+  bench::csv_header();
+
+  const std::uint64_t short_requests = bench::scaled(400);
+  const std::uint64_t long_requests = bench::scaled(40);
+
+  // (a) short vectors
+  for (int parties : {3, 8}) {
+    for (std::size_t dim : {20, 40, 60, 80, 100}) {
+      smc::SmcConfig config;
+      config.parties = parties;
+      config.dim = dim;
+      double ec = bench::run_smc_sdk(config, short_requests);
+      bench::reset_enclaves();
+      double ea = bench::run_smc_ea(config, short_requests);
+      bench::reset_enclaves();
+      bench::row("fig12a", "EC/" + std::to_string(parties),
+                 static_cast<double>(dim), ec, "1e3req/s");
+      bench::row("fig12a", "EA/" + std::to_string(parties),
+                 static_cast<double>(dim), ea, "1e3req/s");
+    }
+  }
+
+  // (b) long vectors
+  for (int parties : {3, 8}) {
+    for (std::size_t dim : {2000, 4000, 6000, 8000, 10000}) {
+      smc::SmcConfig config;
+      config.parties = parties;
+      config.dim = dim;
+      double ec = bench::run_smc_sdk(config, long_requests);
+      bench::reset_enclaves();
+      double ea = bench::run_smc_ea(config, long_requests);
+      bench::reset_enclaves();
+      bench::row("fig12b", "EC/" + std::to_string(parties),
+                 static_cast<double>(dim), ec, "1e3req/s");
+      bench::row("fig12b", "EA/" + std::to_string(parties),
+                 static_cast<double>(dim), ea, "1e3req/s");
+    }
+  }
+
+  // (c) party sweep
+  double ec3_short = 0, ea3_short = 0;
+  for (std::size_t dim : {std::size_t{1}, std::size_t{1000}, std::size_t{2000}}) {
+    for (int parties : {3, 4, 5, 6, 7, 8}) {
+      smc::SmcConfig config;
+      config.parties = parties;
+      config.dim = dim;
+      std::uint64_t requests = dim <= 1 ? short_requests : long_requests;
+      double ec = bench::run_smc_sdk(config, requests);
+      bench::reset_enclaves();
+      double ea = bench::run_smc_ea(config, requests);
+      bench::reset_enclaves();
+      bench::row("fig12c", "EC-" + std::to_string(dim),
+                 static_cast<double>(parties), ec, "1e3req/s");
+      bench::row("fig12c", "EA-" + std::to_string(dim),
+                 static_cast<double>(parties), ea, "1e3req/s");
+      if (dim == 1 && parties == 3) {
+        ec3_short = ec;
+        ea3_short = ea;
+      }
+    }
+  }
+  bench::note("paper claim: EA throughput above EC, largest for short "
+              "vectors (dim=1, 3 parties: EA/EC = %.2fx here)",
+              ea3_short / ec3_short);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 13: secure-sum with dynamically computed input vectors — identical
+// sweeps to Figure 12 but every party recomputes its secret after each
+// completed sum.
+//
+// Paper shape: the extra per-round computation widens the EA advantage
+// (EActors parties recompute while the token circulates; the SDK's single
+// thread serialises everything), e.g. 4x for 3 parties at dim=1 and
+// >=3.88x for 8 parties across all sizes.
+#include "bench/smc_harness.hpp"
+
+using namespace ea;
+
+int main() {
+  bench::csv_header();
+
+  const std::uint64_t short_requests = bench::scaled(400);
+  const std::uint64_t long_requests = bench::scaled(40);
+
+  for (int parties : {3, 8}) {
+    for (std::size_t dim : {20, 40, 60, 80, 100}) {
+      smc::SmcConfig config;
+      config.parties = parties;
+      config.dim = dim;
+      config.dynamic = true;
+      double ec = bench::run_smc_sdk(config, short_requests);
+      bench::reset_enclaves();
+      double ea = bench::run_smc_ea(config, short_requests);
+      bench::reset_enclaves();
+      bench::row("fig13a", "EC/" + std::to_string(parties),
+                 static_cast<double>(dim), ec, "1e3req/s");
+      bench::row("fig13a", "EA/" + std::to_string(parties),
+                 static_cast<double>(dim), ea, "1e3req/s");
+    }
+  }
+
+  for (int parties : {3, 8}) {
+    for (std::size_t dim : {2000, 4000, 6000, 8000, 10000}) {
+      smc::SmcConfig config;
+      config.parties = parties;
+      config.dim = dim;
+      config.dynamic = true;
+      double ec = bench::run_smc_sdk(config, long_requests);
+      bench::reset_enclaves();
+      double ea = bench::run_smc_ea(config, long_requests);
+      bench::reset_enclaves();
+      bench::row("fig13b", "EC/" + std::to_string(parties),
+                 static_cast<double>(dim), ec, "1e3req/s");
+      bench::row("fig13b", "EA/" + std::to_string(parties),
+                 static_cast<double>(dim), ea, "1e3req/s");
+    }
+  }
+
+  double ea8 = 0, ec8 = 0;
+  for (std::size_t dim : {std::size_t{1}, std::size_t{1000}, std::size_t{2000}}) {
+    for (int parties : {3, 4, 5, 6, 7, 8}) {
+      smc::SmcConfig config;
+      config.parties = parties;
+      config.dim = dim;
+      config.dynamic = true;
+      std::uint64_t requests = dim <= 1 ? short_requests : long_requests;
+      double ec = bench::run_smc_sdk(config, requests);
+      bench::reset_enclaves();
+      double ea = bench::run_smc_ea(config, requests);
+      bench::reset_enclaves();
+      bench::row("fig13c", "EC-" + std::to_string(dim),
+                 static_cast<double>(parties), ec, "1e3req/s");
+      bench::row("fig13c", "EA-" + std::to_string(dim),
+                 static_cast<double>(parties), ea, "1e3req/s");
+      if (dim == 2000 && parties == 8) {
+        ea8 = ea;
+        ec8 = ec;
+      }
+    }
+  }
+  bench::note("paper claim: dynamic secrets widen the EA advantage "
+              "(8 parties, dim=2000: EA/EC = %.2fx here; paper ~4.1x)",
+              ea8 / ec8);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// §6.1 resource-efficiency claims: enclave memory footprint (~500 KiB for
+// an XMPP enclave) and a small TCB. Reports the simulator's EPC accounting
+// for a representative XMPP deployment plus the transition statistics of a
+// short run.
+#include <thread>
+
+#include "bench/common.hpp"
+#include "core/runtime.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/enclave.hpp"
+#include "sgxsim/transition.hpp"
+#include "xmpp/client.hpp"
+#include "xmpp/server.hpp"
+
+using namespace ea;
+
+int main() {
+  bench::csv_header();
+  sgxsim::EnclaveManager::instance().reset_for_testing();
+
+  core::RuntimeOptions options;
+  options.pool_nodes = 2048;
+  options.node_payload_bytes = 2048;
+  core::Runtime rt(options);
+  xmpp::XmppServiceConfig config;
+  config.instances = 2;
+  xmpp::XmppService service = xmpp::install_xmpp_service(rt, config);
+  sgxsim::reset_transition_stats();
+  rt.start();
+
+  // A little real traffic so the counters mean something.
+  xmpp::Client alice, bob;
+  bool ok = alice.connect(service.port, "alice") &&
+            bob.connect(service.port, "bob");
+  int delivered = 0;
+  if (ok) {
+    for (int i = 0; i < 50; ++i) {
+      alice.send_chat("bob", "ping " + std::to_string(i));
+      auto msg = bob.recv(2000);
+      if (msg.has_value()) ++delivered;
+    }
+  }
+  rt.stop();
+
+  auto& mgr = sgxsim::EnclaveManager::instance();
+  bench::row("footprint", "enclave_count",
+             static_cast<double>(mgr.enclave_count()), 0, "count");
+  std::uint64_t total = mgr.total_committed();
+  bench::row("footprint", "total_committed_KiB", 0,
+             static_cast<double>(total) / 1024.0, "KiB");
+  bench::row("footprint", "epc_usable_MiB", 0,
+             static_cast<double>(sgxsim::cost_model().epc_usable_bytes) /
+                 (1024.0 * 1024.0),
+             "MiB");
+  bench::row("footprint", "overflow_pages", 0,
+             static_cast<double>(mgr.overflow_pages()), "pages");
+
+  auto stats = sgxsim::transition_stats();
+  bench::row("footprint", "ecalls_for_50_messages", 0,
+             static_cast<double>(stats.ecalls), "count");
+  bench::row("footprint", "ocalls_for_50_messages", 0,
+             static_cast<double>(stats.ocalls), "count");
+
+  double per_enclave_kib = mgr.enclave_count() > 0
+                               ? static_cast<double>(total) / 1024.0 /
+                                     static_cast<double>(mgr.enclave_count())
+                               : 0;
+  bench::note("delivered %d/50 messages; paper: ~500 KiB per XMPP enclave "
+              "(here %.0f KiB avg incl. actor state), TCB < 3.3 kLoC "
+              "(count ea_core+ea_concurrent+ea_crypto with cloc)",
+              delivered, per_enclave_kib);
+  bench::note("steady-state ecalls stay constant (workers never exit): "
+              "%llu ecalls total for the whole run",
+              static_cast<unsigned long long>(stats.ecalls));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every bench binary prints CSV rows "figure,series,x,y[,unit]" — the same
+// series the paper plots — plus a trailing textual summary comparing the
+// measured ordering against the paper's qualitative claim. Workload sizes
+// scale with EA_BENCH_SCALE (default 1.0) and per-point measurement time
+// with EA_BENCH_SECONDS so small machines finish quickly while larger ones
+// can approach the paper's sizes.
+#pragma once
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace ea::bench {
+
+inline double scale() { return util::bench_scale(); }
+
+inline double seconds_per_point() {
+  return util::env_double("EA_BENCH_SECONDS", 1.0);
+}
+
+// Scaled iteration count, at least `min_value`.
+inline std::uint64_t scaled(std::uint64_t base, std::uint64_t min_value = 1) {
+  auto v = static_cast<std::uint64_t>(static_cast<double>(base) * scale());
+  return v < min_value ? min_value : v;
+}
+
+inline void csv_header() {
+  std::printf("figure,series,x,y,unit\n");
+}
+
+inline void row(const char* figure, const std::string& series, double x,
+                double y, const char* unit) {
+  std::printf("%s,%s,%g,%.6g,%s\n", figure, series.c_str(), x, y, unit);
+  std::fflush(stdout);
+}
+
+inline void note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("# ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+  std::fflush(stdout);
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ea::bench

@@ -1,0 +1,77 @@
+// Privacy-preserving location-based search by data partitioning — the
+// multi-enclave application class the paper's introduction motivates
+// (KOI-style, §2.1): the request is split into identity, location and
+// query slices, each processed by its own enclave. No single enclave ever
+// holds who + where + what; the result travels back encrypted for the
+// client, so even the identity enclave cannot read it.
+//
+// Build & run:  ./build/examples/private_query
+#include <cstdio>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "partition/actors.hpp"
+
+using namespace ea;
+
+int main() {
+  core::Runtime rt;
+  partition::QueryService service = partition::install_private_query(rt);
+  rt.start();
+  std::printf("private query service: frontend (untrusted) + identity / "
+              "location / query enclaves\n");
+
+  struct Case {
+    const char* user;
+    double lat, lon;
+    const char* what;
+  };
+  const Case cases[] = {
+      {"alice", 3.5, 2.5, "doctor"},
+      {"bob", 7.2, 7.9, "cafe"},
+      {"carol", 0.1, 0.9, "fuel"},
+  };
+
+  int id = 0;
+  for (const Case& c : cases) {
+    crypto::AeadKey reply_key;
+    partition::Record request = partition::make_query_request(
+        "req" + std::to_string(id++), c.user, c.lat, c.lon, c.what,
+        reply_key);
+
+    concurrent::Node* node = rt.public_pool().get();
+    node->fill(request.serialize());
+    service.requests->push(node);
+
+    concurrent::Node* result_node = nullptr;
+    while (result_node == nullptr) {
+      result_node = service.results->pop();
+      if (result_node == nullptr) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    concurrent::NodeLease lease(result_node);
+    auto result = partition::Record::parse(result_node->view());
+    auto pois = partition::open_query_result(*result, reply_key);
+    std::printf("%s searching '%s' near (%.1f,%.1f): %s\n", c.user, c.what,
+                c.lat, c.lon,
+                pois.has_value() && !pois->empty()
+                    ? pois->c_str()
+                    : "(no match in this cell)");
+  }
+
+  rt.stop();
+  std::printf("\nprivacy audit (fields each enclave observed):\n");
+  auto print_audit = [](const char* who, const partition::FieldAudit& audit) {
+    std::printf("  %-10s:", who);
+    for (const std::string& field : audit.seen()) {
+      std::printf(" %s", field.c_str());
+    }
+    std::printf("\n");
+  };
+  print_audit("identity", service.identity->audit());
+  print_audit("location", service.location->audit());
+  print_audit("query", service.query->audit());
+  std::printf("note: no enclave saw identity+location+query together\n");
+  return 0;
+}

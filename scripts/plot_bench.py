@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Render the benchmark CSV output as ASCII charts, one per figure.
+
+Usage:
+    for b in build/bench/bench_*; do $b; done > bench_output.txt
+    python3 scripts/plot_bench.py bench_output.txt [figure ...]
+
+Rows look like:  figure,series,x,y,unit
+Lines starting with '#' (the harness's claim notes) and anything that is
+not a CSV row are ignored, so the raw tee'd output works as input.
+"""
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    figures = defaultdict(lambda: defaultdict(list))  # fig -> series -> [(x, y)]
+    units = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 5 or parts[0] == "figure":
+                continue
+            fig, series, x, y, unit = parts
+            try:
+                figures[fig][series].append((float(x), float(y)))
+            except ValueError:
+                continue
+            units[fig] = unit
+    return figures, units
+
+
+def fmt_x(x):
+    if x >= 1024 and x == int(x) and int(x) % 1024 == 0:
+        return f"{int(x) // 1024}Ki"
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"
+
+
+def plot(fig, series_map, unit, width=50):
+    print(f"\n=== {fig}  [{unit}] ===")
+    peak = max(y for pts in series_map.values() for _, y in pts)
+    if peak <= 0:
+        peak = 1.0
+    for series in sorted(series_map):
+        print(f"  {series}")
+        for x, y in sorted(series_map[series]):
+            bar = "#" * max(1, int(width * y / peak))
+            print(f"    {fmt_x(x):>8} | {bar} {y:g}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    figures, units = load(sys.argv[1])
+    wanted = sys.argv[2:]
+    for fig in sorted(figures):
+        if wanted and fig not in wanted:
+            continue
+        plot(fig, figures[fig], units.get(fig, ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#include "concurrent/arena.hpp"
+
+#include <new>
+
+namespace ea::concurrent {
+namespace {
+
+constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+NodeArena::NodeArena(std::size_t count, std::size_t payload_capacity)
+    : count_(count),
+      payload_capacity_(payload_capacity),
+      stride_(sizeof(Node) + round_up(payload_capacity, alignof(Node))),
+      bytes_(stride_ * count + alignof(Node)) {
+  storage_ = std::make_unique<std::byte[]>(bytes_);
+  // Align the first node to the Node alignment.
+  auto addr = reinterpret_cast<std::uintptr_t>(storage_.get());
+  base_ = storage_.get() + (round_up(addr, alignof(Node)) - addr);
+  for (std::size_t i = 0; i < count_; ++i) {
+    auto* n = new (base_ + i * stride_) Node();
+    n->capacity = static_cast<std::uint32_t>(payload_capacity_);
+  }
+}
+
+Node* NodeArena::node(std::size_t i) noexcept {
+  return std::launder(reinterpret_cast<Node*>(base_ + i * stride_));
+}
+
+}  // namespace ea::concurrent

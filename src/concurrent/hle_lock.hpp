@@ -1,0 +1,74 @@
+// Spinlock with Hardware Lock Elision prefixes.
+//
+// The paper's mboxes and pools are "bi-directional double linked lists
+// implemented on top of Hardware Lock Elision" (§3.3). HLE is encoded with
+// the XACQUIRE/XRELEASE instruction prefixes, which are *ignored* on CPUs
+// without TSX — the lock degrades to a plain TTAS spinlock, keeping exactly
+// the paper's semantics. Crucially the lock never issues a system call, so
+// it is safe to take inside an enclave (no enclave exit — this is the whole
+// point versus sgx_mutex, cf. Fig. 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace ea::concurrent {
+
+class HleSpinLock {
+ public:
+  HleSpinLock() = default;
+  HleSpinLock(const HleSpinLock&) = delete;
+  HleSpinLock& operator=(const HleSpinLock&) = delete;
+
+  void lock() noexcept {
+#if defined(__x86_64__)
+    while (__atomic_exchange_n(&flag_, 1,
+                               __ATOMIC_ACQUIRE | __ATOMIC_HLE_ACQUIRE) != 0) {
+      while (__atomic_load_n(&flag_, __ATOMIC_RELAXED) != 0) {
+        _mm_pause();
+      }
+    }
+#else
+    while (flag_atomic().exchange(1, std::memory_order_acquire) != 0) {
+      while (flag_atomic().load(std::memory_order_relaxed) != 0) {
+      }
+    }
+#endif
+  }
+
+  void unlock() noexcept {
+#if defined(__x86_64__)
+    __atomic_store_n(&flag_, 0, __ATOMIC_RELEASE | __ATOMIC_HLE_RELEASE);
+#else
+    flag_atomic().store(0, std::memory_order_release);
+#endif
+  }
+
+ private:
+#if defined(__x86_64__)
+  // Plain int manipulated through __atomic builtins so the HLE prefixes can
+  // be attached; alignas keeps it on its own cache line.
+  alignas(64) int flag_ = 0;
+#else
+  alignas(64) std::atomic<int> flag_{0};
+  std::atomic<int>& flag_atomic() noexcept { return flag_; }
+#endif
+};
+
+// RAII guard.
+class HleGuard {
+ public:
+  explicit HleGuard(HleSpinLock& lock) noexcept : lock_(lock) { lock_.lock(); }
+  ~HleGuard() { lock_.unlock(); }
+  HleGuard(const HleGuard&) = delete;
+  HleGuard& operator=(const HleGuard&) = delete;
+
+ private:
+  HleSpinLock& lock_;
+};
+
+}  // namespace ea::concurrent

@@ -1,0 +1,48 @@
+#include "concurrent/mbox.hpp"
+
+namespace ea::concurrent {
+
+void Mbox::push(Node* n) noexcept {
+  if (n == nullptr) return;
+  n->next = nullptr;
+  HleGuard guard(lock_);
+  n->prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->next = n;
+  } else {
+    head_ = n;
+  }
+  tail_ = n;
+  ++size_;
+}
+
+Node* Mbox::pop() noexcept {
+  Node* n;
+  {
+    HleGuard guard(lock_);
+    n = head_;
+    if (n == nullptr) return nullptr;
+    head_ = n->next;
+    if (head_ != nullptr) {
+      head_->prev = nullptr;
+    } else {
+      tail_ = nullptr;
+    }
+    --size_;
+  }
+  n->next = nullptr;
+  n->prev = nullptr;
+  return n;
+}
+
+bool Mbox::empty() const noexcept {
+  HleGuard guard(lock_);
+  return head_ == nullptr;
+}
+
+std::size_t Mbox::size() const noexcept {
+  HleGuard guard(lock_);
+  return size_;
+}
+
+}  // namespace ea::concurrent

@@ -1,0 +1,44 @@
+// Mbox: a FIFO multi-producer/multi-consumer mailbox of linked nodes
+// (paper §3.3).
+//
+// "A mbox is an abstraction which refers to a set of linked nodes used for
+// message exchange … mboxes offer FIFO semantic." The mbox abstraction is
+// the backbone of all eactor communication and of the networking batch
+// interface — it "enables concurrent access by multiple readers and multiple
+// writers" (§4.2).
+#pragma once
+
+#include <cstddef>
+
+#include "concurrent/hle_lock.hpp"
+#include "concurrent/node.hpp"
+
+namespace ea::concurrent {
+
+class Mbox {
+ public:
+  Mbox() = default;
+  Mbox(const Mbox&) = delete;
+  Mbox& operator=(const Mbox&) = delete;
+
+  // Enqueues at the tail.
+  void push(Node* n) noexcept;
+
+  // Dequeues from the head; nullptr when empty (actors poll, they never
+  // block — blocking would stall a worker and, inside an enclave, force an
+  // expensive exit).
+  Node* pop() noexcept;
+
+  // Non-destructive emptiness probe.
+  bool empty() const noexcept;
+
+  std::size_t size() const noexcept;
+
+ private:
+  mutable HleSpinLock lock_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ea::concurrent

@@ -1,0 +1,68 @@
+// Node: the unit of message memory (paper §3.3).
+//
+// A node is "a memory object which consists of two elements: a header and a
+// payload". Nodes are preallocated in arenas at system start — the framework
+// deliberately performs no dynamic allocation on the message path, keeping
+// the enclave memory footprint fixed and EPC-friendly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace ea::concurrent {
+
+class Pool;
+
+struct alignas(64) Node {
+  // Intrusive doubly-linked list hooks; owned by whichever mbox/pool the
+  // node currently sits in. Not atomic: list mutation happens under the
+  // container's HLE lock.
+  Node* prev = nullptr;
+  Node* next = nullptr;
+
+  // Pool the node was drawn from; receive paths return it there.
+  Pool* home = nullptr;
+
+  // Application-defined tag (e.g. the socket id a READER batch entry refers
+  // to, or a protocol opcode).
+  std::uint64_t tag = 0;
+
+  std::uint32_t capacity = 0;  // payload bytes available
+  std::uint32_t size = 0;      // payload bytes in use
+
+  std::uint8_t* payload() noexcept {
+    return reinterpret_cast<std::uint8_t*>(this) + sizeof(Node);
+  }
+  const std::uint8_t* payload() const noexcept {
+    return reinterpret_cast<const std::uint8_t*>(this) + sizeof(Node);
+  }
+
+  std::span<std::uint8_t> writable() noexcept { return {payload(), capacity}; }
+  std::span<const std::uint8_t> data() const noexcept {
+    return {payload(), size};
+  }
+
+  std::string_view view() const noexcept {
+    return {reinterpret_cast<const char*>(payload()), size};
+  }
+
+  // Copies `bytes` into the payload (truncating to capacity) and sets size.
+  // Returns the number of bytes copied.
+  std::size_t fill(std::span<const std::uint8_t> bytes) noexcept {
+    std::size_t n = bytes.size() < capacity ? bytes.size() : capacity;
+    std::memcpy(payload(), bytes.data(), n);
+    size = static_cast<std::uint32_t>(n);
+    return n;
+  }
+
+  std::size_t fill(std::string_view s) noexcept {
+    return fill(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+};
+
+static_assert(sizeof(Node) == 64, "header occupies exactly one cache line");
+
+}  // namespace ea::concurrent

@@ -1,0 +1,55 @@
+#include "concurrent/pool.hpp"
+
+namespace ea::concurrent {
+
+void Pool::adopt(NodeArena& arena) {
+  for (std::size_t i = 0; i < arena.count(); ++i) {
+    Node* n = arena.node(i);
+    n->home = this;
+    put(n);
+  }
+}
+
+Node* Pool::get() noexcept {
+  Node* n;
+  {
+    HleGuard guard(lock_);
+    n = top_;
+    if (n != nullptr) {
+      top_ = n->next;
+      if (top_ != nullptr) top_->prev = nullptr;
+      --size_;
+    }
+  }
+  if (n != nullptr) {
+    n->next = nullptr;
+    n->prev = nullptr;
+    n->size = 0;
+    n->tag = 0;
+  }
+  return n;
+}
+
+void Pool::put(Node* n) noexcept {
+  if (n == nullptr) return;
+  HleGuard guard(lock_);
+  n->prev = nullptr;
+  n->next = top_;
+  if (top_ != nullptr) top_->prev = n;
+  top_ = n;
+  ++size_;
+}
+
+std::size_t Pool::size() const noexcept {
+  HleGuard guard(lock_);
+  return size_;
+}
+
+void NodeLease::reset() noexcept {
+  if (node_ != nullptr && node_->home != nullptr) {
+    node_->home->put(node_);
+  }
+  node_ = nullptr;
+}
+
+}  // namespace ea::concurrent

@@ -1,0 +1,81 @@
+// Pool: a LIFO free-list of empty nodes (paper §3.3).
+//
+// "A pool is an abstraction which refers to a set of empty nodes … pools
+// implement LIFO semantic." LIFO keeps recently-used node payloads hot in
+// cache. Thread-safe for any number of concurrent producers/consumers via
+// the HLE lock; no system calls are ever made, so pools are enclave-safe.
+#pragma once
+
+#include <cstddef>
+
+#include "concurrent/arena.hpp"
+#include "concurrent/hle_lock.hpp"
+#include "concurrent/node.hpp"
+
+namespace ea::concurrent {
+
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // Adopts all nodes of `arena` into the pool and marks them as homed here.
+  void adopt(NodeArena& arena);
+
+  // Pops a free node, or nullptr if the pool is exhausted. The node's size
+  // is reset to 0 and its tag cleared.
+  Node* get() noexcept;
+
+  // Pushes a node back. The node must not be linked in any mbox.
+  void put(Node* n) noexcept;
+
+  // Approximate number of free nodes (exact when quiescent).
+  std::size_t size() const noexcept;
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  mutable HleSpinLock lock_;
+  Node* top_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// RAII lease: returns the node to its pool on destruction unless released.
+class NodeLease {
+ public:
+  NodeLease() = default;
+  explicit NodeLease(Node* n) noexcept : node_(n) {}
+  NodeLease(NodeLease&& other) noexcept : node_(other.node_) {
+    other.node_ = nullptr;
+  }
+  NodeLease& operator=(NodeLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      node_ = other.node_;
+      other.node_ = nullptr;
+    }
+    return *this;
+  }
+  NodeLease(const NodeLease&) = delete;
+  NodeLease& operator=(const NodeLease&) = delete;
+  ~NodeLease() { reset(); }
+
+  Node* get() const noexcept { return node_; }
+  Node* operator->() const noexcept { return node_; }
+  explicit operator bool() const noexcept { return node_ != nullptr; }
+
+  // Detaches the node (e.g. after handing it to an mbox).
+  Node* release() noexcept {
+    Node* n = node_;
+    node_ = nullptr;
+    return n;
+  }
+
+  void reset() noexcept;
+
+ private:
+  Node* node_ = nullptr;
+};
+
+}  // namespace ea::concurrent

@@ -1,0 +1,11 @@
+#include "core/actor.hpp"
+
+#include "core/runtime.hpp"
+
+namespace ea::core {
+
+ChannelEnd* Actor::connect(const std::string& channel_name) {
+  return runtime_->connect_channel(channel_name, placement_);
+}
+
+}  // namespace ea::core

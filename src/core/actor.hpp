@@ -1,0 +1,70 @@
+// The eactor abstraction (paper §3.1).
+//
+// An eactor is a self-contained computational entity with a constructor
+// (runs once at startup, inside the eactor's enclave, to connect channels
+// and initialise private state) and a body (run repeatedly, round-robin, by
+// the worker the eactor is assigned to). Bodies must not block: they poll
+// their mailboxes and return when there is nothing to do.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgxsim/enclave.hpp"
+
+namespace ea::core {
+
+class Runtime;
+class ChannelEnd;
+
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // Enclave this actor is deployed into (kUntrusted when outside).
+  sgxsim::EnclaveId placement() const noexcept { return placement_; }
+
+  // --- hooks implemented by the application ------------------------------
+
+  // Constructor function: connect channels, initialise private state.
+  // Runs inside the actor's enclave.
+  virtual void construct(Runtime& rt) { (void)rt; }
+
+  // Body function: one scheduling quantum. Returns true if the actor made
+  // progress (processed or produced a message); workers use this to back
+  // off when a whole round was idle.
+  virtual bool body() = 0;
+
+  // --- runtime plumbing ---------------------------------------------------
+
+  // Connects this actor to a named channel (creating it on first use) and
+  // returns the endpoint. Only valid during construct().
+  ChannelEnd* connect(const std::string& channel_name);
+
+  // Approximate private-state size for EPC accounting. Override when an
+  // actor owns large buffers.
+  virtual std::uint64_t state_bytes() const { return 4096; }
+
+  std::uint64_t invocations() const noexcept {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Runtime;
+  friend class Worker;
+
+  std::string name_;
+  sgxsim::EnclaveId placement_ = sgxsim::kUntrusted;
+  Runtime* runtime_ = nullptr;
+  std::atomic<std::uint64_t> invocations_{0};
+};
+
+}  // namespace ea::core

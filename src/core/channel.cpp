@@ -1,0 +1,186 @@
+#include "core/channel.hpp"
+
+#include <cstring>
+
+#include "crypto/rng.hpp"
+#include "sgxsim/attestation.hpp"
+#include "util/logging.hpp"
+
+namespace ea::core {
+namespace {
+
+// --- hardware-AEAD performance model (see CipherModel::kHardwareModel) ----
+//
+// Frame: counter(8) || body (payload XOR keystream) || checksum(8).
+
+std::uint64_t key_seed(const crypto::AeadKey& key) {
+  return util::load_le64(key.data());
+}
+
+void fast_transform(std::uint64_t seed, std::span<std::uint8_t> body) {
+  crypto::FastRng rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= body.size()) {
+    std::uint64_t ks = rng.next();
+    std::uint64_t word = util::load_le64(body.data() + i);
+    util::store_le64(body.data() + i, word ^ ks);
+    i += 8;
+  }
+  if (i < body.size()) {
+    std::uint64_t ks = rng.next();
+    for (std::size_t j = 0; i + j < body.size(); ++j) {
+      body[i + j] ^= static_cast<std::uint8_t>(ks >> (8 * j));
+    }
+  }
+}
+
+std::uint64_t fast_checksum(std::uint64_t seed,
+                            std::span<const std::uint8_t> body) {
+  std::uint64_t sum = seed * 0x9e3779b97f4a7c15ull;
+  std::size_t i = 0;
+  while (i + 8 <= body.size()) {
+    sum += util::load_le64(body.data() + i) * 0xff51afd7ed558ccdull;
+    i += 8;
+  }
+  for (; i < body.size(); ++i) sum += std::uint64_t{body[i]} << (i % 56);
+  return sum;
+}
+
+}  // namespace
+
+Channel::Channel(std::string name, ChannelOptions options,
+                 concurrent::Pool& pool)
+    : name_(std::move(name)), options_(options), pool_(pool) {
+  ends_[0].channel_ = this;
+  ends_[0].side_ = 0;
+  ends_[1].channel_ = this;
+  ends_[1].side_ = 1;
+}
+
+ChannelEnd* Channel::connect(sgxsim::EnclaveId placement) {
+  if (connected_ >= 2) return nullptr;
+  int side = connected_++;
+  placements_[side] = placement;
+  if (connected_ == 2) {
+    // Both placements known: decide the wire format once.
+    const bool cross_enclave = placements_[0] != placements_[1] &&
+                               placements_[0] != sgxsim::kUntrusted &&
+                               placements_[1] != sgxsim::kUntrusted;
+    if (cross_enclave && !options_.force_plain) {
+      auto& mgr = sgxsim::EnclaveManager::instance();
+      sgxsim::Enclave* a = mgr.find(placements_[0]);
+      sgxsim::Enclave* b = mgr.find(placements_[1]);
+      if (a != nullptr && b != nullptr) {
+        key_ = sgxsim::establish_session_key(*a, *b);
+        encrypted_ = key_.has_value();
+      }
+      if (!encrypted_) {
+        EA_WARN("core", "channel %s: attestation failed, staying plain",
+                name_.c_str());
+      }
+    }
+    EA_DEBUG("core", "channel %s connected (%u <-> %u) %s", name_.c_str(),
+             placements_[0], placements_[1],
+             encrypted_ ? "encrypted" : "plain");
+  }
+  return &ends_[side];
+}
+
+bool Channel::send_from(int side, std::span<const std::uint8_t> bytes) {
+  concurrent::Node* node = pool_.get();
+  if (node == nullptr) return false;  // pool exhausted; caller retries
+  if (encrypted_ && options_.cipher == CipherModel::kHardwareModel) {
+    if (bytes.size() + 16 > node->capacity) {
+      pool_.put(node);
+      return false;
+    }
+    std::uint64_t ctr =
+        send_counter_[side].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seed = key_seed(*key_) ^ (ctr * 2 + side);
+    std::uint8_t* p = node->payload();
+    util::store_le64(p, ctr);
+    if (!bytes.empty()) std::memcpy(p + 8, bytes.data(), bytes.size());
+    fast_transform(seed, std::span<std::uint8_t>(p + 8, bytes.size()));
+    util::store_le64(p + 8 + bytes.size(),
+                     fast_checksum(seed, bytes));
+    node->size = static_cast<std::uint32_t>(bytes.size() + 16);
+    dir_[side == 0 ? 0 : 1].push(node);
+    return true;
+  }
+  if (encrypted_) {
+    std::uint64_t ctr =
+        send_counter_[side].fetch_add(1, std::memory_order_relaxed);
+    // The AAD pins direction so a malicious runtime cannot reflect
+    // messages back at their sender.
+    std::uint8_t aad[1] = {static_cast<std::uint8_t>(side)};
+    util::Bytes framed = crypto::seal_with_counter(*key_, ctr, aad, bytes);
+    if (framed.size() > node->capacity) {
+      pool_.put(node);
+      return false;
+    }
+    node->fill(framed);
+  } else {
+    if (bytes.size() > node->capacity) {
+      pool_.put(node);
+      return false;
+    }
+    node->fill(bytes);
+  }
+  dir_[side == 0 ? 0 : 1].push(node);
+  return true;
+}
+
+concurrent::NodeLease Channel::recv_at(int side) {
+  // Side A receives from dir_[1] (B->A); side B from dir_[0].
+  concurrent::Node* node = dir_[side == 0 ? 1 : 0].pop();
+  if (node == nullptr) return concurrent::NodeLease();
+  concurrent::NodeLease lease(node);
+  if (encrypted_ && options_.cipher == CipherModel::kHardwareModel) {
+    if (node->size < 16) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      return concurrent::NodeLease();
+    }
+    std::uint8_t* p = node->payload();
+    std::size_t body_len = node->size - 16;
+    std::uint64_t ctr = util::load_le64(p);
+    std::uint64_t seed = key_seed(*key_) ^ (ctr * 2 + (1 - side));
+    fast_transform(seed, std::span<std::uint8_t>(p + 8, body_len));
+    std::uint64_t expected = util::load_le64(p + 8 + body_len);
+    std::uint64_t actual = fast_checksum(
+        seed, std::span<const std::uint8_t>(p + 8, body_len));
+    if (expected != actual) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      return concurrent::NodeLease();
+    }
+    std::memmove(p, p + 8, body_len);
+    node->size = static_cast<std::uint32_t>(body_len);
+    return lease;
+  }
+  if (encrypted_) {
+    std::uint8_t aad[1] = {static_cast<std::uint8_t>(1 - side)};
+    std::optional<util::Bytes> plain =
+        crypto::open_framed(*key_, aad, node->data());
+    if (!plain.has_value()) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      EA_WARN("core", "channel %s: dropping message failing authentication",
+              name_.c_str());
+      return concurrent::NodeLease();  // lease returns node to pool
+    }
+    node->fill(*plain);
+  }
+  return lease;
+}
+
+bool ChannelEnd::send(std::span<const std::uint8_t> bytes) {
+  return channel_->send_from(side_, bytes);
+}
+
+concurrent::NodeLease ChannelEnd::recv() { return channel_->recv_at(side_); }
+
+bool ChannelEnd::pending() const {
+  return !channel_->dir_[side_ == 0 ? 1 : 0].empty();
+}
+
+bool ChannelEnd::encrypted() const { return channel_->encrypted_; }
+
+}  // namespace ea::core

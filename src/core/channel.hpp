@@ -1,0 +1,128 @@
+// Uniform communication primitives (paper §3.3).
+//
+// A Channel is a bi-directional link between two eactors built from two
+// mboxes. Channels hide the location of the endpoints: if both eactors sit
+// in the same enclave (or both untrusted) messages travel in plaintext; if
+// they sit in *different* enclaves the channel transparently encrypts every
+// message with a session key established via (simulated) SGX local
+// attestation — the underlying node memory is untrusted, so the runtime
+// must not be able to read or forge messages. A channel can also be
+// explicitly configured plain (§3.3: "except if the channel is configured
+// as non-encrypted").
+//
+// The two-phase connect mirrors the paper: the first endpoint to connect is
+// the *initiator*, the second the *client*; the encryption decision is made
+// once both placements are known.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "crypto/aead.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace ea::core {
+
+class Runtime;
+class Channel;
+
+// How a cross-enclave channel protects messages.
+enum class CipherModel {
+  // Real ChaCha20-Poly1305 (default). Software implementation: ~15-20
+  // cycles/byte, an order of magnitude slower than the AES-NI hardware the
+  // paper's testbed used.
+  kSoftwareAead,
+  // Performance model of AES-NI-class hardware AEAD (~2 cycles/byte):
+  // a keyed XOR stream plus an additive checksum. NOT cryptographically
+  // secure — exists so throughput benchmarks can reproduce the paper's
+  // encrypted-channel numbers; never use outside benchmarks.
+  kHardwareModel,
+};
+
+struct ChannelOptions {
+  // Forces plaintext even across enclaves (the application may do its own
+  // end-to-end encryption, as the XMPP service does).
+  bool force_plain = false;
+  CipherModel cipher = CipherModel::kSoftwareAead;
+};
+
+// One side of a channel. send() never blocks: it fails (returns false) when
+// the node pool is exhausted, and the actor retries on its next activation.
+class ChannelEnd {
+ public:
+  // Copies `bytes` into a fresh node (encrypting if the channel crosses an
+  // enclave boundary) and enqueues it towards the peer.
+  bool send(std::span<const std::uint8_t> bytes);
+  bool send(std::string_view s) {
+    return send(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  // Dequeues the next message; empty lease when the mailbox is empty or a
+  // cross-enclave message fails authentication (it is then dropped).
+  // The payload is already decrypted.
+  concurrent::NodeLease recv();
+
+  // True if a recv() would find a message.
+  bool pending() const;
+
+  // Whether this channel transparently encrypts.
+  bool encrypted() const;
+
+  Channel& channel() noexcept { return *channel_; }
+
+ private:
+  friend class Channel;
+  Channel* channel_ = nullptr;
+  int side_ = 0;  // 0 = initiator (A), 1 = client (B)
+};
+
+class Channel {
+ public:
+  Channel(std::string name, ChannelOptions options, concurrent::Pool& pool);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // Binds the next free endpoint for an actor placed in `placement`.
+  // First call returns the initiator end, second the client end; further
+  // calls return nullptr (channels are point-to-point; mboxes themselves
+  // support MPMC and are used directly where fan-in is needed).
+  ChannelEnd* connect(sgxsim::EnclaveId placement);
+
+  bool encrypted() const noexcept { return encrypted_; }
+
+  // Number of messages dropped due to failed authentication.
+  std::uint64_t auth_failures() const noexcept {
+    return auth_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ChannelEnd;
+
+  bool send_from(int side, std::span<const std::uint8_t> bytes);
+  concurrent::NodeLease recv_at(int side);
+
+  std::string name_;
+  ChannelOptions options_;
+  concurrent::Pool& pool_;
+
+  ChannelEnd ends_[2];
+  sgxsim::EnclaveId placements_[2] = {sgxsim::kUntrusted, sgxsim::kUntrusted};
+  int connected_ = 0;
+
+  concurrent::Mbox dir_[2];  // dir_[0]: A->B, dir_[1]: B->A
+
+  bool encrypted_ = false;
+  std::optional<crypto::AeadKey> key_;
+  std::atomic<std::uint64_t> send_counter_[2] = {0, 0};
+  std::atomic<std::uint64_t> auth_failures_{0};
+};
+
+}  // namespace ea::core

@@ -1,0 +1,151 @@
+#include "core/runtime.hpp"
+
+#include <stdexcept>
+
+#include "sgxsim/transition.hpp"
+#include "util/logging.hpp"
+
+namespace ea::core {
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(options),
+      arena_(options_.pool_nodes, options_.node_payload_bytes) {
+  pool_.adopt(arena_);
+}
+
+Runtime::~Runtime() { stop(); }
+
+sgxsim::Enclave& Runtime::enclave(const std::string& name) {
+  auto it = enclaves_.find(name);
+  if (it != enclaves_.end()) return *it->second;
+  sgxsim::Enclave& e = sgxsim::EnclaveManager::instance().create(name);
+  enclaves_.emplace(name, &e);
+  return e;
+}
+
+Actor& Runtime::add_actor(std::unique_ptr<Actor> actor,
+                          const std::string& enclave_name) {
+  if (started_) throw std::logic_error("add_actor after start");
+  actor->runtime_ = this;
+  if (!enclave_name.empty()) {
+    sgxsim::Enclave& e = enclave(enclave_name);
+    actor->placement_ = e.id();
+    e.add_committed(actor->state_bytes());
+  }
+  actors_.push_back(std::move(actor));
+  return *actors_.back();
+}
+
+Worker& Runtime::add_worker(const std::string& name, std::vector<int> cpus,
+                            const std::vector<std::string>& actor_names) {
+  if (started_) throw std::logic_error("add_worker after start");
+  auto worker = std::make_unique<Worker>(name, std::move(cpus));
+  for (const std::string& actor_name : actor_names) {
+    Actor* actor = find_actor(actor_name);
+    if (actor == nullptr) {
+      throw std::invalid_argument("worker " + name + ": unknown actor " +
+                                  actor_name);
+    }
+    worker->assign(actor);
+  }
+  workers_.push_back(std::move(worker));
+  return *workers_.back();
+}
+
+Channel& Runtime::channel(const std::string& name, ChannelOptions options) {
+  auto it = channels_.find(name);
+  if (it != channels_.end()) return *it->second;
+  auto ch = std::make_unique<Channel>(name, options, pool_);
+  Channel& ref = *ch;
+  channels_.emplace(name, std::move(ch));
+  return ref;
+}
+
+Actor* Runtime::find_actor(const std::string& name) {
+  for (auto& actor : actors_) {
+    if (actor->name() == name) return actor.get();
+  }
+  return nullptr;
+}
+
+ChannelEnd* Runtime::connect_channel(const std::string& name,
+                                     sgxsim::EnclaveId placement) {
+  ChannelEnd* end = channel(name).connect(placement);
+  if (end == nullptr) {
+    throw std::logic_error("channel " + name + " already fully connected");
+  }
+  return end;
+}
+
+void Runtime::start() {
+  if (started_) return;
+  started_ = true;
+  // Constructor functions run inside their actor's enclave, as the
+  // generated EActors runtime does after creating the enclaves.
+  for (auto& actor : actors_) {
+    if (actor->placement() != sgxsim::kUntrusted) {
+      sgxsim::Enclave* e =
+          sgxsim::EnclaveManager::instance().find(actor->placement());
+      sgxsim::EnclaveScope scope(*e);
+      actor->construct(*this);
+    } else {
+      actor->construct(*this);
+    }
+  }
+  for (auto& worker : workers_) worker->start();
+  running_ = true;
+  EA_INFO("core", "runtime started: %zu actors, %zu workers, %zu enclaves",
+          actors_.size(), workers_.size(), enclaves_.size());
+}
+
+void Runtime::stop() {
+  if (!running_) return;
+  for (auto& worker : workers_) worker->request_stop();
+  for (auto& worker : workers_) worker->join();
+  running_ = false;
+}
+
+std::string Runtime::stats_string() const {
+  std::string out;
+  auto append = [&out](const std::string& line) {
+    out += line;
+    out += '\n';
+  };
+  append("runtime: " + std::to_string(actors_.size()) + " actors, " +
+         std::to_string(workers_.size()) + " workers, " +
+         std::to_string(enclaves_.size()) + " enclaves, pool free " +
+         std::to_string(pool_.size()) + "/" +
+         std::to_string(options_.pool_nodes));
+  for (const auto& worker : workers_) {
+    append("  worker " + worker->name() + ": " +
+           std::to_string(worker->rounds()) + " rounds");
+  }
+  for (const auto& actor : actors_) {
+    append("  actor " + actor->name() + ": " +
+           std::to_string(actor->invocations()) + " activations" +
+           (actor->placement() != sgxsim::kUntrusted
+                ? " (enclave " + std::to_string(actor->placement()) + ")"
+                : ""));
+  }
+  for (const auto& [name, channel] : channels_) {
+    append("  channel " + name + ": " +
+           (channel->encrypted() ? "encrypted" : "plain") + ", " +
+           std::to_string(channel->auth_failures()) + " auth failures");
+  }
+  auto stats = sgxsim::transition_stats();
+  append("  transitions: " + std::to_string(stats.ecalls) + " ecalls, " +
+         std::to_string(stats.ocalls) + " ocalls, " +
+         std::to_string(stats.paging_events) + " paging events");
+  return out;
+}
+
+concurrent::Pool& Runtime::make_pool(std::size_t nodes,
+                                     std::size_t payload_bytes) {
+  extra_arenas_.push_back(
+      std::make_unique<concurrent::NodeArena>(nodes, payload_bytes));
+  extra_pools_.push_back(std::make_unique<concurrent::Pool>());
+  extra_pools_.back()->adopt(*extra_arenas_.back());
+  return *extra_pools_.back();
+}
+
+}  // namespace ea::core

@@ -1,0 +1,106 @@
+// The EActors runtime (paper §3.2).
+//
+// The runtime owns enclaves, actors, workers, channels and the preallocated
+// public node pool. Startup order follows the paper: create the enclaves,
+// allocate private state, call the actors' constructors (inside their
+// enclaves), then create and start the workers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concurrent/arena.hpp"
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+#include "core/channel.hpp"
+#include "core/worker.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace ea::core {
+
+struct RuntimeOptions {
+  // Public message pool preallocation.
+  std::size_t pool_nodes = 4096;
+  std::size_t node_payload_bytes = 2048;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- deployment construction -------------------------------------------
+
+  // Returns the named enclave, creating it on first use.
+  sgxsim::Enclave& enclave(const std::string& name);
+
+  // Adds an actor, deployed untrusted (enclave_name empty) or into the
+  // named enclave. Returns a reference to the stored actor.
+  Actor& add_actor(std::unique_ptr<Actor> actor,
+                   const std::string& enclave_name = "");
+
+  // Creates a worker bound to `cpus` executing `actor_names` round-robin.
+  Worker& add_worker(const std::string& name, std::vector<int> cpus,
+                     const std::vector<std::string>& actor_names);
+
+  // Declares (or retrieves) a channel. Actors bind to it via
+  // Actor::connect() inside their constructor functions.
+  Channel& channel(const std::string& name, ChannelOptions options = {});
+
+  Actor* find_actor(const std::string& name);
+
+  // --- execution ----------------------------------------------------------
+
+  // Calls every actor's constructor (inside its enclave) and starts all
+  // workers. Idempotent per runtime instance.
+  void start();
+
+  // Stops and joins all workers.
+  void stop();
+
+  // True while workers are running.
+  bool running() const noexcept { return running_; }
+
+  // --- shared resources ----------------------------------------------------
+
+  concurrent::Pool& public_pool() noexcept { return pool_; }
+
+  // Allocates a dedicated arena + pool (e.g. a large-payload pool for a
+  // high-throughput channel). The runtime owns the memory.
+  concurrent::Pool& make_pool(std::size_t nodes, std::size_t payload_bytes);
+
+  const std::vector<std::unique_ptr<Worker>>& workers() const noexcept {
+    return workers_;
+  }
+
+  // Human-readable diagnostics: per-worker rounds, per-actor activations,
+  // channel modes, enclave transition totals. Safe to call while running.
+  std::string stats_string() const;
+
+ private:
+  friend class Actor;
+  ChannelEnd* connect_channel(const std::string& name,
+                              sgxsim::EnclaveId placement);
+
+  RuntimeOptions options_;
+  concurrent::NodeArena arena_;
+  concurrent::Pool pool_;
+  std::vector<std::unique_ptr<concurrent::NodeArena>> extra_arenas_;
+  std::vector<std::unique_ptr<concurrent::Pool>> extra_pools_;
+
+  std::map<std::string, sgxsim::Enclave*> enclaves_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::map<std::string, std::unique_ptr<Channel>> channels_;
+  bool started_ = false;
+  bool running_ = false;
+};
+
+}  // namespace ea::core

@@ -1,0 +1,116 @@
+#include "core/worker.hpp"
+
+#include "sgxsim/transition.hpp"
+#include "util/affinity.hpp"
+#include "util/logging.hpp"
+
+namespace ea::core {
+namespace {
+
+// After this many consecutive idle rounds the worker yields its timeslice.
+// Real EActors workers spin (they own a hardware thread); on machines with
+// fewer cores than workers the yield stands in for the hardware thread the
+// paper's testbed would have provided. It does not touch the cost model.
+// Kept small: on an oversubscribed CPU, prompt yields approximate the
+// all-workers-runnable concurrency of the paper's testbed.
+constexpr int kIdleRoundsBeforeYield = 4;
+
+}  // namespace
+
+Worker::Worker(std::string name, std::vector<int> cpus)
+    : name_(std::move(name)), cpus_(std::move(cpus)) {}
+
+Worker::~Worker() {
+  request_stop();
+  join();
+}
+
+void Worker::start() {
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Worker::round() {
+  bool progress = false;
+  for (Actor* actor : actors_) {
+    ++actor->invocations_;
+    progress |= actor->body();
+  }
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  return progress;
+}
+
+void Worker::run() {
+  util::pin_current_thread(cpus_);
+
+  // Determine whether all actors share one enclave.
+  bool uniform = true;
+  sgxsim::EnclaveId common = sgxsim::kUntrusted;
+  if (!actors_.empty()) {
+    common = actors_.front()->placement();
+    for (Actor* a : actors_) {
+      if (a->placement() != common) {
+        uniform = false;
+        break;
+      }
+    }
+  }
+
+  if (uniform && common != sgxsim::kUntrusted) {
+    sgxsim::Enclave* enclave =
+        sgxsim::EnclaveManager::instance().find(common);
+    if (enclave != nullptr) {
+      run_single_enclave(*enclave);
+      return;
+    }
+  }
+  run_mixed();
+}
+
+void Worker::run_single_enclave(sgxsim::Enclave& enclave) {
+  // Enter once, stay inside: the EActors fast path.
+  sgxsim::EnclaveScope scope(enclave);
+  int idle_rounds = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (round()) {
+      idle_rounds = 0;
+    } else if (++idle_rounds >= kIdleRoundsBeforeYield) {
+      std::this_thread::yield();
+      idle_rounds = 0;
+    }
+  }
+}
+
+void Worker::run_mixed() {
+  int idle_rounds = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool progress = false;
+    for (Actor* actor : actors_) {
+      actor->invocations_.fetch_add(1, std::memory_order_relaxed);
+      if (actor->placement() != sgxsim::kUntrusted) {
+        sgxsim::Enclave* enclave =
+            sgxsim::EnclaveManager::instance().find(actor->placement());
+        if (enclave != nullptr) {
+          // Migrate into the actor's enclave for this activation only.
+          sgxsim::EnclaveScope scope(*enclave);
+          progress |= actor->body();
+          continue;
+        }
+      }
+      progress |= actor->body();
+    }
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    if (progress) {
+      idle_rounds = 0;
+    } else if (++idle_rounds >= kIdleRoundsBeforeYield) {
+      std::this_thread::yield();
+      idle_rounds = 0;
+    }
+  }
+}
+
+}  // namespace ea::core

@@ -1,0 +1,82 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+namespace ea::crypto {
+namespace {
+
+PolyTag compute_tag(const AeadKey& key, const AeadNonce& nonce,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> ciphertext) {
+  std::uint8_t block0[64];
+  chacha20_block(key, 0, nonce, block0);
+  PolyKey poly_key;
+  std::memcpy(poly_key.data(), block0, poly_key.size());
+
+  Poly1305 mac(poly_key);
+  static constexpr std::uint8_t kZeros[16] = {};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) {
+    mac.update(std::span<const std::uint8_t>(kZeros, 16 - aad.size() % 16));
+  }
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0) {
+    mac.update(
+        std::span<const std::uint8_t>(kZeros, 16 - ciphertext.size() % 16));
+  }
+  std::uint8_t lengths[16];
+  util::store_le64(lengths, aad.size());
+  util::store_le64(lengths + 8, ciphertext.size());
+  mac.update(lengths);
+  return mac.finish();
+}
+
+}  // namespace
+
+util::Bytes aead_encrypt(const AeadKey& key, const AeadNonce& nonce,
+                         std::span<const std::uint8_t> aad,
+                         std::span<const std::uint8_t> plaintext) {
+  util::Bytes out(plaintext.begin(), plaintext.end());
+  chacha20_xor(key, 1, nonce, out);
+  PolyTag tag = compute_tag(key, nonce, aad, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<util::Bytes> aead_decrypt(const AeadKey& key,
+                                        const AeadNonce& nonce,
+                                        std::span<const std::uint8_t> aad,
+                                        std::span<const std::uint8_t> sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  auto ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  auto tag = sealed.last(kAeadTagSize);
+  PolyTag expected = compute_tag(key, nonce, aad, ciphertext);
+  if (!util::ct_equal(tag, expected)) return std::nullopt;
+  util::Bytes out(ciphertext.begin(), ciphertext.end());
+  chacha20_xor(key, 1, nonce, out);
+  return out;
+}
+
+util::Bytes seal_with_counter(const AeadKey& key, std::uint64_t counter,
+                              std::span<const std::uint8_t> aad,
+                              std::span<const std::uint8_t> plaintext) {
+  AeadNonce nonce{};
+  util::store_le64(nonce.data() + 4, counter);
+  util::Bytes body = aead_encrypt(key, nonce, aad, plaintext);
+  util::Bytes out;
+  out.reserve(nonce.size() + body.size());
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<util::Bytes> open_framed(const AeadKey& key,
+                                       std::span<const std::uint8_t> aad,
+                                       std::span<const std::uint8_t> framed) {
+  if (framed.size() < kAeadOverhead) return std::nullopt;
+  AeadNonce nonce;
+  std::memcpy(nonce.data(), framed.data(), nonce.size());
+  return aead_decrypt(key, nonce, aad, framed.subspan(nonce.size()));
+}
+
+}  // namespace ea::crypto

@@ -1,0 +1,50 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//
+// This is the cipher used by encrypted channels between enclaves and by the
+// secure multi-party computation ring. Sealing in the SGX simulator reuses
+// it with sealing keys.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::crypto {
+
+inline constexpr std::size_t kAeadKeySize = kChaChaKeySize;
+inline constexpr std::size_t kAeadNonceSize = kChaChaNonceSize;
+inline constexpr std::size_t kAeadTagSize = kPolyTagSize;
+// Bytes an encrypted message grows by: nonce prefix + tag suffix
+// (see seal_with_counter framing).
+inline constexpr std::size_t kAeadOverhead = kAeadNonceSize + kAeadTagSize;
+
+using AeadKey = ChaChaKey;
+using AeadNonce = ChaChaNonce;
+
+// Encrypts `plaintext`; returns ciphertext||tag. Low-level primitive — most
+// callers want seal_with_counter below, which also frames the nonce.
+util::Bytes aead_encrypt(const AeadKey& key, const AeadNonce& nonce,
+                         std::span<const std::uint8_t> aad,
+                         std::span<const std::uint8_t> plaintext);
+
+// Decrypts ciphertext||tag; returns nullopt on authentication failure.
+std::optional<util::Bytes> aead_decrypt(const AeadKey& key,
+                                        const AeadNonce& nonce,
+                                        std::span<const std::uint8_t> aad,
+                                        std::span<const std::uint8_t> sealed);
+
+// Message framing used by channels: out = nonce(12) || ciphertext || tag(16),
+// with the nonce derived from a monotonically increasing counter. The counter
+// makes nonce reuse impossible within a channel direction.
+util::Bytes seal_with_counter(const AeadKey& key, std::uint64_t counter,
+                              std::span<const std::uint8_t> aad,
+                              std::span<const std::uint8_t> plaintext);
+
+std::optional<util::Bytes> open_framed(const AeadKey& key,
+                                       std::span<const std::uint8_t> aad,
+                                       std::span<const std::uint8_t> framed);
+
+}  // namespace ea::crypto

@@ -1,0 +1,64 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace ea::crypto {
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = util::rotl32(d ^ a, 16);
+  c += d;
+  b = util::rotl32(b ^ c, 12);
+  a += b;
+  d = util::rotl32(d ^ a, 8);
+  c += d;
+  b = util::rotl32(b ^ c, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const ChaChaKey& key, std::uint32_t counter,
+                    const ChaChaNonce& nonce, std::uint8_t out[64]) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = util::load_le32(key.data() + i * 4);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = util::load_le32(nonce.data() + i * 4);
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    util::store_le32(out + i * 4, x[i] + state[i]);
+  }
+}
+
+void chacha20_xor(const ChaChaKey& key, std::uint32_t counter,
+                  const ChaChaNonce& nonce, std::span<std::uint8_t> data) {
+  std::uint8_t block[64];
+  std::size_t off = 0;
+  while (off < data.size()) {
+    chacha20_block(key, counter++, nonce, block);
+    std::size_t take = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= block[i];
+    off += take;
+  }
+}
+
+}  // namespace ea::crypto

@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4).
+//
+// Stands in for the AES the paper gets from the Intel IPP library: both are
+// per-byte-linear symmetric ciphers, which is the property the inter-enclave
+// throughput experiments exercise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ea::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+// Generates one 64-byte keystream block (exposed for Poly1305 key gen).
+void chacha20_block(const ChaChaKey& key, std::uint32_t counter,
+                    const ChaChaNonce& nonce, std::uint8_t out[64]);
+
+// XORs `data` with the ChaCha20 keystream in place, starting at block
+// `counter`.
+void chacha20_xor(const ChaChaKey& key, std::uint32_t counter,
+                  const ChaChaNonce& nonce, std::span<std::uint8_t> data);
+
+}  // namespace ea::crypto

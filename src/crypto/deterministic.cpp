@@ -1,0 +1,50 @@
+#include "crypto/deterministic.hpp"
+
+#include <cstring>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+
+namespace ea::crypto {
+
+DetKey derive_det_key(std::span<const std::uint8_t> master) {
+  static constexpr std::uint8_t kInfo[] = "ea-pos-deterministic";
+  util::Bytes okm = hkdf({}, master, std::span<const std::uint8_t>(kInfo, sizeof(kInfo) - 1), 64);
+  DetKey out;
+  std::memcpy(out.enc_key.data(), okm.data(), out.enc_key.size());
+  std::memcpy(out.mac_key.data(), okm.data() + 32, out.mac_key.size());
+  return out;
+}
+
+util::Bytes det_encrypt(const DetKey& key,
+                        std::span<const std::uint8_t> plaintext) {
+  Sha256Digest siv_full = hmac_sha256(key.mac_key, plaintext);
+  AeadNonce nonce;
+  std::memcpy(nonce.data(), siv_full.data(), nonce.size());
+  util::Bytes body(plaintext.begin(), plaintext.end());
+  chacha20_xor(key.enc_key, 1, nonce, body);
+  util::Bytes out;
+  out.reserve(nonce.size() + body.size());
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<util::Bytes> det_decrypt(const DetKey& key,
+                                       std::span<const std::uint8_t> sealed) {
+  if (sealed.size() < kAeadNonceSize) return std::nullopt;
+  AeadNonce nonce;
+  std::memcpy(nonce.data(), sealed.data(), nonce.size());
+  util::Bytes body(sealed.begin() + nonce.size(), sealed.end());
+  chacha20_xor(key.enc_key, 1, nonce, body);
+  // Recompute the synthetic IV over the recovered plaintext; mismatch means
+  // tampering or the wrong key.
+  Sha256Digest siv_full = hmac_sha256(key.mac_key, body);
+  if (!util::ct_equal(std::span<const std::uint8_t>(nonce.data(), nonce.size()),
+                      std::span<const std::uint8_t>(siv_full.data(), nonce.size()))) {
+    return std::nullopt;
+  }
+  return body;
+}
+
+}  // namespace ea::crypto

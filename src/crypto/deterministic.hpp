@@ -1,0 +1,32 @@
+// Deterministic (SIV-style) encryption for Persistent Object Store keys.
+//
+// The paper (§4.1) encrypts POS keys *deterministically* so the store can
+// locate a value by comparing encrypted keys without decrypting. We build a
+// miniature SIV: the synthetic IV is HMAC(key_mac, plaintext), truncated to
+// the nonce size, and doubles as the authentication tag.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "crypto/aead.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::crypto {
+
+struct DetKey {
+  AeadKey enc_key{};
+  std::array<std::uint8_t, 32> mac_key{};
+};
+
+// Derives the two sub-keys from a single 32-byte master via HKDF.
+DetKey derive_det_key(std::span<const std::uint8_t> master);
+
+// Deterministic: same (key, plaintext) always yields the same ciphertext.
+util::Bytes det_encrypt(const DetKey& key, std::span<const std::uint8_t> plaintext);
+
+// Returns nullopt if the synthetic IV does not verify.
+std::optional<util::Bytes> det_decrypt(const DetKey& key,
+                                       std::span<const std::uint8_t> sealed);
+
+}  // namespace ea::crypto

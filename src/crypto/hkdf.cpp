@@ -1,0 +1,46 @@
+#include "crypto/hkdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace ea::crypto {
+
+Sha256Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                          std::span<const std::uint8_t> ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+util::Bytes hkdf_expand(std::span<const std::uint8_t> prk,
+                        std::span<const std::uint8_t> info,
+                        std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  util::Bytes out;
+  out.reserve(length);
+  Sha256Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 mac(prk);
+    mac.update(std::span<const std::uint8_t>(t.data(), t_len));
+    mac.update(info);
+    mac.update(std::span<const std::uint8_t>(&counter, 1));
+    t = mac.finish();
+    t_len = t.size();
+    std::size_t take = std::min(length - out.size(), t_len);
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+util::Bytes hkdf(std::span<const std::uint8_t> salt,
+                 std::span<const std::uint8_t> ikm,
+                 std::span<const std::uint8_t> info, std::size_t length) {
+  Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace ea::crypto

@@ -1,0 +1,26 @@
+// HKDF-SHA-256 (RFC 5869) — the key schedule for channel session keys (the
+// simulated local attestation derives a per-enclave-pair key) and for the
+// persistent object store's deterministic key-encryption keys.
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::crypto {
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                          std::span<const std::uint8_t> ikm);
+
+// HKDF-Expand: derives `length` bytes of output keying material.
+util::Bytes hkdf_expand(std::span<const std::uint8_t> prk,
+                        std::span<const std::uint8_t> info, std::size_t length);
+
+// Convenience: extract-then-expand.
+util::Bytes hkdf(std::span<const std::uint8_t> salt,
+                 std::span<const std::uint8_t> ikm,
+                 std::span<const std::uint8_t> info, std::size_t length);
+
+}  // namespace ea::crypto

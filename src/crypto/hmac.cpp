@@ -1,0 +1,42 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace ea::crypto {
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    Sha256Digest digest = sha256(key);
+    std::memcpy(block.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad_key{};
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad_key[i] = block[i] ^ 0x36;
+    opad_key_[i] = block[i] ^ 0x5c;
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha256::update(std::span<const std::uint8_t> data) {
+  inner_.update(data);
+}
+
+Sha256Digest HmacSha256::finish() {
+  Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+}  // namespace ea::crypto

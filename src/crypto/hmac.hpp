@@ -1,0 +1,27 @@
+// HMAC-SHA-256 (RFC 2104). Used by HKDF and by the simulated SGX sealing /
+// local-attestation key schedule (the real SDK uses AES-CMAC; an HMAC is the
+// equivalent PRF for simulation purposes).
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace ea::crypto {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  Sha256Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_{};
+};
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+
+}  // namespace ea::crypto

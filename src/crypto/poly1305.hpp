@@ -1,0 +1,37 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ea::crypto {
+
+inline constexpr std::size_t kPolyKeySize = 32;
+inline constexpr std::size_t kPolyTagSize = 16;
+
+using PolyKey = std::array<std::uint8_t, kPolyKeySize>;
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+// Incremental Poly1305 over a one-time key.
+class Poly1305 {
+ public:
+  explicit Poly1305(const PolyKey& key);
+
+  void update(std::span<const std::uint8_t> data);
+  PolyTag finish();
+
+ private:
+  void process_block(const std::uint8_t block[16], bool final_partial);
+
+  // 26-bit limb representation as in the reference "floodyberry" design.
+  std::uint32_t r_[5]{};
+  std::uint32_t h_[5]{};
+  std::uint8_t pad_[16]{};
+  std::uint8_t buffer_[16]{};
+  std::size_t buffer_len_ = 0;
+};
+
+PolyTag poly1305(const PolyKey& key, std::span<const std::uint8_t> data);
+
+}  // namespace ea::crypto

@@ -1,0 +1,93 @@
+#include "crypto/rng.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "crypto/chacha20.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::crypto {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl64(std::uint64_t v, int c) {
+  return (v << c) | (v >> (64 - c));
+}
+
+}  // namespace
+
+FastRng::FastRng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t FastRng::next() {
+  std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+  std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+std::uint64_t FastRng::next_below(std::uint64_t bound) {
+  // Lemire-style rejection-free enough for benchmark payloads.
+  return next() % bound;
+}
+
+void FastRng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    std::uint64_t v = next();
+    std::memcpy(out.data() + i, &v, 8);
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint64_t v = next();
+    std::memcpy(out.data() + i, &v, out.size() - i);
+  }
+}
+
+void secure_random(std::span<std::uint8_t> out) {
+  static std::once_flag seeded;
+  static ChaChaKey key;
+  static std::atomic<std::uint64_t> counter{0};
+  std::call_once(seeded, [] {
+    int fd = ::open("/dev/urandom", O_RDONLY);
+    if (fd >= 0) {
+      ssize_t got = ::read(fd, key.data(), key.size());
+      ::close(fd);
+      if (got == static_cast<ssize_t>(key.size())) return;
+    }
+    // Degraded fallback: derive from clock. Fine for a simulator.
+    std::uint64_t x = static_cast<std::uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ull;
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    x ^= static_cast<std::uint64_t>(ts.tv_nsec) << 17;
+    for (std::size_t i = 0; i < key.size(); i += 8) {
+      std::uint64_t v = splitmix64(x);
+      std::memcpy(key.data() + i, &v, std::min<std::size_t>(8, key.size() - i));
+    }
+  });
+  ChaChaNonce nonce{};
+  std::uint64_t c = counter.fetch_add(1, std::memory_order_relaxed);
+  util::store_le64(nonce.data() + 4, c);
+  std::memset(out.data(), 0, out.size());
+  chacha20_xor(key, 0, nonce, out);
+}
+
+}  // namespace ea::crypto

@@ -1,0 +1,35 @@
+// Random number generation.
+//
+// Two generators, matching the paper's performance discussion (§6.3.1):
+//  * FastRng — xoshiro256** for untrusted/benchmark use; negligible cost.
+//  * TrustedRng lives in sgxsim (sgx_read_rand simulation) and charges the
+//    cost model; the paper identifies the SDK's sgx_read_rand as the SMC
+//    bottleneck for large vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ea::crypto {
+
+// xoshiro256** seeded via splitmix64. Deterministic per seed.
+class FastRng {
+ public:
+  explicit FastRng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  void fill(std::span<std::uint8_t> out);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Process-wide entropy for key generation (reads /dev/urandom once, then
+// expands with a fast stream). Suitable for the simulator's keys.
+void secure_random(std::span<std::uint8_t> out);
+
+}  // namespace ea::crypto

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// The SGX simulator uses SHA-256 for enclave measurements and sealing-key
+// derivation; the channel layer uses it (via HKDF) for session keys; the
+// persistent object store hashes (encrypted) keys into bucket stacks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace ea::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256. Copyable; copying forks the hash state.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  // Finalises and returns the digest. The object must be reset() before
+  // further use.
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+// One-shot convenience.
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+Sha256Digest sha256(std::string_view data);
+
+}  // namespace ea::crypto

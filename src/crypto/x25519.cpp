@@ -1,0 +1,314 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+
+#include "crypto/rng.hpp"
+
+namespace ea::crypto {
+namespace {
+
+// Field arithmetic over 2^255 - 19 using ten 25.5-bit limbs
+// (the "ref10"-style representation, written from the RFC's description).
+using Fe = std::array<std::int64_t, 10>;
+
+void fe_frombytes(Fe& h, const std::uint8_t* s) {
+  auto load3 = [](const std::uint8_t* in) -> std::int64_t {
+    return static_cast<std::int64_t>(in[0]) |
+           (static_cast<std::int64_t>(in[1]) << 8) |
+           (static_cast<std::int64_t>(in[2]) << 16);
+  };
+  auto load4 = [](const std::uint8_t* in) -> std::int64_t {
+    return static_cast<std::int64_t>(in[0]) |
+           (static_cast<std::int64_t>(in[1]) << 8) |
+           (static_cast<std::int64_t>(in[2]) << 16) |
+           (static_cast<std::int64_t>(in[3]) << 24);
+  };
+  std::int64_t h0 = load4(s);
+  std::int64_t h1 = load3(s + 4) << 6;
+  std::int64_t h2 = load3(s + 7) << 5;
+  std::int64_t h3 = load3(s + 10) << 3;
+  std::int64_t h4 = load3(s + 13) << 2;
+  std::int64_t h5 = load4(s + 16);
+  std::int64_t h6 = load3(s + 20) << 7;
+  std::int64_t h7 = load3(s + 23) << 5;
+  std::int64_t h8 = load3(s + 26) << 4;
+  std::int64_t h9 = (load3(s + 29) & 8388607) << 2;
+
+  std::int64_t carry;
+  carry = (h9 + (1 << 24)) >> 25;
+  h0 += carry * 19;
+  h9 -= carry << 25;
+  carry = (h1 + (1 << 24)) >> 25;
+  h2 += carry;
+  h1 -= carry << 25;
+  carry = (h3 + (1 << 24)) >> 25;
+  h4 += carry;
+  h3 -= carry << 25;
+  carry = (h5 + (1 << 24)) >> 25;
+  h6 += carry;
+  h5 -= carry << 25;
+  carry = (h7 + (1 << 24)) >> 25;
+  h8 += carry;
+  h7 -= carry << 25;
+  carry = (h0 + (1 << 25)) >> 26;
+  h1 += carry;
+  h0 -= carry << 26;
+  carry = (h2 + (1 << 25)) >> 26;
+  h3 += carry;
+  h2 -= carry << 26;
+  carry = (h4 + (1 << 25)) >> 26;
+  h5 += carry;
+  h4 -= carry << 26;
+  carry = (h6 + (1 << 25)) >> 26;
+  h7 += carry;
+  h6 -= carry << 26;
+  carry = (h8 + (1 << 25)) >> 26;
+  h9 += carry;
+  h8 -= carry << 26;
+
+  h = {h0, h1, h2, h3, h4, h5, h6, h7, h8, h9};
+}
+
+void fe_reduce_carries(Fe& h) {
+  std::int64_t carry;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      int shift = (i % 2 == 0) ? 26 : 25;
+      carry = h[i] >> shift;
+      h[i] -= carry << shift;
+      if (i == 9) {
+        h[0] += carry * 19;
+      } else {
+        h[static_cast<std::size_t>(i) + 1] += carry;
+      }
+    }
+  }
+}
+
+void fe_tobytes(std::uint8_t* s, const Fe& in) {
+  Fe h = in;
+  fe_reduce_carries(h);
+  // Freeze: add 19, carry, then subtract 2^255 by masking the top bit.
+  std::int64_t q = (19 * h[9] + (std::int64_t{1} << 24)) >> 25;
+  for (int i = 0; i < 10; ++i) {
+    int shift = (i % 2 == 0) ? 26 : 25;
+    q = (h[i] + q) >> shift;
+  }
+  h[0] += 19 * q;
+  std::int64_t carry;
+  for (int i = 0; i < 9; ++i) {
+    int shift = (i % 2 == 0) ? 26 : 25;
+    carry = h[i] >> shift;
+    h[static_cast<std::size_t>(i) + 1] += carry;
+    h[i] -= carry << shift;
+  }
+  carry = h[9] >> 25;
+  h[9] -= carry << 25;
+
+  std::uint64_t out[10];
+  for (int i = 0; i < 10; ++i) out[i] = static_cast<std::uint64_t>(h[i]);
+  s[0] = static_cast<std::uint8_t>(out[0]);
+  s[1] = static_cast<std::uint8_t>(out[0] >> 8);
+  s[2] = static_cast<std::uint8_t>(out[0] >> 16);
+  s[3] = static_cast<std::uint8_t>((out[0] >> 24) | (out[1] << 2));
+  s[4] = static_cast<std::uint8_t>(out[1] >> 6);
+  s[5] = static_cast<std::uint8_t>(out[1] >> 14);
+  s[6] = static_cast<std::uint8_t>((out[1] >> 22) | (out[2] << 3));
+  s[7] = static_cast<std::uint8_t>(out[2] >> 5);
+  s[8] = static_cast<std::uint8_t>(out[2] >> 13);
+  s[9] = static_cast<std::uint8_t>((out[2] >> 21) | (out[3] << 5));
+  s[10] = static_cast<std::uint8_t>(out[3] >> 3);
+  s[11] = static_cast<std::uint8_t>(out[3] >> 11);
+  s[12] = static_cast<std::uint8_t>((out[3] >> 19) | (out[4] << 6));
+  s[13] = static_cast<std::uint8_t>(out[4] >> 2);
+  s[14] = static_cast<std::uint8_t>(out[4] >> 10);
+  s[15] = static_cast<std::uint8_t>(out[4] >> 18);
+  s[16] = static_cast<std::uint8_t>(out[5]);
+  s[17] = static_cast<std::uint8_t>(out[5] >> 8);
+  s[18] = static_cast<std::uint8_t>(out[5] >> 16);
+  s[19] = static_cast<std::uint8_t>((out[5] >> 24) | (out[6] << 1));
+  s[20] = static_cast<std::uint8_t>(out[6] >> 7);
+  s[21] = static_cast<std::uint8_t>(out[6] >> 15);
+  s[22] = static_cast<std::uint8_t>((out[6] >> 23) | (out[7] << 3));
+  s[23] = static_cast<std::uint8_t>(out[7] >> 5);
+  s[24] = static_cast<std::uint8_t>(out[7] >> 13);
+  s[25] = static_cast<std::uint8_t>((out[7] >> 21) | (out[8] << 4));
+  s[26] = static_cast<std::uint8_t>(out[8] >> 4);
+  s[27] = static_cast<std::uint8_t>(out[8] >> 12);
+  s[28] = static_cast<std::uint8_t>((out[8] >> 20) | (out[9] << 6));
+  s[29] = static_cast<std::uint8_t>(out[9] >> 2);
+  s[30] = static_cast<std::uint8_t>(out[9] >> 10);
+  s[31] = static_cast<std::uint8_t>(out[9] >> 18);
+}
+
+void fe_add(Fe& h, const Fe& f, const Fe& g) {
+  for (int i = 0; i < 10; ++i) h[i] = f[i] + g[i];
+}
+
+void fe_sub(Fe& h, const Fe& f, const Fe& g) {
+  for (int i = 0; i < 10; ++i) h[i] = f[i] - g[i];
+}
+
+void fe_mul(Fe& h, const Fe& f, const Fe& g) {
+  // Schoolbook with the 19-fold wraparound; 128-bit intermediates.
+  __int128 t[19] = {};
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      std::int64_t factor = 1;
+      // Odd limbs are 25-bit; products of two odd-index limbs pick up a
+      // doubling from the mixed radix.
+      if ((i % 2 == 1) && (j % 2 == 1)) factor = 2;
+      t[i + j] += static_cast<__int128>(f[i]) * g[j] * factor;
+    }
+  }
+  for (int i = 10; i < 19; ++i) {
+    t[i - 10] += 19 * t[i];
+  }
+  // Carry chain into the limb bounds.
+  std::int64_t r[10];
+  __int128 carry = 0;
+  for (int i = 0; i < 10; ++i) {
+    int shift = (i % 2 == 0) ? 26 : 25;
+    __int128 v = t[i] + carry;
+    carry = v >> shift;
+    r[i] = static_cast<std::int64_t>(v - (carry << shift));
+  }
+  r[0] += static_cast<std::int64_t>(carry) * 19;
+  for (int i = 0; i < 10; ++i) h[i] = r[i];
+  fe_reduce_carries(h);
+}
+
+void fe_sq(Fe& h, const Fe& f) { fe_mul(h, f, f); }
+
+void fe_mul121666(Fe& h, const Fe& f) {
+  __int128 t[10];
+  for (int i = 0; i < 10; ++i) t[i] = static_cast<__int128>(f[i]) * 121666;
+  __int128 carry = 0;
+  std::int64_t r[10];
+  for (int i = 0; i < 10; ++i) {
+    int shift = (i % 2 == 0) ? 26 : 25;
+    __int128 v = t[i] + carry;
+    carry = v >> shift;
+    r[i] = static_cast<std::int64_t>(v - (carry << shift));
+  }
+  r[0] += static_cast<std::int64_t>(carry) * 19;
+  for (int i = 0; i < 10; ++i) h[i] = r[i];
+}
+
+void fe_invert(Fe& out, const Fe& z) {
+  // z^(p-2) via the standard addition chain.
+  Fe t0, t1, t2, t3;
+  fe_sq(t0, z);
+  fe_sq(t1, t0);
+  fe_sq(t1, t1);
+  fe_mul(t1, z, t1);
+  fe_mul(t0, t0, t1);
+  fe_sq(t2, t0);
+  fe_mul(t1, t1, t2);
+  fe_sq(t2, t1);
+  for (int i = 1; i < 5; ++i) fe_sq(t2, t2);
+  fe_mul(t1, t2, t1);
+  fe_sq(t2, t1);
+  for (int i = 1; i < 10; ++i) fe_sq(t2, t2);
+  fe_mul(t2, t2, t1);
+  fe_sq(t3, t2);
+  for (int i = 1; i < 20; ++i) fe_sq(t3, t3);
+  fe_mul(t2, t3, t2);
+  fe_sq(t2, t2);
+  for (int i = 1; i < 10; ++i) fe_sq(t2, t2);
+  fe_mul(t1, t2, t1);
+  fe_sq(t2, t1);
+  for (int i = 1; i < 50; ++i) fe_sq(t2, t2);
+  fe_mul(t2, t2, t1);
+  fe_sq(t3, t2);
+  for (int i = 1; i < 100; ++i) fe_sq(t3, t3);
+  fe_mul(t2, t3, t2);
+  fe_sq(t2, t2);
+  for (int i = 1; i < 50; ++i) fe_sq(t2, t2);
+  fe_mul(t1, t2, t1);
+  fe_sq(t1, t1);
+  for (int i = 1; i < 5; ++i) fe_sq(t1, t1);
+  fe_mul(out, t1, t0);
+}
+
+void fe_cswap(Fe& f, Fe& g, std::int64_t swap) {
+  std::int64_t mask = -swap;
+  for (int i = 0; i < 10; ++i) {
+    std::int64_t x = mask & (f[i] ^ g[i]);
+    f[i] ^= x;
+    g[i] ^= x;
+  }
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  Fe x1;
+  fe_frombytes(x1, point.data());
+  Fe x2 = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  Fe z2 = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  Fe x3 = x1;
+  Fe z3 = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+  std::int64_t swap = 0;
+  for (int pos = 254; pos >= 0; --pos) {
+    std::int64_t b = (e[pos / 8] >> (pos & 7)) & 1;
+    swap ^= b;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = b;
+
+    Fe tmp0, tmp1, a, b2, aa, bb, c, d, cb, da;
+    fe_sub(tmp0, x3, z3);
+    fe_sub(tmp1, x2, z2);
+    fe_add(a, x2, z2);
+    fe_add(b2, x3, z3);
+    fe_mul(da, tmp0, a);   // (x3-z3)(x2+z2)
+    fe_mul(cb, tmp1, b2);  // (x2-z2)(x3+z3)
+    fe_add(x3, da, cb);
+    fe_sub(z3, da, cb);
+    fe_sq(x3, x3);
+    fe_sq(z3, z3);
+    fe_mul(z3, z3, x1);
+    fe_sq(aa, a);
+    fe_sq(bb, tmp1);
+    fe_sub(c, aa, bb);  // E = AA - BB
+    fe_mul121666(d, c);
+    fe_add(d, d, bb);
+    fe_mul(x2, aa, bb);
+    fe_mul(z2, c, d);
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  Fe zinv;
+  fe_invert(zinv, z2);
+  Fe out;
+  fe_mul(out, x2, zinv);
+  X25519Key result{};
+  fe_tobytes(result.data(), out);
+  return result;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519Key x25519_keygen() {
+  X25519Key key;
+  secure_random(key);
+  key[0] &= 248;
+  key[31] &= 127;
+  key[31] |= 64;
+  return key;
+}
+
+}  // namespace ea::crypto

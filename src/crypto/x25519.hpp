@@ -1,0 +1,28 @@
+// X25519 Diffie-Hellman (RFC 7748), implemented from the specification.
+//
+// Used by the remote-attestation key exchange: each enclave binds an
+// ephemeral X25519 public key into its quote's report data, so the derived
+// session key is authenticated by the attestation signature — the standard
+// SGX remote-provisioning pattern.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ea::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+// scalar * point (the X25519 function). `scalar` is clamped per RFC 7748.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+// scalar * base point (public key derivation).
+X25519Key x25519_base(const X25519Key& scalar);
+
+// Generates a random private key (already clamped).
+X25519Key x25519_keygen();
+
+}  // namespace ea::crypto

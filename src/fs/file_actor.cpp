@@ -1,0 +1,121 @@
+#include "fs/file_actor.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace ea::fs {
+
+bool fill_file_request(concurrent::Node& node, const FileRequest& request,
+                       std::span<const std::uint8_t> payload) {
+  if (sizeof(FileRequest) + payload.size() > node.capacity) return false;
+  std::memcpy(node.payload(), &request, sizeof(FileRequest));
+  if (!payload.empty()) {
+    std::memcpy(node.payload() + sizeof(FileRequest), payload.data(),
+                payload.size());
+  }
+  node.size = static_cast<std::uint32_t>(sizeof(FileRequest) + payload.size());
+  return true;
+}
+
+bool parse_file_reply(const concurrent::Node& node, FileReplyHeader& header,
+                      std::span<const std::uint8_t>& data) {
+  if (node.size < sizeof(FileReplyHeader)) return false;
+  std::memcpy(&header, node.payload(), sizeof(FileReplyHeader));
+  data = node.data().subspan(sizeof(FileReplyHeader));
+  return true;
+}
+
+bool FileActor::body() {
+  bool progress = false;
+  while (concurrent::Node* node = requests_.pop()) {
+    concurrent::NodeLease lease(node);
+    serve(*node);
+    progress = true;
+  }
+  return progress;
+}
+
+void FileActor::serve(const concurrent::Node& node) {
+  FileRequest request;
+  if (node.size < sizeof(FileRequest)) return;
+  std::memcpy(&request, node.payload(), sizeof(FileRequest));
+  if (request.reply == nullptr || request.pool == nullptr) return;
+  request.path[kMaxPath - 1] = '\0';
+
+  concurrent::Node* reply = request.pool->get();
+  if (reply == nullptr) {
+    EA_WARN("fs", "file actor: reply pool exhausted, dropping request");
+    return;
+  }
+  FileReplyHeader header;
+  header.cookie = request.cookie;
+
+  auto payload = node.data().subspan(sizeof(FileRequest));
+  std::size_t data_len = 0;
+
+  switch (request.op) {
+    case FileRequest::kRead: {
+      int fd = ::open(request.path, O_RDONLY);
+      if (fd < 0) {
+        header.status = -errno;
+        break;
+      }
+      std::size_t want = std::min<std::size_t>(
+          request.length, reply->capacity - sizeof(FileReplyHeader));
+      ssize_t got = ::pread(fd, reply->payload() + sizeof(FileReplyHeader),
+                            want, static_cast<off_t>(request.offset));
+      ::close(fd);
+      if (got < 0) {
+        header.status = -errno;
+      } else {
+        header.status = got;
+        data_len = static_cast<std::size_t>(got);
+      }
+      break;
+    }
+    case FileRequest::kWrite:
+    case FileRequest::kAppend: {
+      int flags = O_WRONLY | O_CREAT;
+      if (request.op == FileRequest::kAppend) flags |= O_APPEND;
+      int fd = ::open(request.path, flags, 0644);
+      if (fd < 0) {
+        header.status = -errno;
+        break;
+      }
+      ssize_t wrote;
+      if (request.op == FileRequest::kAppend) {
+        wrote = ::write(fd, payload.data(), payload.size());
+      } else {
+        wrote = ::pwrite(fd, payload.data(), payload.size(),
+                         static_cast<off_t>(request.offset));
+      }
+      ::close(fd);
+      header.status = wrote < 0 ? -errno : wrote;
+      break;
+    }
+    case FileRequest::kDelete:
+      header.status = ::unlink(request.path) == 0 ? 0 : -errno;
+      break;
+    case FileRequest::kSize: {
+      struct stat st {};
+      header.status = ::stat(request.path, &st) == 0
+                          ? static_cast<std::int64_t>(st.st_size)
+                          : -errno;
+      break;
+    }
+    default:
+      header.status = -EINVAL;
+      break;
+  }
+
+  std::memcpy(reply->payload(), &header, sizeof(header));
+  reply->size = static_cast<std::uint32_t>(sizeof(header) + data_len);
+  reply->tag = request.cookie;
+  request.reply->push(reply);
+}
+
+}  // namespace ea::fs

@@ -1,0 +1,66 @@
+// File-system system actor.
+//
+// Paper §4.1: "If a common file system storage is required, EActors can be
+// extended similarly to the networking support described in Section 4.2 by
+// implementing dedicated untrusted eactors that execute the necessary
+// system calls." This module is that extension: an untrusted FILE eactor
+// executing open/read/write/unlink on behalf of enclaved actors, with
+// requests and replies carried through mboxes exactly like the networking
+// actors' protocol.
+#pragma once
+
+#include <cstring>
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+
+namespace ea::fs {
+
+inline constexpr std::size_t kMaxPath = 192;
+
+struct FileRequest {
+  enum Op : std::uint32_t {
+    kRead = 0,    // read up to `length` bytes at `offset`
+    kWrite = 1,   // write payload bytes at `offset` (creates the file)
+    kAppend = 2,  // append payload bytes
+    kDelete = 3,  // unlink
+    kSize = 4,    // stat file size
+  };
+  std::uint32_t op = kRead;
+  char path[kMaxPath] = {};
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;  // read only
+  std::uint64_t cookie = 0;  // echoed in the reply
+  concurrent::Mbox* reply = nullptr;
+  concurrent::Pool* pool = nullptr;  // reply nodes come from here
+};
+
+struct FileReplyHeader {
+  std::uint64_t cookie = 0;
+  std::int64_t status = 0;  // >=0: bytes transferred / file size; <0: -errno
+};
+
+// Builds a request node: FileRequest header followed by optional payload
+// (the data to write/append). Returns false if it does not fit.
+bool fill_file_request(concurrent::Node& node, const FileRequest& request,
+                       std::span<const std::uint8_t> payload = {});
+
+// Parses a reply node into the header plus the data span (for reads).
+bool parse_file_reply(const concurrent::Node& node, FileReplyHeader& header,
+                      std::span<const std::uint8_t>& data);
+
+// The untrusted FILE system actor.
+class FileActor : public core::Actor {
+ public:
+  explicit FileActor(std::string name) : core::Actor(std::move(name)) {}
+
+  concurrent::Mbox& requests() noexcept { return requests_; }
+  bool body() override;
+
+ private:
+  void serve(const concurrent::Node& node);
+  concurrent::Mbox requests_;
+};
+
+}  // namespace ea::fs

@@ -1,0 +1,215 @@
+#include "net/actors.hpp"
+
+#include <cstring>
+
+#include "core/runtime.hpp"
+#include "util/logging.hpp"
+
+namespace ea::net {
+
+bool OpenerActor::body() {
+  bool progress = false;
+  while (concurrent::Node* req_node = requests_.pop()) {
+    concurrent::NodeLease req_lease(req_node);
+    OpenRequest req;
+    if (!read_struct(*req_node, req) || req.reply == nullptr) continue;
+    progress = true;
+
+    OpenReply reply;
+    reply.cookie = req.cookie;
+    if (req.kind == OpenRequest::kListen) {
+      Socket socket = Socket::listen_on(req.port);
+      if (socket.valid()) {
+        reply.port = socket.local_port();
+        reply.id = table_->add(std::move(socket));
+      }
+    } else {
+      Socket socket = Socket::connect_to(req.host, req.port);
+      if (socket.valid()) {
+        reply.id = table_->add(std::move(socket));
+      }
+    }
+
+    concurrent::Node* reply_node = pool_.get();
+    if (reply_node == nullptr) {
+      EA_WARN("net", "opener: reply pool exhausted, dropping reply");
+      continue;
+    }
+    write_struct(*reply_node, reply);
+    req.reply->push(reply_node);
+  }
+  return progress;
+}
+
+bool AccepterActor::body() {
+  bool progress = false;
+  while (concurrent::Node* req_node = requests_.pop()) {
+    concurrent::NodeLease req_lease(req_node);
+    AcceptSubscribe sub;
+    if (read_struct(*req_node, sub) && sub.reply != nullptr) {
+      listeners_.push_back(sub);
+      progress = true;
+    }
+  }
+  for (const AcceptSubscribe& sub : listeners_) {
+    // Accept as many pending connections as are queued.
+    while (true) {
+      std::optional<Socket> accepted;
+      bool alive = table_->with(sub.listener, [&](Socket& listener) {
+        accepted = listener.accept_nb();
+      });
+      if (!alive || !accepted.has_value()) break;
+      SocketId id = table_->add(std::move(*accepted));
+      concurrent::Node* note = pool_.get();
+      if (note == nullptr) {
+        // No node to notify with: close the connection rather than leak it.
+        table_->close(id);
+        EA_WARN("net", "accepter: pool exhausted, dropping connection");
+        break;
+      }
+      note->tag = static_cast<std::uint64_t>(id);
+      note->size = 0;
+      sub.reply->push(note);
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+bool ReaderActor::body() {
+  bool progress = false;
+  while (concurrent::Node* req_node = requests_.pop()) {
+    concurrent::NodeLease req_lease(req_node);
+    ReadSubscribe sub;
+    if (read_struct(*req_node, sub) && sub.data != nullptr) {
+      if (sub.pool == nullptr) sub.pool = &default_pool_;
+      subs_.push_back(sub);
+      progress = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < subs_.size();) {
+    ReadSubscribe& sub = subs_[i];
+    concurrent::Node* node = sub.pool->get();
+    if (node == nullptr) {
+      ++i;
+      continue;  // backpressure: retry next round
+    }
+    long n = 0;
+    bool alive = table_->with(sub.socket, [&](Socket& socket) {
+      n = socket.read_nb(node->writable());
+    });
+    if (!alive || n < 0) {
+      // EOF or closed: deliver a zero-length node as the close signal and
+      // drop the subscription.
+      node->tag = static_cast<std::uint64_t>(sub.socket);
+      node->size = 0;
+      sub.data->push(node);
+      subs_[i] = subs_.back();
+      subs_.pop_back();
+      progress = true;
+      continue;
+    }
+    if (n == 0) {
+      sub.pool->put(node);
+      ++i;
+      continue;
+    }
+    node->tag = static_cast<std::uint64_t>(sub.socket);
+    node->size = static_cast<std::uint32_t>(n);
+    sub.data->push(node);
+    progress = true;
+    ++i;
+  }
+  return progress;
+}
+
+bool WriterActor::body() {
+  bool progress = false;
+  while (concurrent::Node* node = input_.pop()) {
+    pending_[static_cast<SocketId>(node->tag)].push_back(Pending{node, 0});
+    progress = true;
+  }
+
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    SocketId id = it->first;
+    auto& queue = it->second;
+    bool drop_socket = false;
+    while (!queue.empty()) {
+      Pending& p = queue.front();
+      long n = -1;
+      bool alive = table_->with(id, [&](Socket& socket) {
+        n = socket.write_nb(p.node->data().subspan(p.offset));
+      });
+      if (!alive || n < 0) {
+        drop_socket = true;
+        break;
+      }
+      if (n == 0) break;  // kernel buffer full; retry next round
+      p.offset += static_cast<std::size_t>(n);
+      progress = true;
+      if (p.offset >= p.node->size) {
+        concurrent::NodeLease(p.node).reset();  // return to its pool
+        queue.pop_front();
+      }
+    }
+    if (drop_socket) {
+      for (Pending& p : queue) concurrent::NodeLease(p.node).reset();
+      it = pending_.erase(it);
+    } else if (queue.empty()) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+bool CloserActor::body() {
+  bool progress = false;
+  while (concurrent::Node* node = input_.pop()) {
+    concurrent::NodeLease lease(node);
+    table_->close(static_cast<SocketId>(node->tag));
+    progress = true;
+  }
+  return progress;
+}
+
+NetSubsystem install_networking(core::Runtime& rt,
+                                const std::string& worker_name,
+                                std::vector<int> cpus) {
+  NetSubsystem sub;
+  sub.table = std::make_shared<SocketTable>();
+  concurrent::Pool& pool = rt.public_pool();
+
+  auto opener =
+      std::make_unique<OpenerActor>(worker_name + ".opener", sub.table, pool);
+  auto accepter = std::make_unique<AccepterActor>(worker_name + ".accepter",
+                                                  sub.table, pool);
+  auto reader =
+      std::make_unique<ReaderActor>(worker_name + ".reader", sub.table, pool);
+  auto writer =
+      std::make_unique<WriterActor>(worker_name + ".writer", sub.table);
+  auto closer =
+      std::make_unique<CloserActor>(worker_name + ".closer", sub.table);
+
+  sub.opener = opener.get();
+  sub.accepter = accepter.get();
+  sub.reader = reader.get();
+  sub.writer = writer.get();
+  sub.closer = closer.get();
+
+  rt.add_actor(std::move(opener));
+  rt.add_actor(std::move(accepter));
+  rt.add_actor(std::move(reader));
+  rt.add_actor(std::move(writer));
+  rt.add_actor(std::move(closer));
+
+  rt.add_worker(worker_name, std::move(cpus),
+                {worker_name + ".opener", worker_name + ".accepter",
+                 worker_name + ".reader", worker_name + ".writer",
+                 worker_name + ".closer"});
+  return sub;
+}
+
+}  // namespace ea::net

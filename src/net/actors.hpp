@@ -1,0 +1,180 @@
+// Networking system actors (paper §4.2, Fig. 6).
+//
+// TCP is provided by five *untrusted* eactors — an enclave cannot perform
+// system calls, so all socket work is delegated to these actors and results
+// flow back through mboxes:
+//
+//   OPENER   creates listening or client sockets on request
+//   ACCEPTER accepts connections on registered listeners
+//   READER   reads registered sockets and forwards data to per-socket mboxes
+//   WRITER   writes nodes (tagged with a socket id) out to the network
+//   CLOSER   closes sockets
+//
+// Requests and replies are plain structs carried in node payloads; mboxes
+// are MPMC, so any number of application eactors can share one set of
+// system actors, and the application layer scales independently of the
+// networking layer.
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include <memory>
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+#include "net/socket_table.hpp"
+
+namespace ea::net {
+
+// --- wire structs between application actors and system actors -----------
+
+struct OpenRequest {
+  enum Kind : std::uint32_t { kListen = 0, kConnect = 1 };
+  std::uint32_t kind = kListen;
+  std::uint16_t port = 0;
+  char host[46] = {};
+  std::uint64_t cookie = 0;  // echoed back so callers can match replies
+  concurrent::Mbox* reply = nullptr;
+};
+
+struct OpenReply {
+  SocketId id = -1;  // negative on failure
+  std::uint64_t cookie = 0;
+  std::uint16_t port = 0;  // bound port for listeners
+};
+
+struct AcceptSubscribe {
+  SocketId listener = -1;
+  concurrent::Mbox* reply = nullptr;  // accepted ids arrive as node tags
+};
+
+struct ReadSubscribe {
+  SocketId socket = -1;
+  concurrent::Mbox* data = nullptr;  // data nodes: tag = socket id
+  concurrent::Pool* pool = nullptr;  // nodes drawn from here (nullptr: default)
+};
+
+// Helpers to move structs through payloads safely.
+template <typename T>
+void write_struct(concurrent::Node& node, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(node.payload(), &value, sizeof(T));
+  node.size = sizeof(T);
+}
+
+template <typename T>
+bool read_struct(const concurrent::Node& node, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (node.size < sizeof(T)) return false;
+  std::memcpy(&value, node.payload(), sizeof(T));
+  return true;
+}
+
+// --- the actors ------------------------------------------------------------
+
+class OpenerActor : public core::Actor {
+ public:
+  OpenerActor(std::string name, std::shared_ptr<SocketTable> table,
+              concurrent::Pool& pool)
+      : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {}
+
+  concurrent::Mbox& requests() noexcept { return requests_; }
+  bool body() override;
+
+ private:
+  std::shared_ptr<SocketTable> table_;
+  concurrent::Pool& pool_;
+  concurrent::Mbox requests_;
+};
+
+class AccepterActor : public core::Actor {
+ public:
+  AccepterActor(std::string name, std::shared_ptr<SocketTable> table,
+                concurrent::Pool& pool)
+      : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {}
+
+  concurrent::Mbox& requests() noexcept { return requests_; }
+  bool body() override;
+
+ private:
+  std::shared_ptr<SocketTable> table_;
+  concurrent::Pool& pool_;
+  concurrent::Mbox requests_;
+  std::vector<AcceptSubscribe> listeners_;
+};
+
+class ReaderActor : public core::Actor {
+ public:
+  ReaderActor(std::string name, std::shared_ptr<SocketTable> table,
+              concurrent::Pool& default_pool)
+      : core::Actor(std::move(name)),
+        table_(std::move(table)),
+        default_pool_(default_pool) {}
+
+  concurrent::Mbox& requests() noexcept { return requests_; }
+  bool body() override;
+
+ private:
+  std::shared_ptr<SocketTable> table_;
+  concurrent::Pool& default_pool_;
+  concurrent::Mbox requests_;
+  std::vector<ReadSubscribe> subs_;
+};
+
+class WriterActor : public core::Actor {
+ public:
+  WriterActor(std::string name, std::shared_ptr<SocketTable> table)
+      : core::Actor(std::move(name)), table_(std::move(table)) {}
+
+  // Push nodes with tag = socket id, payload = bytes to transmit.
+  concurrent::Mbox& input() noexcept { return input_; }
+  bool body() override;
+
+ private:
+  struct Pending {
+    concurrent::Node* node;
+    std::size_t offset;
+  };
+  std::shared_ptr<SocketTable> table_;
+  concurrent::Mbox input_;
+  std::map<SocketId, std::deque<Pending>> pending_;
+};
+
+class CloserActor : public core::Actor {
+ public:
+  CloserActor(std::string name, std::shared_ptr<SocketTable> table)
+      : core::Actor(std::move(name)), table_(std::move(table)) {}
+
+  // Push nodes with tag = socket id.
+  concurrent::Mbox& input() noexcept { return input_; }
+  bool body() override;
+
+ private:
+  std::shared_ptr<SocketTable> table_;
+  concurrent::Mbox input_;
+};
+
+// Aggregated networking subsystem: the five actors plus the shared socket
+// table, installed into a runtime in one call.
+struct NetSubsystem {
+  std::shared_ptr<SocketTable> table;
+  OpenerActor* opener = nullptr;
+  AccepterActor* accepter = nullptr;
+  ReaderActor* reader = nullptr;
+  WriterActor* writer = nullptr;
+  CloserActor* closer = nullptr;
+};
+
+// Adds the five system actors (untrusted) and a worker named
+// `worker_name` executing them. The SocketTable is owned by the runtime's
+// actor objects (the opener holds it); the returned view stays valid for
+// the runtime's lifetime.
+NetSubsystem install_networking(core::Runtime& rt,
+                                const std::string& worker_name,
+                                std::vector<int> cpus);
+
+}  // namespace ea::net

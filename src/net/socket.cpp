@@ -1,0 +1,119 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ea::net {
+namespace {
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_on(std::uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return Socket();
+  }
+  return Socket(fd);
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return Socket();
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.empty() ? "127.0.0.1" : host.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Socket();
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return Socket();
+  }
+  return Socket(fd);
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+std::optional<Socket> Socket::accept_nb() {
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+long Socket::read_nb(std::span<std::uint8_t> buf) {
+  ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  if (n > 0) return n;
+  if (n == 0) return -1;  // orderly shutdown
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  return -1;
+}
+
+long Socket::write_nb(std::span<const std::uint8_t> buf) {
+  ssize_t n = ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
+  if (n >= 0) return n;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  return -1;
+}
+
+}  // namespace ea::net

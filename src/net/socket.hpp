@@ -1,0 +1,60 @@
+// Thin RAII wrapper over non-blocking TCP sockets.
+//
+// All socket system calls happen in untrusted system actors (an enclave
+// cannot issue syscalls); this wrapper is the substrate those actors use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace ea::net {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  int release() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+
+  // Creates a non-blocking listening socket on 127.0.0.1:port (port 0 picks
+  // a free port). Returns invalid socket on failure.
+  static Socket listen_on(std::uint16_t port, int backlog = 512);
+
+  // Starts a non-blocking connect to 127.0.0.1:port; the connection may
+  // complete asynchronously (poll with writable()/connect_finished()).
+  static Socket connect_to(const std::string& host, std::uint16_t port);
+
+  // Local port of a bound socket (0 on failure).
+  std::uint16_t local_port() const;
+
+  // Non-blocking accept; nullopt when no pending connection.
+  std::optional<Socket> accept_nb();
+
+  // Non-blocking read. Returns >0 bytes read, 0 when no data available,
+  // -1 on EOF or fatal error.
+  long read_nb(std::span<std::uint8_t> buf);
+
+  // Non-blocking write. Returns bytes written (possibly 0), -1 on fatal
+  // error.
+  long write_nb(std::span<const std::uint8_t> buf);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ea::net

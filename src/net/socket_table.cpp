@@ -1,0 +1,28 @@
+#include "net/socket_table.hpp"
+
+namespace ea::net {
+
+SocketId SocketTable::add(Socket socket) {
+  concurrent::HleGuard guard(lock_);
+  SocketId id = next_id_++;
+  sockets_.emplace(id, std::move(socket));
+  return id;
+}
+
+int SocketTable::fd(SocketId id) const {
+  concurrent::HleGuard guard(lock_);
+  auto it = sockets_.find(id);
+  return it == sockets_.end() ? -1 : it->second.fd();
+}
+
+bool SocketTable::close(SocketId id) {
+  concurrent::HleGuard guard(lock_);
+  return sockets_.erase(id) > 0;
+}
+
+std::size_t SocketTable::size() const {
+  concurrent::HleGuard guard(lock_);
+  return sockets_.size();
+}
+
+}  // namespace ea::net

@@ -1,0 +1,49 @@
+// Shared registry mapping stable socket ids to live sockets.
+//
+// The system actors (OPENER/ACCEPTER/READER/WRITER/CLOSER) pass socket
+// *ids* around in node payloads; ids are never reused, so a stale id after
+// a close is harmless (operations on it are simply dropped).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "concurrent/hle_lock.hpp"
+#include "net/socket.hpp"
+
+namespace ea::net {
+
+using SocketId = std::int64_t;
+
+class SocketTable {
+ public:
+  // Registers a socket, returning its id.
+  SocketId add(Socket socket);
+
+  // Looks up the raw fd for an id (shared across actors within the
+  // process); -1 if closed/unknown.
+  int fd(SocketId id) const;
+
+  // Runs `fn(socket&)` under the table lock if the socket exists.
+  template <typename Fn>
+  bool with(SocketId id, Fn&& fn) {
+    concurrent::HleGuard guard(lock_);
+    auto it = sockets_.find(id);
+    if (it == sockets_.end()) return false;
+    fn(it->second);
+    return true;
+  }
+
+  // Closes and removes.
+  bool close(SocketId id);
+
+  std::size_t size() const;
+
+ private:
+  mutable concurrent::HleSpinLock lock_;
+  std::map<SocketId, Socket> sockets_;
+  SocketId next_id_ = 1;
+};
+
+}  // namespace ea::net

@@ -1,0 +1,344 @@
+#include "partition/actors.hpp"
+
+#include <cmath>
+
+#include "crypto/hmac.hpp"
+#include "crypto/rng.hpp"
+#include "util/bytes.hpp"
+#include "util/logging.hpp"
+
+namespace ea::partition {
+namespace {
+
+// Sends a record over a channel, retrying on transient pool exhaustion
+// (channel sends never block and never syscall, so spinning is safe inside
+// an enclave).
+void send_record(core::ChannelEnd* channel, const Record& record) {
+  std::string wire = record.serialize();
+  while (!channel->send(wire)) {
+  }
+}
+
+std::optional<Record> recv_record(core::ChannelEnd* channel) {
+  auto msg = channel->recv();
+  if (!msg) return std::nullopt;
+  return Record::parse(msg->view());
+}
+
+std::string cell_name(int x, int y) {
+  return std::to_string(x) + "," + std::to_string(y);
+}
+
+}  // namespace
+
+// --- FRONTEND -----------------------------------------------------------------
+
+void FrontendActor::construct(core::Runtime&) {
+  to_identity_ = connect("pq.frontend-identity");
+  to_location_ = connect("pq.frontend-location");
+  to_query_ = connect("pq.frontend-query");
+}
+
+bool FrontendActor::body() {
+  bool progress = false;
+  while (concurrent::Node* node = requests_->pop()) {
+    concurrent::NodeLease lease(node);
+    auto request = Record::parse(node->view());
+    if (!request.has_value()) continue;
+    audit_.observe(*request);
+    const std::string* req = request->get("req");
+    if (req == nullptr) continue;
+
+    // The split: each partition receives only its slice, plus the opaque
+    // request id used to re-join the pieces.
+    Record identity_part;
+    identity_part.set("req", *req);
+    if (const std::string* user = request->get("user")) {
+      identity_part.set("user", *user);
+    }
+    Record location_part;
+    location_part.set("req", *req);
+    if (const std::string* lat = request->get("lat")) {
+      location_part.set("lat", *lat);
+    }
+    if (const std::string* lon = request->get("lon")) {
+      location_part.set("lon", *lon);
+    }
+    Record query_part;
+    query_part.set("req", *req);
+    if (const std::string* query = request->get("query")) {
+      query_part.set("query", *query);
+    }
+    if (const std::string* key = request->get("reply_key")) {
+      query_part.set("reply_key", *key);
+    }
+    send_record(to_identity_, identity_part);
+    send_record(to_location_, location_part);
+    send_record(to_query_, query_part);
+    progress = true;
+  }
+  return progress;
+}
+
+// --- IDENTITY -----------------------------------------------------------------
+
+void IdentityActor::construct(core::Runtime& rt) {
+  from_frontend_ = connect("pq.frontend-identity");
+  to_query_ = connect("pq.identity-query");
+  from_query_ = connect("pq.query-identity");
+  if (result_pool_ == nullptr) result_pool_ = &rt.public_pool();
+  crypto::secure_random(pseudonym_secret_);
+}
+
+bool IdentityActor::body() {
+  bool progress = false;
+  while (auto record = recv_record(from_frontend_)) {
+    audit_.observe(*record);
+    const std::string* req = record->get("req");
+    const std::string* user = record->get("user");
+    if (req == nullptr || user == nullptr) continue;
+    req_to_user_[*req] = *user;
+    // Pseudonym: keyed MAC of the user id; stable per user, unlinkable to
+    // the identity without the enclave-private secret.
+    auto mac = crypto::hmac_sha256(pseudonym_secret_, util::to_bytes(*user));
+    Record forward;
+    forward.set("req", *req);
+    forward.set("pseudonym",
+                util::to_hex(std::span<const std::uint8_t>(mac.data(), 8)));
+    send_record(to_query_, forward);
+    progress = true;
+  }
+  while (auto record = recv_record(from_query_)) {
+    audit_.observe(*record);
+    const std::string* req = record->get("req");
+    const std::string* blob = record->get("result");
+    if (req == nullptr || blob == nullptr) continue;
+    auto it = req_to_user_.find(*req);
+    if (it == req_to_user_.end()) continue;
+    Record result;
+    result.set("req", *req);
+    result.set("user", it->second);
+    result.set("result", *blob);
+    req_to_user_.erase(it);
+
+    concurrent::Node* node = result_pool_->get();
+    if (node != nullptr) {
+      std::string wire = result.serialize();
+      if (wire.size() <= node->capacity) {
+        node->fill(wire);
+        results_->push(node);
+      } else {
+        concurrent::NodeLease(node).reset();
+      }
+    }
+    progress = true;
+  }
+  return progress;
+}
+
+// --- LOCATION -----------------------------------------------------------------
+
+void LocationActor::construct(core::Runtime&) {
+  from_frontend_ = connect("pq.frontend-location");
+  to_query_ = connect("pq.location-query");
+}
+
+bool LocationActor::body() {
+  bool progress = false;
+  while (auto record = recv_record(from_frontend_)) {
+    audit_.observe(*record);
+    const std::string* req = record->get("req");
+    const std::string* lat = record->get("lat");
+    const std::string* lon = record->get("lon");
+    if (req == nullptr || lat == nullptr || lon == nullptr) continue;
+    // Quantise to the coarse grid: the query enclave learns the cell, not
+    // the exact coordinates.
+    int x = static_cast<int>(std::floor(std::stod(*lon) / config_.cell_size));
+    int y = static_cast<int>(std::floor(std::stod(*lat) / config_.cell_size));
+    x = std::clamp(x, 0, config_.grid - 1);
+    y = std::clamp(y, 0, config_.grid - 1);
+    Record forward;
+    forward.set("req", *req);
+    forward.set("cell", cell_name(x, y));
+    send_record(to_query_, forward);
+    progress = true;
+  }
+  return progress;
+}
+
+// --- QUERY ----------------------------------------------------------------------
+
+void QueryActor::construct(core::Runtime&) {
+  from_frontend_ = connect("pq.frontend-query");
+  from_identity_ = connect("pq.identity-query");
+  from_location_ = connect("pq.location-query");
+  to_identity_ = connect("pq.query-identity");
+
+  // Synthetic POI database, deterministic for tests.
+  static constexpr const char* kCategories[] = {"doctor", "cafe", "fuel",
+                                                "pharmacy"};
+  crypto::FastRng rng(0xdb);
+  for (int x = 0; x < config_.grid; ++x) {
+    for (int y = 0; y < config_.grid; ++y) {
+      for (int i = 0; i < config_.pois_per_cell; ++i) {
+        Poi poi;
+        poi.category = kCategories[rng.next_below(4)];
+        poi.name = poi.category + "-" + cell_name(x, y) + "-" +
+                   std::to_string(i);
+        poi.cell_x = x;
+        poi.cell_y = y;
+        pois_.push_back(std::move(poi));
+      }
+    }
+  }
+}
+
+void QueryActor::try_answer(const std::string& req, PendingQuery& pending) {
+  if (!pending.has_query || !pending.has_pseudonym || !pending.has_cell) {
+    return;
+  }
+  // Search the cell for POIs matching the query category.
+  std::string matches;
+  auto comma = pending.cell.find(',');
+  int cx = std::stoi(pending.cell.substr(0, comma));
+  int cy = std::stoi(pending.cell.substr(comma + 1));
+  for (const Poi& poi : pois_) {
+    if (poi.cell_x == cx && poi.cell_y == cy &&
+        poi.category == pending.query) {
+      if (!matches.empty()) matches += '\n';
+      matches += poi.name;
+    }
+  }
+  // Encrypt the result for the requesting client; the identity enclave
+  // routes it back but cannot read it.
+  crypto::AeadKey reply_key{};
+  util::Bytes key_bytes = util::from_hex(pending.reply_key_hex);
+  if (key_bytes.size() == reply_key.size()) {
+    std::memcpy(reply_key.data(), key_bytes.data(), reply_key.size());
+  }
+  util::Bytes sealed = crypto::seal_with_counter(
+      reply_key, nonce_++, {},
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(matches.data()),
+          matches.size()));
+
+  Record result;
+  result.set("req", req);
+  result.set("result", util::to_hex(sealed));
+  send_record(to_identity_, result);
+  pending_.erase(req);
+}
+
+bool QueryActor::body() {
+  bool progress = false;
+  while (auto record = recv_record(from_frontend_)) {
+    audit_.observe(*record);
+    const std::string* req = record->get("req");
+    if (req == nullptr) continue;
+    PendingQuery& pending = pending_[*req];
+    if (const std::string* query = record->get("query")) {
+      pending.query = *query;
+    }
+    if (const std::string* key = record->get("reply_key")) {
+      pending.reply_key_hex = *key;
+    }
+    pending.has_query = true;
+    try_answer(*req, pending);
+    progress = true;
+  }
+  while (auto record = recv_record(from_identity_)) {
+    audit_.observe(*record);
+    const std::string* req = record->get("req");
+    const std::string* pseudonym = record->get("pseudonym");
+    if (req == nullptr || pseudonym == nullptr) continue;
+    PendingQuery& pending = pending_[*req];
+    pending.pseudonym = *pseudonym;
+    pending.has_pseudonym = true;
+    try_answer(*req, pending);
+    progress = true;
+  }
+  while (auto record = recv_record(from_location_)) {
+    audit_.observe(*record);
+    const std::string* req = record->get("req");
+    const std::string* cell = record->get("cell");
+    if (req == nullptr || cell == nullptr) continue;
+    PendingQuery& pending = pending_[*req];
+    pending.cell = *cell;
+    pending.has_cell = true;
+    try_answer(*req, pending);
+    progress = true;
+  }
+  return progress;
+}
+
+// --- assembly -----------------------------------------------------------------
+
+QueryService install_private_query(core::Runtime& rt,
+                                   const QueryServiceConfig& config) {
+  struct MboxHolder : core::Actor {
+    using core::Actor::Actor;
+    concurrent::Mbox requests;
+    concurrent::Mbox results;
+    bool body() override { return false; }
+  };
+  auto holder = std::make_unique<MboxHolder>("pq.mboxes");
+  MboxHolder* mboxes = holder.get();
+  rt.add_actor(std::move(holder));
+
+  QueryService service;
+  service.requests = &mboxes->requests;
+  service.results = &mboxes->results;
+
+  auto frontend =
+      std::make_unique<FrontendActor>("pq.frontend", &mboxes->requests);
+  auto identity = std::make_unique<IdentityActor>("pq.identity",
+                                                  &mboxes->results, nullptr);
+  auto location = std::make_unique<LocationActor>("pq.location", config);
+  auto query = std::make_unique<QueryActor>("pq.query", config);
+  service.frontend = frontend.get();
+  service.identity = identity.get();
+  service.location = location.get();
+  service.query = query.get();
+
+  rt.add_actor(std::move(frontend));  // untrusted splitter
+  rt.add_actor(std::move(identity), "pq.e-identity");
+  rt.add_actor(std::move(location), "pq.e-location");
+  rt.add_actor(std::move(query), "pq.e-query");
+
+  rt.add_worker("pq.w-frontend", {0}, {"pq.frontend"});
+  rt.add_worker("pq.w-identity", {1}, {"pq.identity"});
+  rt.add_worker("pq.w-location", {2}, {"pq.location"});
+  rt.add_worker("pq.w-query", {3}, {"pq.query"});
+  return service;
+}
+
+Record make_query_request(const std::string& req_id, const std::string& user,
+                          double lat, double lon, const std::string& query,
+                          crypto::AeadKey& reply_key_out) {
+  crypto::secure_random(reply_key_out);
+  Record record;
+  record.set("req", req_id);
+  record.set("user", user);
+  record.set("lat", std::to_string(lat));
+  record.set("lon", std::to_string(lon));
+  record.set("query", query);
+  record.set("reply_key", util::to_hex(reply_key_out));
+  return record;
+}
+
+std::optional<std::string> open_query_result(
+    const Record& result, const crypto::AeadKey& reply_key) {
+  const std::string* blob = result.get("result");
+  if (blob == nullptr) return std::nullopt;
+  util::Bytes sealed;
+  try {
+    sealed = util::from_hex(*blob);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  auto plain = crypto::open_framed(reply_key, {}, sealed);
+  if (!plain.has_value()) return std::nullopt;
+  return util::to_string(*plain);
+}
+
+}  // namespace ea::partition

@@ -1,0 +1,171 @@
+// Privacy-preserving location-based query service via data partitioning —
+// the multi-enclave application class the paper's §2.1 motivates (KOI [22],
+// PEAS [40]): "split this request into three pieces: the user identifier,
+// the user location and the search query … processed by three non-colluding
+// servers". Here the three servers are three enclaves, which upgrades the
+// non-collusion assumption to hardware isolation — and, per the paper's
+// §2.3 attacker model, a compromise of one enclave exposes only its slice.
+//
+//   client → FRONTEND (untrusted): splits the request
+//     {user}           → IDENTITY enclave: pseudonymises, later re-attaches
+//     {lat, lon}       → LOCATION enclave: quantises to a coarse cell
+//     {query, reply key} → QUERY enclave: joins pseudonym + cell, searches
+//                          its POI database, encrypts the result with the
+//                          client's reply key
+//   QUERY → IDENTITY: {req, ciphertext}; IDENTITY maps the request back to
+//   the user and emits the (still encrypted) result.
+//
+// Field audit: every actor records the field names it observes, so tests
+// can assert that no enclave ever holds identity *and* location *and* query
+// at once.
+#pragma once
+
+#include <map>
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+#include "core/runtime.hpp"
+#include "crypto/aead.hpp"
+#include "partition/record.hpp"
+
+namespace ea::partition {
+
+struct QueryServiceConfig {
+  int grid = 16;           // world is grid x grid cells
+  int pois_per_cell = 3;   // synthetic database density
+  double cell_size = 1.0;  // degrees per cell
+};
+
+// Points of interest the QUERY enclave serves.
+struct Poi {
+  std::string name;
+  std::string category;
+  int cell_x = 0;
+  int cell_y = 0;
+};
+
+class FrontendActor : public core::Actor {
+ public:
+  FrontendActor(std::string name, concurrent::Mbox* requests)
+      : core::Actor(std::move(name)), requests_(requests) {}
+
+  void construct(core::Runtime& rt) override;
+  bool body() override;
+
+  const FieldAudit& audit() const noexcept { return audit_; }
+
+ private:
+  concurrent::Mbox* requests_;
+  core::ChannelEnd* to_identity_ = nullptr;
+  core::ChannelEnd* to_location_ = nullptr;
+  core::ChannelEnd* to_query_ = nullptr;
+  FieldAudit audit_;
+};
+
+class IdentityActor : public core::Actor {
+ public:
+  IdentityActor(std::string name, concurrent::Mbox* results,
+                concurrent::Pool* result_pool)
+      : core::Actor(std::move(name)),
+        results_(results),
+        result_pool_(result_pool) {}
+
+  void construct(core::Runtime& rt) override;
+  bool body() override;
+
+  const FieldAudit& audit() const noexcept { return audit_; }
+
+ private:
+  concurrent::Mbox* results_;
+  concurrent::Pool* result_pool_;
+  core::ChannelEnd* from_frontend_ = nullptr;
+  core::ChannelEnd* to_query_ = nullptr;
+  core::ChannelEnd* from_query_ = nullptr;
+  std::map<std::string, std::string> req_to_user_;
+  std::array<std::uint8_t, 32> pseudonym_secret_{};
+  FieldAudit audit_;
+};
+
+class LocationActor : public core::Actor {
+ public:
+  LocationActor(std::string name, QueryServiceConfig config)
+      : core::Actor(std::move(name)), config_(config) {}
+
+  void construct(core::Runtime& rt) override;
+  bool body() override;
+
+  const FieldAudit& audit() const noexcept { return audit_; }
+
+ private:
+  QueryServiceConfig config_;
+  core::ChannelEnd* from_frontend_ = nullptr;
+  core::ChannelEnd* to_query_ = nullptr;
+  FieldAudit audit_;
+};
+
+class QueryActor : public core::Actor {
+ public:
+  QueryActor(std::string name, QueryServiceConfig config)
+      : core::Actor(std::move(name)), config_(config) {}
+
+  void construct(core::Runtime& rt) override;
+  bool body() override;
+
+  const FieldAudit& audit() const noexcept { return audit_; }
+  const std::vector<Poi>& database() const noexcept { return pois_; }
+
+ private:
+  struct PendingQuery {
+    std::string query;
+    std::string reply_key_hex;
+    std::string pseudonym;
+    std::string cell;
+    bool has_query = false;
+    bool has_pseudonym = false;
+    bool has_cell = false;
+  };
+
+  void try_answer(const std::string& req, PendingQuery& pending);
+
+  QueryServiceConfig config_;
+  core::ChannelEnd* from_frontend_ = nullptr;
+  core::ChannelEnd* from_identity_ = nullptr;
+  core::ChannelEnd* from_location_ = nullptr;
+  core::ChannelEnd* to_identity_ = nullptr;
+  std::vector<Poi> pois_;
+  std::map<std::string, PendingQuery> pending_;
+  std::uint64_t nonce_ = 1;
+  FieldAudit audit_;
+};
+
+// The assembled service.
+struct QueryService {
+  concurrent::Mbox* requests = nullptr;  // client -> frontend records
+  concurrent::Mbox* results = nullptr;   // identity -> client records
+  FrontendActor* frontend = nullptr;
+  IdentityActor* identity = nullptr;
+  LocationActor* location = nullptr;
+  QueryActor* query = nullptr;
+};
+
+// Installs frontend (untrusted) + the three partition enclaves, each with
+// its own worker.
+QueryService install_private_query(core::Runtime& rt,
+                                   const QueryServiceConfig& config = {});
+
+// --- client-side helpers -----------------------------------------------------
+
+// Builds a request record. The reply key is generated per request; keep it
+// to decrypt the result.
+Record make_query_request(const std::string& req_id, const std::string& user,
+                          double lat, double lon, const std::string& query,
+                          crypto::AeadKey& reply_key_out);
+
+// Decrypts the result ciphertext from a result record; nullopt when the
+// blob was tampered with or the key is wrong. The plaintext is a
+// '\n'-separated list of POI names.
+std::optional<std::string> open_query_result(const Record& result,
+                                             const crypto::AeadKey& reply_key);
+
+}  // namespace ea::partition

@@ -1,0 +1,94 @@
+#include "partition/record.hpp"
+
+namespace ea::partition {
+namespace {
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '=' || c == '\n' || c == '%') {
+      static constexpr char kHex[] = "0123456789abcdef";
+      out.push_back('%');
+      out.push_back(kHex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::optional<std::string> unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '%') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    if (i + 2 >= raw.size()) return std::nullopt;
+    int hi = hex_digit(raw[i + 1]);
+    int lo = hex_digit(raw[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Record::set(const std::string& key, std::string value) {
+  fields_[key] = std::move(value);
+}
+
+const std::string* Record::get(std::string_view key) const {
+  auto it = fields_.find(std::string(key));
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::string Record::serialize() const {
+  std::string out;
+  for (const auto& [key, value] : fields_) {
+    out += key;
+    out += '=';
+    out += escape(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<Record> Record::parse(std::string_view wire) {
+  Record record;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    std::size_t eol = wire.find('\n', pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    std::string_view line = wire.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    auto value = unescape(line.substr(eq + 1));
+    if (!value.has_value()) return std::nullopt;
+    record.fields_[std::string(line.substr(0, eq))] = std::move(*value);
+  }
+  return record;
+}
+
+void FieldAudit::observe(const Record& record) {
+  for (const auto& [key, value] : record.fields()) seen_.insert(key);
+}
+
+bool FieldAudit::saw(std::string_view field) const {
+  return seen_.count(std::string(field)) > 0;
+}
+
+}  // namespace ea::partition

@@ -1,0 +1,48 @@
+// Field records exchanged between the partition actors: an ordered list of
+// key/value string pairs with a line-based wire format. Deliberately
+// simple — what matters for the privacy argument is *which fields* reach
+// which enclave, and records make that auditable (each actor logs the
+// field names it has ever seen; tests assert the partitioning).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace ea::partition {
+
+class Record {
+ public:
+  Record() = default;
+
+  void set(const std::string& key, std::string value);
+  const std::string* get(std::string_view key) const;
+  bool has(std::string_view key) const { return get(key) != nullptr; }
+
+  const std::map<std::string, std::string>& fields() const noexcept {
+    return fields_;
+  }
+
+  // Wire format: "key=value\n" per field; keys must not contain '=' or
+  // '\n'; values are percent-escaped for those bytes.
+  std::string serialize() const;
+  static std::optional<Record> parse(std::string_view wire);
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+// Tracks which field names an actor has observed (the privacy audit trail).
+class FieldAudit {
+ public:
+  void observe(const Record& record);
+  bool saw(std::string_view field) const;
+  const std::set<std::string>& seen() const noexcept { return seen_; }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+}  // namespace ea::partition

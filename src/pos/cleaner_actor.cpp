@@ -1,0 +1,4 @@
+#include "pos/cleaner_actor.hpp"
+
+// Header-only logic; this TU anchors the vtable.
+namespace ea::pos {}

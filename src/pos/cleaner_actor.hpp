@@ -1,0 +1,34 @@
+// The Cleaner: a housekeeping eactor that reclaims outdated POS entries
+// (paper §4.1). It runs clean_step() every activation; reclamation only
+// completes once every registered reader has run since the invalidation,
+// which the store checks via the grace counters.
+#pragma once
+
+#include <atomic>
+
+#include "core/actor.hpp"
+#include "pos/pos.hpp"
+
+namespace ea::pos {
+
+class CleanerActor : public core::Actor {
+ public:
+  CleanerActor(std::string name, Pos& store)
+      : core::Actor(std::move(name)), store_(store) {}
+
+  bool body() override {
+    std::size_t freed = store_.clean_step();
+    freed_total_.fetch_add(freed, std::memory_order_relaxed);
+    return freed > 0;
+  }
+
+  std::uint64_t freed_total() const noexcept {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Pos& store_;
+  std::atomic<std::uint64_t> freed_total_{0};
+};
+
+}  // namespace ea::pos

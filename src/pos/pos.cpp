@@ -1,0 +1,435 @@
+#include "pos/pos.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace ea::pos {
+
+namespace {
+
+// FNV-1a; cheap and adequate for bucket selection. For encrypted stores the
+// input is the deterministically encrypted key, exactly as the paper
+// prescribes — the plaintext never influences placement observably.
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint32_t kStateFree = 0;
+constexpr std::uint32_t kStateLive = 1;
+constexpr std::uint32_t kStateOutdated = 2;  // superseded by a newer version
+constexpr std::uint32_t kStateErased = 3;    // deleted via erase()
+
+constexpr std::size_t round_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+struct Pos::Superblock {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t bucket_count;
+  std::uint32_t entry_count;
+  std::uint32_t entry_payload;
+  std::uint64_t entry_stride;
+  std::uint64_t buckets_off;
+  std::uint64_t grace_off;
+  std::uint64_t entries_off;
+  std::atomic<std::uint64_t> free_head;
+  std::atomic<std::uint64_t> epoch;
+};
+
+struct Pos::Entry {
+  std::atomic<std::uint64_t> next;   // offset of next entry in bucket; 0 nil
+  std::atomic<std::uint32_t> state;  // kState*
+  std::uint32_t klen;
+  std::uint32_t vlen;
+  std::uint32_t pad;
+  std::uint8_t* data() noexcept {
+    return reinterpret_cast<std::uint8_t*>(this) + sizeof(Entry);
+  }
+  const std::uint8_t* data() const noexcept {
+    return reinterpret_cast<const std::uint8_t*>(this) + sizeof(Entry);
+  }
+  std::span<const std::uint8_t> key() const noexcept {
+    return {data(), klen};
+  }
+  std::span<const std::uint8_t> value() const noexcept {
+    return {data() + klen, vlen};
+  }
+};
+
+Pos::Pos(PosOptions options) : options_(std::move(options)) {
+  bool fresh = true;
+
+  // Reopening an existing file: the geometry comes from its superblock,
+  // not from the caller's options.
+  if (!options_.path.empty()) {
+    int probe = ::open(options_.path.c_str(), O_RDONLY);
+    if (probe >= 0) {
+      Superblock sb{};
+      ssize_t got = ::pread(probe, &sb, sizeof(sb), 0);
+      ::close(probe);
+      if (got == static_cast<ssize_t>(sizeof(sb)) && sb.magic == kPosMagic) {
+        options_.bucket_count = sb.bucket_count;
+        options_.entry_count = sb.entry_count;
+        options_.entry_payload = sb.entry_payload;
+      }
+    }
+  }
+
+  const std::size_t entry_stride =
+      round_up(sizeof(Entry) + options_.entry_payload, 64);
+  const std::size_t sb_bytes = round_up(sizeof(Superblock), 64);
+  const std::size_t grace_bytes =
+      round_up(kMaxReaders * sizeof(std::atomic<std::uint64_t>), 64);
+  const std::size_t bucket_bytes = round_up(
+      options_.bucket_count * sizeof(std::atomic<std::uint64_t>), 64);
+  map_bytes_ = round_up(
+      sb_bytes + grace_bytes + bucket_bytes +
+          static_cast<std::size_t>(options_.entry_count) * entry_stride,
+      4096);
+
+  if (options_.path.empty()) {
+    map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (map_ == MAP_FAILED) throw std::runtime_error("POS: mmap failed");
+  } else {
+    fd_ = ::open(options_.path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) throw std::runtime_error("POS: open failed: " + options_.path);
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("POS: fstat failed");
+    }
+    fresh = st.st_size == 0;
+    if (fresh && ::ftruncate(fd_, static_cast<off_t>(map_bytes_)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("POS: ftruncate failed");
+    }
+    if (!fresh && static_cast<std::size_t>(st.st_size) < map_bytes_) {
+      ::close(fd_);
+      throw std::runtime_error("POS: existing file smaller than layout");
+    }
+    map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                  fd_, 0);
+    if (map_ == MAP_FAILED) {
+      ::close(fd_);
+      throw std::runtime_error("POS: mmap failed");
+    }
+  }
+
+  sb_ = reinterpret_cast<Superblock*>(map_);
+  // Cache derived pointers; for existing files these come from the
+  // superblock after validation.
+  if (fresh) {
+    sb_->magic = kPosMagic;
+    sb_->version = kPosVersion;
+    sb_->bucket_count = options_.bucket_count;
+    sb_->entry_count = options_.entry_count;
+    sb_->entry_payload = options_.entry_payload;
+    sb_->entry_stride = entry_stride;
+    sb_->buckets_off = sb_bytes + grace_bytes;
+    sb_->grace_off = sb_bytes;
+    sb_->entries_off = sb_bytes + grace_bytes + bucket_bytes;
+    sb_->epoch.store(1, std::memory_order_relaxed);
+    entries_base_ = static_cast<std::byte*>(map_) + sb_->entries_off;
+    init_fresh();
+  } else {
+    validate_existing();
+    entries_base_ = static_cast<std::byte*>(map_) + sb_->entries_off;
+  }
+
+  bucket_locks_ =
+      std::make_unique<concurrent::HleSpinLock[]>(sb_->bucket_count);
+}
+
+Pos::~Pos() {
+  if (map_ != nullptr && map_ != MAP_FAILED) {
+    ::munmap(map_, map_bytes_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Pos::init_fresh() {
+  // Thread all entries onto the free list (a stack, like the pool
+  // abstraction it shares its implementation with).
+  for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
+    bucket_head(b).store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t r = 0; r < kMaxReaders; ++r) {
+    grace_counter(r).store(0, std::memory_order_relaxed);
+  }
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < sb_->entry_count; ++i) {
+    std::uint64_t off = sb_->entries_off + i * sb_->entry_stride;
+    Entry* e = entry_at(off);
+    e->state.store(kStateFree, std::memory_order_relaxed);
+    e->next.store(prev, std::memory_order_relaxed);
+    prev = off;
+  }
+  sb_->free_head.store(prev, std::memory_order_relaxed);
+}
+
+void Pos::validate_existing() {
+  if (sb_->magic != kPosMagic) throw std::runtime_error("POS: bad magic");
+  if (sb_->version != kPosVersion) throw std::runtime_error("POS: bad version");
+  if (sb_->bucket_count == 0 || sb_->entry_count == 0) {
+    throw std::runtime_error("POS: corrupt superblock");
+  }
+  options_.bucket_count = sb_->bucket_count;
+  options_.entry_count = sb_->entry_count;
+  options_.entry_payload = sb_->entry_payload;
+}
+
+Pos::Entry* Pos::entry_at(std::uint64_t offset) noexcept {
+  return reinterpret_cast<Entry*>(static_cast<std::byte*>(map_) + offset);
+}
+
+const Pos::Entry* Pos::entry_at(std::uint64_t offset) const noexcept {
+  return reinterpret_cast<const Entry*>(static_cast<const std::byte*>(map_) +
+                                        offset);
+}
+
+std::uint64_t Pos::offset_of(const Entry* e) const noexcept {
+  return static_cast<std::uint64_t>(reinterpret_cast<const std::byte*>(e) -
+                                    static_cast<const std::byte*>(map_));
+}
+
+std::atomic<std::uint64_t>& Pos::bucket_head(std::uint32_t bucket) noexcept {
+  auto* base = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<std::byte*>(map_) + sb_->buckets_off);
+  return base[bucket];
+}
+
+std::atomic<std::uint64_t>& Pos::grace_counter(std::size_t slot) noexcept {
+  auto* base = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<std::byte*>(map_) + sb_->grace_off);
+  return base[slot];
+}
+
+std::uint32_t Pos::bucket_of(std::span<const std::uint8_t> key) const noexcept {
+  return static_cast<std::uint32_t>(fnv1a(key) % sb_->bucket_count);
+}
+
+std::uint64_t Pos::alloc_entry() noexcept {
+  concurrent::HleGuard guard(free_lock_);
+  std::uint64_t off = sb_->free_head.load(std::memory_order_relaxed);
+  if (off == 0) return 0;
+  Entry* e = entry_at(off);
+  sb_->free_head.store(e->next.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  return off;
+}
+
+bool Pos::set(std::span<const std::uint8_t> key,
+              std::span<const std::uint8_t> value) {
+  if (key.empty() || key.size() + value.size() > sb_->entry_payload) {
+    return false;
+  }
+  std::uint64_t off = alloc_entry();
+  if (off == 0) return false;
+
+  Entry* e = entry_at(off);
+  e->klen = static_cast<std::uint32_t>(key.size());
+  e->vlen = static_cast<std::uint32_t>(value.size());
+  std::memcpy(e->data(), key.data(), key.size());
+  if (!value.empty()) std::memcpy(e->data() + key.size(), value.data(), value.size());
+  e->state.store(kStateLive, std::memory_order_release);
+
+  const std::uint32_t bucket = bucket_of(key);
+  {
+    concurrent::HleGuard guard(bucket_locks_[bucket]);
+    // Push on top: readers starting after this see the new version first.
+    e->next.store(bucket_head(bucket).load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    bucket_head(bucket).store(off, std::memory_order_release);
+
+    // Mark the superseded version (the next LIVE occurrence of this key)
+    // outdated right away "to ease cleaning" (§4.1).
+    std::uint64_t cur = e->next.load(std::memory_order_relaxed);
+    while (cur != 0) {
+      Entry* c = entry_at(cur);
+      if (c->state.load(std::memory_order_relaxed) == kStateLive &&
+          c->klen == key.size() &&
+          std::memcmp(c->data(), key.data(), key.size()) == 0) {
+        c->state.store(kStateOutdated, std::memory_order_release);
+        break;
+      }
+      cur = c->next.load(std::memory_order_relaxed);
+    }
+  }
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<util::Bytes> Pos::get(std::span<const std::uint8_t> key) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t bucket = bucket_of(key);
+  std::uint64_t cur = bucket_head(bucket).load(std::memory_order_acquire);
+  while (cur != 0) {
+    const Entry* e = entry_at(cur);
+    // The first occurrence from the top is the newest version; outdated
+    // entries of the same key sit deeper and are skipped by returning at
+    // the first match (they may legitimately be returned to a get() that
+    // began before the overwriting set() — linearisable either way).
+    std::uint32_t state = e->state.load(std::memory_order_acquire);
+    if (state != kStateFree && e->klen == key.size() &&
+        std::memcmp(e->data(), key.data(), key.size()) == 0) {
+      // First (newest) occurrence decides: an erase marker means the key is
+      // gone; outdated entries remain readable so a get() racing a set()
+      // stays linearisable at its start point (paper Fig. 5).
+      if (state == kStateErased) return std::nullopt;
+      return util::Bytes(e->value().begin(), e->value().end());
+    }
+    cur = e->next.load(std::memory_order_acquire);
+  }
+  return std::nullopt;
+}
+
+bool Pos::erase(std::span<const std::uint8_t> key) {
+  const std::uint32_t bucket = bucket_of(key);
+  bool found = false;
+  concurrent::HleGuard guard(bucket_locks_[bucket]);
+  std::uint64_t cur = bucket_head(bucket).load(std::memory_order_relaxed);
+  while (cur != 0) {
+    Entry* e = entry_at(cur);
+    if (e->state.load(std::memory_order_relaxed) == kStateLive &&
+        e->klen == key.size() &&
+        std::memcmp(e->data(), key.data(), key.size()) == 0) {
+      e->state.store(kStateErased, std::memory_order_release);
+      found = true;
+    }
+    cur = e->next.load(std::memory_order_relaxed);
+  }
+  return found;
+}
+
+Pos::Reader Pos::register_reader() {
+  std::size_t slot = reader_slots_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxReaders) {
+    throw std::runtime_error("POS: too many readers");
+  }
+  Reader reader;
+  reader.pos_ = this;
+  reader.slot_ = slot;
+  return reader;
+}
+
+void Pos::Reader::tick() noexcept {
+  if (pos_ != nullptr) {
+    pos_->grace_counter(slot_).fetch_add(1, std::memory_order_release);
+  }
+}
+
+std::size_t Pos::clean_step() {
+  std::size_t freed = 0;
+  concurrent::HleGuard limbo_guard(limbo_lock_);
+
+  const std::size_t readers =
+      std::min(reader_slots_.load(std::memory_order_relaxed), kMaxReaders);
+
+  if (!limbo_.empty()) {
+    // Phase 2: if every registered reader has run since the snapshot, the
+    // limbo entries cannot be referenced by any in-flight get(): recycle.
+    bool grace_passed = true;
+    for (std::size_t r = 0; r < readers; ++r) {
+      if (grace_counter(r).load(std::memory_order_acquire) <=
+          limbo_snapshot_[r]) {
+        grace_passed = false;
+        break;
+      }
+    }
+    if (grace_passed) {
+      concurrent::HleGuard free_guard(free_lock_);
+      for (std::uint64_t off : limbo_) {
+        Entry* e = entry_at(off);
+        e->state.store(kStateFree, std::memory_order_relaxed);
+        e->next.store(sb_->free_head.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        sb_->free_head.store(off, std::memory_order_relaxed);
+      }
+      freed = limbo_.size();
+      limbo_.clear();
+    }
+    return freed;
+  }
+
+  // Phase 1: unlink outdated entries from the bucket stacks into limbo and
+  // snapshot the grace counters.
+  for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
+    concurrent::HleGuard guard(bucket_locks_[b]);
+    std::uint64_t prev = 0;
+    std::uint64_t cur = bucket_head(b).load(std::memory_order_relaxed);
+    while (cur != 0) {
+      Entry* e = entry_at(cur);
+      std::uint64_t next = e->next.load(std::memory_order_relaxed);
+      std::uint32_t state = e->state.load(std::memory_order_relaxed);
+      if (state == kStateOutdated || state == kStateErased) {
+        if (prev == 0) {
+          bucket_head(b).store(next, std::memory_order_release);
+        } else {
+          entry_at(prev)->next.store(next, std::memory_order_release);
+        }
+        limbo_.push_back(cur);
+      } else {
+        prev = cur;
+      }
+      cur = next;
+    }
+  }
+  if (!limbo_.empty()) {
+    limbo_snapshot_.assign(kMaxReaders, 0);
+    for (std::size_t r = 0; r < readers; ++r) {
+      limbo_snapshot_[r] = grace_counter(r).load(std::memory_order_acquire);
+    }
+  }
+  return 0;
+}
+
+void Pos::persist() {
+  if (fd_ >= 0) {
+    ::msync(map_, map_bytes_, MS_SYNC);
+  }
+}
+
+PosStats Pos::stats() const {
+  PosStats stats;
+  stats.sets = sets_.load(std::memory_order_relaxed);
+  stats.gets = gets_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < sb_->entry_count; ++i) {
+    const Entry* e =
+        entry_at(sb_->entries_off + i * sb_->entry_stride);
+    switch (e->state.load(std::memory_order_relaxed)) {
+      case kStateLive:
+        ++stats.live;
+        break;
+      case kStateOutdated:
+      case kStateErased:
+        ++stats.outdated;
+        break;
+      default:
+        ++stats.free;
+        break;
+    }
+  }
+  stats.limbo = limbo_.size();
+  return stats;
+}
+
+std::uint32_t Pos::bucket_count() const noexcept { return sb_->bucket_count; }
+std::uint32_t Pos::entry_payload() const noexcept { return sb_->entry_payload; }
+
+}  // namespace ea::pos

@@ -1,0 +1,147 @@
+// Persistent Object Store (paper §4.1).
+//
+// A lean, concurrently accessible key-value store over a memory-mapped file
+// that "utilises the page cache of the kernel": no system call on the data
+// path, only an explicit persist() (msync) when durability is demanded.
+//
+// Layout (cf. paper Fig. 4): superblock | grace counters | bucket heads |
+// entry slots. Entries are managed as stacks: set(k,v) pushes a *new*
+// version on the bucket stack of hash(k) and marks the previous version
+// outdated; get(k) scans from the top and returns the first match, so a get
+// racing a set returns the value current when the get began — the store is
+// linearisable (paper Fig. 5). Outdated versions accumulate until the
+// Cleaner removes them, which it may only do once every registered reader
+// has executed at least once since the invalidation (grace counters).
+//
+// Deviation from the paper: internal references are file *offsets*, not raw
+// virtual addresses, so the file needs no fixed mapping address. Behaviour
+// is identical; robustness is better.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "concurrent/hle_lock.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::pos {
+
+inline constexpr std::uint64_t kPosMagic = 0x50'4f'53'31'45'41'43'54ull;
+inline constexpr std::uint32_t kPosVersion = 1;
+inline constexpr std::size_t kMaxReaders = 64;
+
+struct PosOptions {
+  // Backing file; empty uses an anonymous (non-persistent) mapping.
+  std::string path;
+  std::uint32_t bucket_count = 32;  // the paper's Fig. 4 draws B1..B32
+  std::uint32_t entry_count = 4096;
+  std::uint32_t entry_payload = 512;  // max combined key+value bytes
+};
+
+struct PosStats {
+  std::uint64_t live = 0;
+  std::uint64_t outdated = 0;
+  std::uint64_t free = 0;
+  std::uint64_t limbo = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t gets = 0;
+};
+
+class Pos {
+ public:
+  // Maps (creating or reopening) the store. Throws std::runtime_error on
+  // I/O failure or superblock mismatch.
+  explicit Pos(PosOptions options);
+  ~Pos();
+
+  Pos(const Pos&) = delete;
+  Pos& operator=(const Pos&) = delete;
+
+  // Inserts or updates. Returns false when the store is full (no free
+  // entries) or key+value exceed the entry payload.
+  bool set(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> value);
+
+  // Returns the latest value for key, or nullopt.
+  std::optional<util::Bytes> get(std::span<const std::uint8_t> key);
+
+  // Removes a key: marks all its versions outdated (space is reclaimed by
+  // the cleaner). Returns true if any version existed.
+  bool erase(std::span<const std::uint8_t> key);
+
+  // --- reader registration for safe reclamation ---------------------------
+
+  // Registers a reader slot; each eactor connected to the store holds one
+  // and must tick() once per body execution.
+  class Reader {
+   public:
+    Reader() = default;
+    void tick() noexcept;
+
+   private:
+    friend class Pos;
+    Pos* pos_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  Reader register_reader();
+
+  // --- housekeeping --------------------------------------------------------
+
+  // One cleaner step: frees the previous round's limbo entries if the grace
+  // period has passed, then gathers newly outdated entries. Returns the
+  // number of entries freed. Typically driven by CleanerActor.
+  std::size_t clean_step();
+
+  // Flushes the mapping to the backing file (no-op for anonymous mappings).
+  void persist();
+
+  PosStats stats() const;
+
+  std::uint32_t bucket_count() const noexcept;
+  std::uint32_t entry_payload() const noexcept;
+
+ private:
+  struct Superblock;
+  struct Entry;
+
+  Entry* entry_at(std::uint64_t offset) noexcept;
+  const Entry* entry_at(std::uint64_t offset) const noexcept;
+  std::uint64_t offset_of(const Entry* e) const noexcept;
+  std::atomic<std::uint64_t>& bucket_head(std::uint32_t bucket) noexcept;
+  std::atomic<std::uint64_t>& grace_counter(std::size_t slot) noexcept;
+  std::uint32_t bucket_of(std::span<const std::uint8_t> key) const noexcept;
+
+  std::uint64_t alloc_entry() noexcept;  // 0 when exhausted
+  void init_fresh();
+  void validate_existing();
+
+  PosOptions options_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+
+  Superblock* sb_ = nullptr;
+  std::byte* entries_base_ = nullptr;
+
+  // In-RAM (per-process) concurrency control; the on-file structures hold
+  // only offsets and data.
+  std::unique_ptr<concurrent::HleSpinLock[]> bucket_locks_;
+  concurrent::HleSpinLock free_lock_;
+  concurrent::HleSpinLock limbo_lock_;
+
+  // Reclamation state (process-local; a crash simply leaves outdated
+  // entries for the next incarnation's cleaner).
+  std::vector<std::uint64_t> limbo_;
+  std::vector<std::uint64_t> limbo_snapshot_;
+  std::atomic<std::size_t> reader_slots_{0};
+
+  std::atomic<std::uint64_t> sets_{0};
+  std::atomic<std::uint64_t> gets_{0};
+};
+
+}  // namespace ea::pos

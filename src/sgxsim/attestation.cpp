@@ -1,0 +1,84 @@
+#include "sgxsim/attestation.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+
+namespace ea::sgxsim {
+namespace {
+
+// The per-enclave report key, derivable only with the device root key —
+// i.e. only by the simulated hardware on behalf of the target enclave.
+crypto::Sha256Digest report_key(const Enclave& target) {
+  static constexpr std::uint8_t kInfo[] = "ea-sgx-report-key";
+  util::Bytes okm = crypto::hkdf(
+      EnclaveManager::instance().device_root_key(), target.measurement(),
+      std::span<const std::uint8_t>(kInfo, sizeof(kInfo) - 1),
+      crypto::kSha256DigestSize);
+  crypto::Sha256Digest key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+crypto::Sha256Digest report_mac(const Report& report,
+                                const crypto::Sha256Digest& key) {
+  crypto::HmacSha256 mac(key);
+  mac.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&report.source),
+      sizeof(report.source)));
+  mac.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&report.target),
+      sizeof(report.target)));
+  mac.update(report.source_measurement);
+  return mac.finish();
+}
+
+}  // namespace
+
+Report create_report(const Enclave& source, const Enclave& target) {
+  Report report;
+  report.source = source.id();
+  report.target = target.id();
+  report.source_measurement = source.measurement();
+  report.mac = report_mac(report, report_key(target));
+  return report;
+}
+
+bool verify_report(const Enclave& verifier, const Report& report) {
+  if (report.target != verifier.id()) return false;
+  crypto::Sha256Digest expected = report_mac(report, report_key(verifier));
+  return util::ct_equal(report.mac, expected);
+}
+
+std::optional<crypto::AeadKey> establish_session_key(const Enclave& a,
+                                                     const Enclave& b) {
+  // Mutual attestation: each side verifies the other's report.
+  Report a_to_b = create_report(a, b);
+  Report b_to_a = create_report(b, a);
+  if (!verify_report(b, a_to_b) || !verify_report(a, b_to_a)) {
+    return std::nullopt;
+  }
+  // Both sides derive the same key from the (order-normalised) measurements.
+  const auto& ma = a.measurement();
+  const auto& mb = b.measurement();
+  bool a_first = std::lexicographical_compare(ma.begin(), ma.end(),
+                                              mb.begin(), mb.end());
+  util::Bytes ikm;
+  const auto& first = a_first ? ma : mb;
+  const auto& second = a_first ? mb : ma;
+  ikm.insert(ikm.end(), first.begin(), first.end());
+  ikm.insert(ikm.end(), second.begin(), second.end());
+
+  static constexpr std::uint8_t kInfo[] = "ea-sgx-la-session";
+  util::Bytes okm = crypto::hkdf(
+      EnclaveManager::instance().device_root_key(), ikm,
+      std::span<const std::uint8_t>(kInfo, sizeof(kInfo) - 1),
+      crypto::kAeadKeySize);
+  crypto::AeadKey key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+}  // namespace ea::sgxsim

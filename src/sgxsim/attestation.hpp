@@ -1,0 +1,40 @@
+// Local (intra-platform) attestation.
+//
+// Encrypted channels between enclaves establish their session keys via the
+// SDK's local attestation (paper §3.3). The simulation reproduces the
+// REPORT flow: the source enclave asks the hardware for a report targeted
+// at the destination; the destination verifies the report MAC (which only
+// same-device enclaves can compute) and both sides derive a session key
+// bound to the two measurements.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aead.hpp"
+#include "crypto/sha256.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace ea::sgxsim {
+
+struct Report {
+  EnclaveId source = kUntrusted;
+  EnclaveId target = kUntrusted;
+  crypto::Sha256Digest source_measurement{};
+  crypto::Sha256Digest mac{};  // keyed with the target's report key
+};
+
+// Creates a report describing `source`, consumable by `target`
+// (EREPORT equivalent).
+Report create_report(const Enclave& source, const Enclave& target);
+
+// Verifies a report addressed to `verifier` (EGETKEY + CMAC check
+// equivalent). Returns false for forged or misaddressed reports.
+bool verify_report(const Enclave& verifier, const Report& report);
+
+// Runs the mutual attestation handshake between two enclaves and derives
+// the shared AEAD session key both would compute. Returns nullopt if either
+// direction fails verification.
+std::optional<crypto::AeadKey> establish_session_key(const Enclave& a,
+                                                     const Enclave& b);
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,77 @@
+#include "sgxsim/enclave.hpp"
+
+#include "crypto/rng.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "util/logging.hpp"
+
+namespace ea::sgxsim {
+
+Enclave::Enclave(EnclaveId id, std::string name,
+                 crypto::Sha256Digest measurement)
+    : id_(id), name_(std::move(name)), measurement_(measurement) {}
+
+EnclaveManager& EnclaveManager::instance() {
+  static EnclaveManager manager;
+  return manager;
+}
+
+EnclaveManager::EnclaveManager() {
+  load_cost_model_env();
+  crypto::secure_random(device_root_key_);
+}
+
+Enclave& EnclaveManager::create(std::string name, std::uint64_t base_bytes) {
+  EnclaveId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // The measurement covers the enclave's identity the way MRENCLAVE covers
+  // the loaded pages: here, name + id.
+  crypto::Sha256 h;
+  h.update(name);
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&id), sizeof(id)));
+  auto enclave = std::make_unique<Enclave>(id, std::move(name), h.finish());
+  enclave->add_committed(base_bytes);
+  Enclave& ref = *enclave;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enclaves_.push_back(std::move(enclave));
+  }
+  EA_DEBUG("sgxsim", "created enclave %u (%s), base %llu bytes", ref.id(),
+           ref.name().c_str(), static_cast<unsigned long long>(base_bytes));
+  return ref;
+}
+
+Enclave* EnclaveManager::find(EnclaveId id) noexcept {
+  if (id == kUntrusted) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : enclaves_) {
+    if (e->id() == id) return e.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t EnclaveManager::total_committed() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& e : enclaves_) total += e->committed_bytes();
+  return total;
+}
+
+std::uint64_t EnclaveManager::overflow_pages() const noexcept {
+  std::uint64_t total = total_committed();
+  std::uint64_t usable = cost_model().epc_usable_bytes;
+  if (total <= usable) return 0;
+  return (total - usable + 4095) / 4096;
+}
+
+std::size_t EnclaveManager::enclave_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enclaves_.size();
+}
+
+void EnclaveManager::reset_for_testing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enclaves_.clear();
+  next_id_.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace ea::sgxsim

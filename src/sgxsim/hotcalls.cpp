@@ -1,0 +1,81 @@
+#include "sgxsim/hotcalls.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "sgxsim/transition.hpp"
+#include "util/affinity.hpp"
+
+namespace ea::sgxsim {
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#endif
+}
+
+// Spin budget before yielding. Real HotCalls pins the responder to its own
+// hardware thread and spins indefinitely; on hosts where requester and
+// responder share a CPU, long spins just burn the other side's timeslice,
+// so yield almost immediately there.
+inline std::uint64_t spin_budget() {
+  static const std::uint64_t value = util::online_cpus() > 1 ? 4096 : 16;
+  return value;
+}
+
+}  // namespace
+
+HotCallService::HotCallService(Enclave& enclave, Handler handler)
+    : enclave_(enclave), handler_(std::move(handler)) {
+  responder_ = std::thread([this] { responder_loop(); });
+}
+
+HotCallService::~HotCallService() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (responder_.joinable()) responder_.join();
+}
+
+void HotCallService::responder_loop() {
+  // One transition for the lifetime of the service — the HotCalls trick.
+  EnclaveScope scope(enclave_);
+  std::uint64_t idle = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (state_.load(std::memory_order_acquire) == 1) {
+      handler_(op_, data_);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      state_.store(2, std::memory_order_release);
+      idle = 0;
+    } else {
+      cpu_relax();
+      // On oversubscribed hosts the requester may hold the only CPU; give
+      // it up occasionally (stands in for the dedicated hardware thread a
+      // real HotCalls deployment pins).
+      if (++idle > spin_budget()) {
+        std::this_thread::yield();
+        idle = 0;
+      }
+    }
+  }
+}
+
+void HotCallService::call(std::uint64_t op, void* data) {
+  // Publish the request.
+  op_ = op;
+  data_ = data;
+  state_.store(1, std::memory_order_release);
+  // Spin for completion (the HotCalls caller busy-waits; it may still be
+  // cheaper than 2 transitions).
+  std::uint64_t idle = 0;
+  while (state_.load(std::memory_order_acquire) != 2) {
+    cpu_relax();
+    if (++idle > spin_budget()) {
+      std::this_thread::yield();
+      idle = 0;
+    }
+  }
+  state_.store(0, std::memory_order_release);
+}
+
+}  // namespace ea::sgxsim

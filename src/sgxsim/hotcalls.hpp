@@ -1,0 +1,61 @@
+// HotCalls-style asynchronous enclave calls (Weisse et al., ISCA'17 —
+// related work [52] in the paper).
+//
+// Instead of an ECall's mode transition, the caller deposits a request in
+// a shared spin-polled queue serviced by a worker thread *already inside*
+// the enclave. This is the main prior-art alternative EActors is compared
+// against conceptually: it removes transitions for call-style interfaces
+// but keeps the RPC shape (a caller blocks on the response) rather than
+// EActors' fully asynchronous message passing. Implemented here as a
+// baseline so ablation benchmarks can compare Native ECalls, HotCalls and
+// EActors channels under one cost model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "sgxsim/enclave.hpp"
+
+namespace ea::sgxsim {
+
+// A hot-call service for one enclave: a dedicated thread enters the
+// enclave once and spins on the request slot.
+class HotCallService {
+ public:
+  using Handler = std::function<void(std::uint64_t op, void* data)>;
+
+  // Starts the responder thread inside `enclave` with the given dispatch
+  // handler (runs for every request).
+  HotCallService(Enclave& enclave, Handler handler);
+  ~HotCallService();
+
+  HotCallService(const HotCallService&) = delete;
+  HotCallService& operator=(const HotCallService&) = delete;
+
+  // Issues a call and spins until the responder has executed it. `data`
+  // is shared memory both sides may touch (no marshalling — HotCalls
+  // passes pointers).
+  void call(std::uint64_t op, void* data);
+
+  std::uint64_t calls_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void responder_loop();
+
+  Enclave& enclave_;
+  Handler handler_;
+  std::thread responder_;
+
+  // Single-slot request buffer, as in the HotCalls design.
+  std::atomic<int> state_{0};  // 0 idle, 1 requested, 2 done
+  std::uint64_t op_ = 0;
+  void* data_ = nullptr;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,56 @@
+#include "sgxsim/monotonic_counter.hpp"
+
+#include "sgxsim/sealing.hpp"
+
+namespace ea::sgxsim {
+
+MonotonicCounterService& MonotonicCounterService::instance() {
+  static MonotonicCounterService service;
+  return service;
+}
+
+std::uint64_t MonotonicCounterService::read(const Enclave& enclave,
+                                            std::uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find({enclave.measurement(), slot});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t MonotonicCounterService::increment(const Enclave& enclave,
+                                                 std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++counters_[{enclave.measurement(), slot}];
+}
+
+void MonotonicCounterService::reset_for_testing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+util::Bytes seal_with_rollback_protection(
+    const Enclave& enclave, std::uint32_t slot,
+    std::span<const std::uint8_t> plaintext) {
+  std::uint64_t version =
+      MonotonicCounterService::instance().increment(enclave, slot);
+  util::Bytes body;
+  body.resize(8 + plaintext.size());
+  util::store_le64(body.data(), version);
+  if (!plaintext.empty()) {
+    std::memcpy(body.data() + 8, plaintext.data(), plaintext.size());
+  }
+  return seal(enclave, body);
+}
+
+std::optional<util::Bytes> unseal_with_rollback_protection(
+    const Enclave& enclave, std::uint32_t slot,
+    std::span<const std::uint8_t> sealed) {
+  std::optional<util::Bytes> body = unseal(enclave, sealed);
+  if (!body.has_value() || body->size() < 8) return std::nullopt;
+  std::uint64_t version = util::load_le64(body->data());
+  std::uint64_t current =
+      MonotonicCounterService::instance().read(enclave, slot);
+  if (version != current) return std::nullopt;  // stale (rolled back) blob
+  return util::Bytes(body->begin() + 8, body->end());
+}
+
+}  // namespace ea::sgxsim

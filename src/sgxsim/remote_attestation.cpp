@@ -1,0 +1,69 @@
+#include "sgxsim/remote_attestation.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+
+namespace ea::sgxsim {
+namespace {
+
+crypto::Sha256Digest attestation_key() {
+  static constexpr std::uint8_t kInfo[] = "ea-sgx-remote-attestation";
+  util::Bytes okm = crypto::hkdf(
+      EnclaveManager::instance().device_root_key(), {},
+      std::span<const std::uint8_t>(kInfo, sizeof(kInfo) - 1),
+      crypto::kSha256DigestSize);
+  crypto::Sha256Digest key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+crypto::Sha256Digest quote_mac(const Quote& quote,
+                               const crypto::Sha256Digest& key) {
+  crypto::HmacSha256 mac(key);
+  mac.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&quote.source),
+      sizeof(quote.source)));
+  mac.update(quote.measurement);
+  mac.update(quote.report_data);
+  mac.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&quote.nonce),
+      sizeof(quote.nonce)));
+  return mac.finish();
+}
+
+}  // namespace
+
+Quote create_quote(const Enclave& enclave,
+                   std::span<const std::uint8_t> report_data,
+                   std::uint64_t nonce) {
+  Quote quote;
+  quote.source = enclave.id();
+  quote.measurement = enclave.measurement();
+  std::size_t n = std::min(report_data.size(), quote.report_data.size());
+  if (n > 0) std::memcpy(quote.report_data.data(), report_data.data(), n);
+  quote.nonce = nonce;
+  quote.signature = quote_mac(quote, attestation_key());
+  return quote;
+}
+
+AttestationVerifier::AttestationVerifier()
+    : verification_key_(attestation_key()) {}
+
+bool AttestationVerifier::verify(const Quote& quote,
+                                 std::uint64_t expected_nonce) const {
+  if (quote.nonce != expected_nonce) return false;
+  crypto::Sha256Digest expected = quote_mac(quote, verification_key_);
+  return util::ct_equal(quote.signature, expected);
+}
+
+bool AttestationVerifier::verify_measurement(
+    const Quote& quote, std::uint64_t expected_nonce,
+    const crypto::Sha256Digest& expected) const {
+  return verify(quote, expected_nonce) &&
+         util::ct_equal(quote.measurement, expected);
+}
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,60 @@
+// Remote attestation (paper §2.2: "enclaves support remote attestation by
+// which the identity of an enclave and its integrity can be proven to a
+// remote party").
+//
+// The simulation mirrors the EPID/quoting flow: an enclave produces a
+// REPORT targeted at the platform's Quoting Enclave; the QE converts it
+// into a *quote* signed with the platform attestation key; a remote
+// verifier — holding only the attestation *verification* material, like
+// the Intel Attestation Service — checks the quote and extracts the
+// enclave measurement and the 64 bytes of user report data (typically a
+// key-exchange public value).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/sha256.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace ea::sgxsim {
+
+inline constexpr std::size_t kReportDataSize = 64;
+
+struct Quote {
+  EnclaveId source = kUntrusted;
+  crypto::Sha256Digest measurement{};
+  std::array<std::uint8_t, kReportDataSize> report_data{};
+  std::uint64_t nonce = 0;  // verifier-chosen freshness value
+  crypto::Sha256Digest signature{};  // platform attestation key MAC
+};
+
+// Produces a quote for `enclave` embedding `report_data` (truncated/zero
+// padded to 64 bytes) and the verifier's freshness nonce.
+Quote create_quote(const Enclave& enclave,
+                   std::span<const std::uint8_t> report_data,
+                   std::uint64_t nonce);
+
+// The remote verifier. Holds the attestation verification material; in the
+// simulation this is derived from the device root key the way IAS holds
+// the EPID group public keys.
+class AttestationVerifier {
+ public:
+  AttestationVerifier();
+
+  // Verifies signature + freshness. Returns false on forgery or a nonce
+  // mismatch.
+  bool verify(const Quote& quote, std::uint64_t expected_nonce) const;
+
+  // Convenience: verify and additionally require a specific measurement
+  // (the remote party's notion of "the code I trust").
+  bool verify_measurement(const Quote& quote, std::uint64_t expected_nonce,
+                          const crypto::Sha256Digest& expected) const;
+
+ private:
+  crypto::Sha256Digest verification_key_{};
+};
+
+}  // namespace ea::sgxsim

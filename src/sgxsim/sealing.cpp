@@ -1,0 +1,42 @@
+#include "sgxsim/sealing.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "crypto/aead.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace ea::sgxsim {
+namespace {
+
+crypto::AeadKey sealing_key(const Enclave& enclave) {
+  static constexpr std::uint8_t kInfo[] = "ea-sgx-sealing-mrenclave";
+  util::Bytes okm = crypto::hkdf(
+      EnclaveManager::instance().device_root_key(), enclave.measurement(),
+      std::span<const std::uint8_t>(kInfo, sizeof(kInfo) - 1),
+      crypto::kAeadKeySize);
+  crypto::AeadKey key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+std::uint64_t next_seal_counter() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+util::Bytes seal(const Enclave& enclave,
+                 std::span<const std::uint8_t> plaintext) {
+  return crypto::seal_with_counter(sealing_key(enclave), next_seal_counter(),
+                                   enclave.measurement(), plaintext);
+}
+
+std::optional<util::Bytes> unseal(const Enclave& enclave,
+                                  std::span<const std::uint8_t> sealed) {
+  return crypto::open_framed(sealing_key(enclave), enclave.measurement(),
+                             sealed);
+}
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,25 @@
+// Data sealing (sgx_seal_data / sgx_unseal_data equivalents).
+//
+// The sealing key is derived from the simulated per-device root key and the
+// enclave measurement (MRENCLAVE policy): only the same enclave identity on
+// the same "device" can unseal. The POS uses this to persist encryption
+// keys across reboots (paper §4.1).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "sgxsim/enclave.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::sgxsim {
+
+// Seals `plaintext` for `enclave` (MRENCLAVE policy). Never fails.
+util::Bytes seal(const Enclave& enclave, std::span<const std::uint8_t> plaintext);
+
+// Unseals; returns nullopt if the blob was sealed by a different enclave
+// identity or tampered with.
+std::optional<util::Bytes> unseal(const Enclave& enclave,
+                                  std::span<const std::uint8_t> sealed);
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,54 @@
+#include "sgxsim/sgx_mutex.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/transition.hpp"
+
+namespace ea::sgxsim {
+
+void SgxMutex::lock() {
+  // Fast path + bounded spin, exactly what sgx_thread_mutex_lock does
+  // before giving up and performing the sleep OCall.
+  const std::uint64_t spin_budget = cost_model().mutex_spin_iterations;
+  for (std::uint64_t i = 0; i < spin_budget; ++i) {
+    int expected = 0;
+    if (state_.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+#if defined(__x86_64__)
+    _mm_pause();
+#endif
+  }
+
+  // Spin budget exhausted: mark contended and sleep outside the enclave.
+  while (true) {
+    int prev = state_.exchange(2, std::memory_order_acquire);
+    if (prev == 0) return;  // grabbed it (leave state at 2; unlock handles it)
+    exits_.fetch_add(1, std::memory_order_relaxed);
+    // The sleep itself is a system call and must happen untrusted; the
+    // ocall() charges exit + re-entry transitions when inside an enclave.
+    ocall([&] {
+      std::unique_lock<std::mutex> sleep_lock(sleep_mu_);
+      sleep_cv_.wait(sleep_lock, [&] {
+        return state_.load(std::memory_order_relaxed) != 2;
+      });
+    });
+  }
+}
+
+void SgxMutex::unlock() {
+  int prev = state_.exchange(0, std::memory_order_release);
+  if (prev == 2) {
+    // There may be sleepers; waking them is again an OCall from inside.
+    ocall([&] {
+      std::lock_guard<std::mutex> sleep_lock(sleep_mu_);
+      sleep_cv_.notify_all();
+    });
+  }
+}
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,144 @@
+#include "sgxsim/transition.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+namespace ea::sgxsim {
+namespace {
+
+thread_local EnclaveId t_current_enclave = kUntrusted;
+
+std::atomic<std::uint64_t> g_ecalls{0};
+std::atomic<std::uint64_t> g_ocalls{0};
+std::atomic<std::uint64_t> g_cycles{0};
+std::atomic<std::uint64_t> g_paging_events{0};
+
+// Charges `cycles` plus EPC paging pressure, burning real time.
+void charge(std::uint64_t cycles) {
+  const auto& m = cost_model();
+  std::uint64_t overflow = EnclaveManager::instance().overflow_pages();
+  if (overflow > 0) {
+    std::uint64_t pages = std::min<std::uint64_t>(
+        overflow, m.paging_pages_per_transition);
+    cycles += pages * m.paging_cycles_per_page;
+    g_paging_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  util::burn_cycles(cycles);
+}
+
+}  // namespace
+
+EnclaveId current_enclave() noexcept { return t_current_enclave; }
+
+TransitionStats transition_stats() noexcept {
+  return TransitionStats{
+      g_ecalls.load(std::memory_order_relaxed),
+      g_ocalls.load(std::memory_order_relaxed),
+      g_cycles.load(std::memory_order_relaxed),
+      g_paging_events.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_transition_stats() noexcept {
+  g_ecalls.store(0, std::memory_order_relaxed);
+  g_ocalls.store(0, std::memory_order_relaxed);
+  g_cycles.store(0, std::memory_order_relaxed);
+  g_paging_events.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void enter_enclave(Enclave& e) {
+  g_ecalls.fetch_add(1, std::memory_order_relaxed);
+  charge(cost_model().ecall_cycles);
+  e.count_entry();
+  t_current_enclave = e.id();
+}
+
+void exit_enclave() noexcept {
+  charge(cost_model().ecall_cycles);
+  t_current_enclave = kUntrusted;
+}
+
+void leave_for_ocall(EnclaveId& saved) {
+  saved = t_current_enclave;
+  if (saved == kUntrusted) return;  // already untrusted: OCall is free
+  g_ocalls.fetch_add(1, std::memory_order_relaxed);
+  charge(cost_model().ocall_cycles);
+  t_current_enclave = kUntrusted;
+}
+
+void reenter_after_ocall(EnclaveId saved) {
+  if (saved == kUntrusted) return;
+  charge(cost_model().ocall_cycles);
+  t_current_enclave = saved;
+}
+
+}  // namespace detail
+
+EnclaveScope::EnclaveScope(Enclave& e) {
+  if (t_current_enclave == e.id()) return;  // already inside
+  // Entering enclave B while inside enclave A first exits A (and re-enters
+  // A when the scope unwinds — the thread migrates back).
+  previous_ = t_current_enclave;
+  if (previous_ != kUntrusted) {
+    detail::exit_enclave();
+  }
+  detail::enter_enclave(e);
+  entered_ = true;
+}
+
+EnclaveScope::~EnclaveScope() {
+  if (!entered_) return;
+  detail::exit_enclave();
+  if (previous_ != kUntrusted) {
+    Enclave* prev = EnclaveManager::instance().find(previous_);
+    if (prev != nullptr) detail::enter_enclave(*prev);
+  }
+}
+
+namespace {
+
+// Models the cost of the bridge copy: MEE-encrypted writes into enclave
+// memory plus the L1 falloff once the marshalling buffer exceeds the cache.
+void charge_marshal_copy(std::size_t bytes) {
+  const auto& m = cost_model();
+  std::uint64_t cycles = m.marshal_cycles_per_byte * bytes;
+  if (bytes > m.marshal_l1_bytes) {
+    cycles += m.marshal_spill_cycles_per_byte * (bytes - m.marshal_l1_bytes);
+  }
+  g_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  util::burn_cycles(cycles);
+}
+
+}  // namespace
+
+std::size_t ecall_marshalled(
+    Enclave& e, std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+    std::size_t (*fn)(void* ctx, std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out),
+    void* ctx) {
+  // The generated bridge allocates a trusted-side buffer and memcpys the
+  // [in] parameter into it; results go through an [out] buffer the same way.
+  thread_local std::vector<std::uint8_t> trusted_in;
+  thread_local std::vector<std::uint8_t> trusted_out;
+  trusted_in.resize(in.size());
+  if (!in.empty()) std::memcpy(trusted_in.data(), in.data(), in.size());
+  charge_marshal_copy(in.size());
+  trusted_out.resize(out.size());
+
+  std::size_t produced;
+  {
+    EnclaveScope scope(e);
+    produced = fn(ctx, trusted_in, trusted_out);
+  }
+  produced = std::min(produced, out.size());
+  if (produced > 0) std::memcpy(out.data(), trusted_out.data(), produced);
+  charge_marshal_copy(produced);
+  return produced;
+}
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,101 @@
+// Execution-mode transitions (ECall/OCall) and the per-thread enclave
+// context.
+//
+// ecall(e, fn) runs fn "inside" enclave e: it charges the entry cost, sets
+// the thread's current enclave, runs fn, charges the exit cost. ocall(fn)
+// temporarily leaves the current enclave (exit + re-entry costs) to run fn
+// untrusted — the only way enclave code may touch the OS.
+//
+// Buffer-marshalling variants perform the SDK's boundary memcpy so baseline
+// implementations pay the real copy cost the paper measures (its Fig. 11
+// "Native" series peaks at the L1 size precisely because of this copy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/enclave.hpp"
+#include "util/cycles.hpp"
+
+namespace ea::sgxsim {
+
+// Enclave the calling thread currently executes in (kUntrusted outside).
+EnclaveId current_enclave() noexcept;
+
+// Global transition statistics (process-wide, relaxed atomics).
+struct TransitionStats {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+  std::uint64_t cycles_burned = 0;
+  std::uint64_t paging_events = 0;
+};
+
+TransitionStats transition_stats() noexcept;
+void reset_transition_stats() noexcept;
+
+namespace detail {
+
+// Charges one-way entry cost (plus EPC paging pressure) and flips the
+// thread context. Exposed for the worker loop, which keeps a thread inside
+// an enclave across many actor executions (the core EActors optimisation).
+void enter_enclave(Enclave& e);
+void exit_enclave() noexcept;
+
+}  // namespace detail
+
+// RAII enclave entry. Entering the enclave a thread is already inside is a
+// no-op (matches how the SDK treats nested ECalls within one enclave: they
+// are simply not needed).
+class EnclaveScope {
+ public:
+  explicit EnclaveScope(Enclave& e);
+  ~EnclaveScope();
+  EnclaveScope(const EnclaveScope&) = delete;
+  EnclaveScope& operator=(const EnclaveScope&) = delete;
+
+ private:
+  bool entered_ = false;
+  EnclaveId previous_ = kUntrusted;  // restored (re-entered) on destruction
+};
+
+// Synchronous ECall: run `fn` inside enclave `e`.
+template <typename Fn>
+decltype(auto) ecall(Enclave& e, Fn&& fn) {
+  EnclaveScope scope(e);
+  return std::forward<Fn>(fn)();
+}
+
+// Synchronous OCall: run `fn` outside the current enclave. When called from
+// untrusted context it is free, as in real SGX.
+template <typename Fn>
+decltype(auto) ocall(Fn&& fn);
+
+// SDK-style marshalled ECall: copies `in` into an enclave-side buffer
+// (the generated bridge code's memcpy), runs fn(enclave_buffer), copies
+// fn's result buffer back out into `out` (capped at out.size()).
+// Returns bytes written to `out`.
+std::size_t ecall_marshalled(
+    Enclave& e, std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+    std::size_t (*fn)(void* ctx, std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out),
+    void* ctx);
+
+namespace detail {
+void leave_for_ocall(EnclaveId& saved);
+void reenter_after_ocall(EnclaveId saved);
+}  // namespace detail
+
+template <typename Fn>
+decltype(auto) ocall(Fn&& fn) {
+  EnclaveId saved = kUntrusted;
+  detail::leave_for_ocall(saved);
+  struct Reenter {
+    EnclaveId saved;
+    ~Reenter() { detail::reenter_after_ocall(saved); }
+  } reenter{saved};
+  return std::forward<Fn>(fn)();
+}
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,14 @@
+#include "sgxsim/trusted_rng.hpp"
+
+#include "crypto/rng.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "util/cycles.hpp"
+
+namespace ea::sgxsim {
+
+void trusted_read_rand(std::span<std::uint8_t> out) {
+  util::burn_cycles(cost_model().rng_cycles_per_byte * out.size());
+  crypto::secure_random(out);
+}
+
+}  // namespace ea::sgxsim

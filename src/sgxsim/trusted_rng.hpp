@@ -1,0 +1,18 @@
+// sgx_read_rand equivalent.
+//
+// The SDK's trusted RNG pulls from the hardware DRBG and is slow; the paper
+// pinpoints it as the secure-sum bottleneck for large vectors (§6.3.1:
+// "A detailed analysis revealed the source of the performance degradation
+// is a slow sgx_read_rand() SGX SDK function"). The simulation charges
+// rng_cycles_per_byte from the cost model for every byte produced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ea::sgxsim {
+
+// Fills `out` with random bytes at trusted-RNG speed.
+void trusted_read_rand(std::span<std::uint8_t> out);
+
+}  // namespace ea::sgxsim

@@ -1,0 +1,69 @@
+// EActors deployment of the secure-sum service (paper Fig. 9a).
+//
+// Each party is an independent eactor in its own enclave with its own
+// worker; hops travel over encrypted channels. In steady state no worker
+// ever leaves its enclave — the protocol costs zero transitions, and in the
+// dynamic-secret variant each party recomputes its secret while the token
+// circulates elsewhere (pipelining the SDK variant cannot have).
+//
+// Channel topology: party i sends on channel "smc.ring.<i>" and receives on
+// "smc.ring.<i-1 mod K>". Party 0 additionally serves a request mbox and
+// publishes finished sums to a result mbox (both owned by the caller).
+#pragma once
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+#include "core/channel.hpp"
+#include "core/runtime.hpp"
+#include "smc/secure_sum.hpp"
+
+namespace ea::smc {
+
+class PartyActor : public core::Actor {
+ public:
+  // `index` in [0, config.parties). For index 0 the request/result mboxes
+  // and the pool used for result nodes must be provided.
+  PartyActor(std::string name, int index, SmcConfig config,
+             concurrent::Mbox* requests = nullptr,
+             concurrent::Mbox* results = nullptr,
+             concurrent::Pool* result_pool = nullptr);
+
+  void construct(core::Runtime& rt) override;
+  bool body() override;
+
+  std::uint64_t state_bytes() const override {
+    return 4096 + config_.dim * sizeof(Element) * 2;
+  }
+
+  const Vec& secret() const noexcept { return secret_; }
+
+ private:
+  void start_round();
+  void finish_round(const Vec& incoming);
+
+  SmcConfig config_;
+  int index_;
+  Vec secret_;
+  Vec rnd_;
+  bool round_in_flight_ = false;
+
+  core::ChannelEnd* out_ = nullptr;
+  core::ChannelEnd* in_ = nullptr;
+  concurrent::Mbox* requests_;
+  concurrent::Mbox* results_;
+  concurrent::Pool* result_pool_;
+};
+
+// Convenience: builds the full EActors secure-sum deployment — K parties,
+// each in its own enclave ("smc.e<i>") with its own worker — and returns
+// the request/result mboxes. The caller pushes one (empty) node per
+// invocation into `requests` and pops serialized sums from `results`.
+struct SmcDeployment {
+  concurrent::Mbox* requests = nullptr;
+  concurrent::Mbox* results = nullptr;
+};
+
+SmcDeployment install_secure_sum(core::Runtime& rt, const SmcConfig& config);
+
+}  // namespace ea::smc

@@ -1,0 +1,12 @@
+#include "smc/secure_sum.hpp"
+
+#include "sgxsim/trusted_rng.hpp"
+
+namespace ea::smc {
+
+void refill_random_trusted(Vec& v) {
+  sgxsim::trusted_read_rand(std::span<std::uint8_t>(
+      reinterpret_cast<std::uint8_t*>(v.data()), v.size() * sizeof(Element)));
+}
+
+}  // namespace ea::smc

@@ -1,0 +1,174 @@
+#include "smc/tcp_ring.hpp"
+
+#include <poll.h>
+
+#include <stdexcept>
+
+#include "sgxsim/attestation.hpp"
+#include "sgxsim/transition.hpp"
+#include "sgxsim/trusted_rng.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::smc {
+namespace {
+
+Vec initial_secret(int index, std::size_t dim) {
+  Vec v(dim);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1);
+  for (std::size_t i = 0; i < dim; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v[i] = static_cast<Element>(z ^ (z >> 31));
+  }
+  return v;
+}
+
+void wait_fd(int fd, short events) {
+  pollfd pfd{fd, events, 0};
+  ::poll(&pfd, 1, 1000);
+}
+
+}  // namespace
+
+TcpSecureSum::TcpSecureSum(SmcConfig config) : config_(config) {
+  auto& mgr = sgxsim::EnclaveManager::instance();
+  const int k = config_.parties;
+  parties_.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    Party& p = parties_[static_cast<std::size_t>(i)];
+    p.enclave = &mgr.create("smc.tcp.e" + std::to_string(i));
+    p.secret = initial_secret(i, config_.dim);
+    if (i == 0) p.rnd.resize(config_.dim);
+  }
+  // Pairwise session keys (the distributed protocol's preparation phase —
+  // in reality this would ride on remote attestation).
+  for (int i = 0; i < k; ++i) {
+    Party& p = parties_[static_cast<std::size_t>(i)];
+    Party& n = parties_[static_cast<std::size_t>((i + 1) % k)];
+    auto key = sgxsim::establish_session_key(*p.enclave, *n.enclave);
+    if (!key.has_value()) throw std::runtime_error("attestation failed");
+    p.next_key = *key;
+    n.prev_key = *key;
+  }
+  // Ring links over loopback TCP: party i connects to party i+1.
+  for (int i = 0; i < k; ++i) {
+    Party& p = parties_[static_cast<std::size_t>(i)];
+    Party& n = parties_[static_cast<std::size_t>((i + 1) % k)];
+    net::Socket listener = net::Socket::listen_on(0);
+    if (!listener.valid()) throw std::runtime_error("ring listen failed");
+    p.to_next = net::Socket::connect_to("127.0.0.1", listener.local_port());
+    if (!p.to_next.valid()) throw std::runtime_error("ring connect failed");
+    std::optional<net::Socket> accepted;
+    for (int attempt = 0; attempt < 1000 && !accepted.has_value(); ++attempt) {
+      accepted = listener.accept_nb();
+      if (!accepted.has_value()) wait_fd(listener.fd(), POLLIN);
+    }
+    if (!accepted.has_value()) throw std::runtime_error("ring accept failed");
+    n.from_prev = std::move(*accepted);
+  }
+}
+
+void TcpSecureSum::send_frame(Party& from,
+                              std::span<const std::uint8_t> frame) {
+  // Network I/O is a system call: the enclave-resident party performs an
+  // OCall for it (charged by the simulator when called from inside).
+  sgxsim::ocall([&] {
+    std::uint8_t len[4];
+    util::store_le32(len, static_cast<std::uint32_t>(frame.size()));
+    std::size_t sent = 0;
+    auto push = [&](std::span<const std::uint8_t> bytes) {
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        long n = from.to_next.write_nb(bytes.subspan(off));
+        if (n < 0) throw std::runtime_error("ring send failed");
+        if (n == 0) {
+          wait_fd(from.to_next.fd(), POLLOUT);
+          continue;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+    };
+    push(std::span<const std::uint8_t>(len, 4));
+    push(frame);
+    sent = frame.size();
+    (void)sent;
+  });
+}
+
+util::Bytes TcpSecureSum::recv_frame(Party& at) {
+  util::Bytes out;
+  sgxsim::ocall([&] {
+    auto pull = [&](std::span<std::uint8_t> bytes) {
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        long n = at.from_prev.read_nb(bytes.subspan(off));
+        if (n < 0) throw std::runtime_error("ring recv failed");
+        if (n == 0) {
+          wait_fd(at.from_prev.fd(), POLLIN);
+          continue;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+    };
+    std::uint8_t len[4];
+    pull(len);
+    out.resize(util::load_le32(len));
+    pull(out);
+  });
+  return out;
+}
+
+Vec TcpSecureSum::run_once() {
+  const int k = config_.parties;
+
+  // Party 0: mask and transmit.
+  {
+    Party& p = parties_[0];
+    sgxsim::ecall(*p.enclave, [&] {
+      refill_random_trusted(p.rnd);
+      Vec m = p.secret;
+      add_in_place(m, p.rnd);
+      util::Bytes frame =
+          crypto::seal_with_counter(p.next_key, p.counter++, {}, serialize(m));
+      send_frame(p, frame);
+    });
+  }
+  // Parties 1..K-1: receive over the network, add, transmit.
+  for (int i = 1; i < k; ++i) {
+    Party& p = parties_[static_cast<std::size_t>(i)];
+    sgxsim::ecall(*p.enclave, [&] {
+      util::Bytes frame = recv_frame(p);
+      auto plain = crypto::open_framed(p.prev_key, {}, frame);
+      if (!plain.has_value()) throw std::runtime_error("hop auth failed");
+      Vec m = deserialize(*plain);
+      add_in_place(m, p.secret);
+      util::Bytes next =
+          crypto::seal_with_counter(p.next_key, p.counter++, {}, serialize(m));
+      send_frame(p, next);
+      if (config_.dynamic) update_secret(p.secret);
+    });
+  }
+  // Party 0: receive the full ring result and unmask.
+  Vec sum;
+  {
+    Party& p = parties_[0];
+    sgxsim::ecall(*p.enclave, [&] {
+      util::Bytes frame = recv_frame(p);
+      auto plain = crypto::open_framed(p.prev_key, {}, frame);
+      if (!plain.has_value()) throw std::runtime_error("final auth failed");
+      sum = deserialize(*plain);
+      sub_in_place(sum, p.rnd);
+      if (config_.dynamic) update_secret(p.secret);
+    });
+  }
+  return sum;
+}
+
+Vec TcpSecureSum::expected_sum() const {
+  Vec sum(config_.dim, 0);
+  for (const Party& p : parties_) add_in_place(sum, p.secret);
+  return sum;
+}
+
+}  // namespace ea::smc

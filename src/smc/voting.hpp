@@ -1,0 +1,33 @@
+// Private voting on top of the secure sum (paper §2.1 cites online voting
+// [16] among the data-partitioning applications; §5.2 generalises the
+// secure sum to vectors — a ballot is exactly a one-hot vector, and the
+// element-wise sum of all ballots is the tally).
+//
+// Each party contributes one vote for a candidate in [0, candidates); no
+// party (and not the untrusted runtime) learns another party's vote, only
+// the final histogram. Ballot validity (one-hot) is enforced locally by
+// encode_ballot; a malicious voter could still stuff multiple votes — like
+// the underlying secure-sum protocol, this assumes semi-honest parties
+// (the paper's §2.3 model augments it with per-party enclaves).
+#pragma once
+
+#include <optional>
+
+#include "smc/secure_sum.hpp"
+
+namespace ea::smc {
+
+// One-hot ballot for `choice` out of `candidates`; nullopt when the choice
+// is out of range.
+std::optional<Vec> encode_ballot(std::size_t choice, std::size_t candidates);
+
+// Winning candidate(s) of a tally (lowest index wins ties).
+std::size_t winner(const Vec& tally);
+
+// Convenience: runs a complete election over the SDK-style ring — one
+// enclave per voter — and returns the tally. Used by tests and examples;
+// benchmark-grade deployments use the EActors ring directly.
+Vec run_election_sdk(const std::vector<std::size_t>& votes,
+                     std::size_t candidates);
+
+}  // namespace ea::smc

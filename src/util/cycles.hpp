@@ -1,0 +1,44 @@
+// Cycle-accurate timing helpers.
+//
+// The SGX simulator charges enclave transitions in CPU cycles (the unit the
+// paper and the HotCalls measurement study use), so we need a cheap cycle
+// counter and a way to burn a given number of cycles without sleeping —
+// a real EENTER/EEXIT keeps the core busy, it does not yield.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace ea::util {
+
+// Reads the CPU timestamp counter. Monotonic per-core; good enough for
+// charging simulated costs and for coarse benchmark timing.
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  // Fallback: nanosecond clock scaled to a nominal 1 GHz "cycle".
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+}
+
+// Busy-burns approximately `cycles` CPU cycles. Used by the SGX cost model
+// to emulate the latency of enclave transitions, paging, and the trusted
+// random number generator.
+inline void burn_cycles(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  const std::uint64_t start = rdtsc();
+  while (rdtsc() - start < cycles) {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#endif
+  }
+}
+
+}  // namespace ea::util

@@ -1,0 +1,32 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace ea::util {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+double bench_scale() { return env_double("EA_BENCH_SCALE", 1.0); }
+
+}  // namespace ea::util

@@ -1,0 +1,25 @@
+// Environment-variable helpers used by benchmarks and examples to scale
+// workloads (this repository runs on boxes much smaller than the paper's
+// 8-hyper-thread Xeon).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ea::util {
+
+// Returns the integer value of `name`, or `fallback` if unset/unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+// Returns the floating-point value of `name`, or `fallback`.
+double env_double(const char* name, double fallback);
+
+// Returns the string value of `name`, or `fallback`.
+std::string env_str(const char* name, const std::string& fallback);
+
+// Global benchmark scale factor (EA_BENCH_SCALE, default 1.0). Benchmarks
+// multiply their iteration counts by this so a laptop run finishes quickly
+// while a beefier box can approach the paper's workload sizes.
+double bench_scale();
+
+}  // namespace ea::util

@@ -1,0 +1,92 @@
+#include "util/logging.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace ea::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void init_log_level_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("EA_LOG");
+    if (env == nullptr) return;
+    struct Entry {
+      const char* name;
+      LogLevel level;
+    };
+    static constexpr Entry kEntries[] = {
+        {"trace", LogLevel::kTrace}, {"debug", LogLevel::kDebug},
+        {"info", LogLevel::kInfo},   {"warn", LogLevel::kWarn},
+        {"error", LogLevel::kError}, {"off", LogLevel::kOff},
+    };
+    for (const auto& e : kEntries) {
+      if (std::strcmp(env, e.name) == 0) {
+        set_log_level(e.level);
+        return;
+      }
+    }
+  });
+}
+
+bool log_enabled(LogLevel level) {
+  init_log_level_from_env();
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void log_raw(LogLevel level, const char* tag, const char* fmt, ...) {
+  char buf[1024];
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  int off = std::snprintf(buf, sizeof(buf), "[%ld.%03ld] %-5s %-8s ",
+                          static_cast<long>(ts.tv_sec % 100000),
+                          ts.tv_nsec / 1000000, level_name(level), tag);
+  if (off < 0) return;
+  va_list args;
+  va_start(args, fmt);
+  int body = std::vsnprintf(buf + off, sizeof(buf) - static_cast<size_t>(off) - 1,
+                            fmt, args);
+  va_end(args);
+  if (body < 0) return;
+  size_t len = static_cast<size_t>(off) + static_cast<size_t>(body);
+  if (len >= sizeof(buf) - 1) len = sizeof(buf) - 2;
+  buf[len++] = '\n';
+  [[maybe_unused]] ssize_t rc = ::write(STDERR_FILENO, buf, len);
+}
+
+}  // namespace ea::util

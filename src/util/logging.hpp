@@ -1,0 +1,52 @@
+// Lightweight leveled logger for the EActors framework.
+//
+// Actors run on hot paths where iostream locking is unacceptable, so the
+// logger formats into a stack buffer and writes with a single write(2).
+// The active level is process-global and lock-free to query.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+
+namespace ea::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Sets the process-wide log level. Thread-safe.
+void set_log_level(LogLevel level);
+
+// Returns the current process-wide log level. Thread-safe.
+LogLevel log_level();
+
+// Initialises the level from the EA_LOG environment variable
+// (trace|debug|info|warn|error|off). Called lazily on first log.
+void init_log_level_from_env();
+
+// printf-style log statement. `tag` names the subsystem (e.g. "core").
+void log_raw(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+bool log_enabled(LogLevel level);
+
+}  // namespace ea::util
+
+#define EA_LOG(level, tag, ...)                              \
+  do {                                                       \
+    if (::ea::util::log_enabled(level)) {                    \
+      ::ea::util::log_raw((level), (tag), __VA_ARGS__);      \
+    }                                                        \
+  } while (0)
+
+#define EA_TRACE(tag, ...) EA_LOG(::ea::util::LogLevel::kTrace, tag, __VA_ARGS__)
+#define EA_DEBUG(tag, ...) EA_LOG(::ea::util::LogLevel::kDebug, tag, __VA_ARGS__)
+#define EA_INFO(tag, ...) EA_LOG(::ea::util::LogLevel::kInfo, tag, __VA_ARGS__)
+#define EA_WARN(tag, ...) EA_LOG(::ea::util::LogLevel::kWarn, tag, __VA_ARGS__)
+#define EA_ERROR(tag, ...) EA_LOG(::ea::util::LogLevel::kError, tag, __VA_ARGS__)

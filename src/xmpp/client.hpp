@@ -1,0 +1,78 @@
+// Blocking XMPP client (the role libstrophe plays in the paper's
+// evaluation §6.4): connects, authenticates, joins rooms, exchanges O2O and
+// group-chat messages, and performs the service-level encryption that
+// matches the server in e2e.hpp. Used by tests, examples and the benchmark
+// load generators; each benchmark client runs in its own thread, as in the
+// paper.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "crypto/rng.hpp"
+#include "net/socket.hpp"
+#include "xmpp/stanza.hpp"
+
+namespace ea::xmpp {
+
+class Client {
+ public:
+  Client();
+
+  struct Message {
+    std::string kind;  // "chat" | "groupchat" | "presence" | other name
+    std::string from;
+    std::string body;  // decrypted plaintext for chat/groupchat
+    bool decrypt_ok = true;
+  };
+
+  // Connects to 127.0.0.1:port, opens the stream and authenticates as
+  // `jid`. Returns false on any failure within the timeout.
+  bool connect(std::uint16_t port, const std::string& jid,
+               int timeout_ms = 5000);
+
+  // Joins a group chat and waits for the presence acknowledgement.
+  bool join_room(const std::string& room, int timeout_ms = 5000);
+
+  // Subscribes to `contact`'s presence (roster add). Returns the contact's
+  // current availability ("available"/"unavailable"); nullopt on failure.
+  // Subsequent changes arrive as kind=="presence" messages from the
+  // contact with the availability in `body`.
+  std::optional<std::string> add_contact(const std::string& contact,
+                                         int timeout_ms = 5000);
+
+  // O2O: end-to-end encrypts `plaintext` for `to` and sends.
+  bool send_chat(const std::string& to, std::string_view plaintext);
+
+  // Group chat: encrypts for the server (sender context) and sends.
+  bool send_groupchat(const std::string& room, std::string_view plaintext);
+
+  // Returns the next inbound message, waiting up to timeout_ms. Presence
+  // acks and iq results are surfaced too (kind = stanza name).
+  std::optional<Message> recv(int timeout_ms = 5000);
+
+  // Non-blocking variant: returns a message only if one is already
+  // available or arrives without waiting.
+  std::optional<Message> poll();
+
+  bool connected() const noexcept { return socket_.valid(); }
+  const std::string& jid() const noexcept { return jid_; }
+
+  void close();
+
+ private:
+  bool send_all(std::string_view bytes, int timeout_ms = 5000);
+  // Reads whatever is available (waiting up to timeout_ms for the first
+  // byte) and converts stream events into queued messages.
+  bool pump(int timeout_ms);
+  void enqueue_event(const StanzaStream::Event& event);
+
+  net::Socket socket_;
+  StanzaStream stream_;
+  std::string jid_;
+  crypto::FastRng rng_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace ea::xmpp

@@ -1,0 +1,585 @@
+#include "xmpp/server.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/rng.hpp"
+#include "sgxsim/attestation.hpp"
+#include "util/logging.hpp"
+#include "xmpp/e2e.hpp"
+
+namespace ea::xmpp {
+
+// --- shared state ----------------------------------------------------------
+
+void Directory::put(const std::string& jid, Route route) {
+  concurrent::HleGuard guard(lock_);
+  users_[jid] = route;
+}
+
+std::optional<Route> Directory::get(const std::string& jid) const {
+  concurrent::HleGuard guard(lock_);
+  auto it = users_.find(jid);
+  if (it == users_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Directory::remove(const std::string& jid) {
+  concurrent::HleGuard guard(lock_);
+  users_.erase(jid);
+}
+
+std::size_t Directory::size() const {
+  concurrent::HleGuard guard(lock_);
+  return users_.size();
+}
+
+void RoomTable::join(const std::string& room, const std::string& jid) {
+  concurrent::HleGuard guard(lock_);
+  auto& members = rooms_[room];
+  for (const std::string& m : members) {
+    if (m == jid) return;
+  }
+  members.push_back(jid);
+}
+
+void RoomTable::leave_all(const std::string& jid) {
+  concurrent::HleGuard guard(lock_);
+  for (auto& [room, members] : rooms_) {
+    std::erase(members, jid);
+  }
+}
+
+std::vector<std::string> RoomTable::members(const std::string& room) const {
+  concurrent::HleGuard guard(lock_);
+  auto it = rooms_.find(room);
+  return it == rooms_.end() ? std::vector<std::string>{} : it->second;
+}
+
+void RosterTable::add(const std::string& watcher, const std::string& contact) {
+  concurrent::HleGuard guard(lock_);
+  auto& watchers = watchers_by_contact_[contact];
+  bool known = false;
+  for (const auto& w : watchers) known |= (w == watcher);
+  if (!known) watchers.push_back(watcher);
+  auto& contacts = contacts_by_watcher_[watcher];
+  known = false;
+  for (const auto& c : contacts) known |= (c == contact);
+  if (!known) contacts.push_back(contact);
+}
+
+std::vector<std::string> RosterTable::watchers_of(
+    const std::string& contact) const {
+  concurrent::HleGuard guard(lock_);
+  auto it = watchers_by_contact_.find(contact);
+  return it == watchers_by_contact_.end() ? std::vector<std::string>{}
+                                          : it->second;
+}
+
+std::vector<std::string> RosterTable::contacts_of(
+    const std::string& watcher) const {
+  concurrent::HleGuard guard(lock_);
+  auto it = contacts_by_watcher_.find(watcher);
+  return it == contacts_by_watcher_.end() ? std::vector<std::string>{}
+                                          : it->second;
+}
+
+int XmppShared::room_owner(const std::string& room) const {
+  return static_cast<int>(std::hash<std::string>{}(room) %
+                          static_cast<std::size_t>(instances));
+}
+
+bool XmppShared::spool_offline(const std::string& jid,
+                               std::string_view wire) {
+  if (offline_store == nullptr) return false;
+  concurrent::HleGuard guard(offline_lock);
+  // Per-user count lives under "offcnt:<jid>"; messages under
+  // "off:<jid>:<n>". The deterministic key encryption of the store hides
+  // both the user and the index.
+  std::string count_key = "offcnt:" + jid;
+  std::uint32_t count = 0;
+  if (auto raw = offline_store->get(util::to_bytes(count_key))) {
+    if (raw->size() == 4) count = util::load_le32(raw->data());
+  }
+  if (count >= kMaxOfflinePerUser) return false;
+  std::string msg_key = "off:" + jid + ":" + std::to_string(count);
+  if (!offline_store->set(util::to_bytes(msg_key),
+                          util::to_bytes(wire))) {
+    return false;
+  }
+  std::uint8_t le[4];
+  util::store_le32(le, count + 1);
+  return offline_store->set(util::to_bytes(count_key),
+                            std::span<const std::uint8_t>(le, 4));
+}
+
+std::vector<std::string> XmppShared::drain_offline(const std::string& jid) {
+  std::vector<std::string> out;
+  if (offline_store == nullptr) return out;
+  concurrent::HleGuard guard(offline_lock);
+  std::string count_key = "offcnt:" + jid;
+  std::uint32_t count = 0;
+  if (auto raw = offline_store->get(util::to_bytes(count_key))) {
+    if (raw->size() == 4) count = util::load_le32(raw->data());
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string msg_key = "off:" + jid + ":" + std::to_string(i);
+    if (auto wire = offline_store->get(util::to_bytes(msg_key))) {
+      out.push_back(util::to_string(*wire));
+    }
+    offline_store->erase(util::to_bytes(msg_key));
+  }
+  if (count > 0) {
+    std::uint8_t le[4] = {0, 0, 0, 0};
+    offline_store->set(util::to_bytes(count_key),
+                       std::span<const std::uint8_t>(le, 4));
+  }
+  return out;
+}
+
+const crypto::AeadKey* XmppShared::transfer_key(int from_instance,
+                                                int to_instance) const {
+  if (instance_enclaves.empty()) return nullptr;
+  sgxsim::EnclaveId a = instance_enclaves[static_cast<std::size_t>(from_instance)];
+  sgxsim::EnclaveId b = instance_enclaves[static_cast<std::size_t>(to_instance)];
+  if (a == b || a == sgxsim::kUntrusted || b == sgxsim::kUntrusted) {
+    return nullptr;
+  }
+  auto it = enclave_pair_keys.find(std::minmax(a, b));
+  return it == enclave_pair_keys.end() ? nullptr : &it->second;
+}
+
+// --- CONNECTOR --------------------------------------------------------------
+
+bool ConnectorActor::body() {
+  bool progress = false;
+  while (concurrent::Node* node = shared_->online.pop()) {
+    concurrent::NodeLease lease(node);
+    auto socket = static_cast<net::SocketId>(node->tag);
+    int instance = next_instance_++ % shared_->instances;
+
+    concurrent::Node* req = shared_->pool->get();
+    if (req == nullptr) {
+      // No request node: put the connection back and retry next round.
+      shared_->online.push(lease.release());
+      break;
+    }
+    net::ReadSubscribe sub;
+    sub.socket = socket;
+    sub.data = shared_->inboxes[static_cast<std::size_t>(instance)];
+    sub.pool = nullptr;
+    net::write_struct(*req, sub);
+    shared_->reader_reqs[static_cast<std::size_t>(instance)]->push(req);
+    progress = true;
+    EA_DEBUG("xmpp", "connector: socket %lld -> instance %d",
+             static_cast<long long>(socket), instance);
+  }
+  return progress;
+}
+
+// --- XMPP instance -----------------------------------------------------------
+
+bool XmppActor::body() {
+  bool progress = false;
+  while (concurrent::Node* node = inbox_.pop()) {
+    concurrent::NodeLease lease(node);
+    progress = true;
+    if (node->tag & kTransferFlag) {
+      handle_transfer(*node);
+      continue;
+    }
+    auto socket = static_cast<net::SocketId>(node->tag);
+    if (node->size == 0) {
+      drop_client(socket);
+      continue;
+    }
+    handle_data(socket, node->view());
+  }
+  return progress;
+}
+
+void XmppActor::handle_data(net::SocketId socket, std::string_view bytes) {
+  ClientState& client = clients_[socket];
+  client.stream.feed(bytes);
+  while (auto event = client.stream.next()) {
+    switch (event->type) {
+      case StanzaStream::EventType::kStreamOpen:
+        send_raw(index_, socket, make_stream_open("ea-xmpp"));
+        break;
+      case StanzaStream::EventType::kStreamClose:
+        drop_client(socket);
+        return;
+      case StanzaStream::EventType::kStanza:
+        handle_stanza(socket, client, event->node);
+        break;
+    }
+  }
+  if (client.stream.failed()) {
+    EA_WARN("xmpp", "instance %d: malformed stream on socket %lld", index_,
+            static_cast<long long>(socket));
+    drop_client(socket);
+  }
+}
+
+void XmppActor::handle_stanza(net::SocketId socket, ClientState& client,
+                              const XmlNode& stanza) {
+  if (stanza.name == "auth") {
+    const std::string* jid = stanza.attr("jid");
+    if (jid == nullptr || jid->empty()) {
+      send_raw(index_, socket, make_error("bad-auth"));
+      return;
+    }
+    client.jid = *jid;
+    client.authed = true;
+    shared_->directory.put(*jid, Route{socket, index_});
+    send_raw(index_, socket, make_auth_success());
+    // Deliver any messages spooled while the user was offline.
+    for (const std::string& wire : shared_->drain_offline(*jid)) {
+      send_raw(index_, socket, wire);
+      ++routed_;
+    }
+    // Tell everyone who subscribed to this user that they are online.
+    broadcast_presence(*jid, /*available=*/true);
+    return;
+  }
+  if (!client.authed) {
+    send_raw(index_, socket, make_error("not-authorized"));
+    return;
+  }
+
+  if (stanza.name == "presence") {
+    const std::string* room = stanza.attr("to");
+    if (room != nullptr && !room->empty()) {
+      shared_->rooms.join(*room, client.jid);
+      send_raw(index_, socket,
+               make_presence_join(*room, client.jid));
+    }
+    return;
+  }
+
+  if (stanza.name == "message") {
+    const std::string* to = stanza.attr("to");
+    const std::string* type = stanza.attr("type");
+    const XmlNode* body = stanza.child("body");
+    if (to == nullptr || body == nullptr) return;
+
+    if (type != nullptr && *type == "groupchat") {
+      int owner = shared_->room_owner(*to);
+      if (owner == index_) {
+        process_groupchat(client.jid, *to, body->text);
+      } else {
+        forward_groupchat(owner, stanza, client.jid);
+      }
+      return;
+    }
+
+    // One-to-One: route the (still end-to-end-encrypted) body verbatim.
+    std::string wire = make_chat_message(client.jid, *to, body->text);
+    auto route = shared_->directory.get(*to);
+    if (!route.has_value()) {
+      // Spool for later delivery when the offline store is enabled.
+      if (!shared_->spool_offline(*to, wire)) {
+        send_raw(index_, socket, make_error("recipient-unavailable"));
+      }
+      return;
+    }
+    if (send_raw(route->instance, route->socket, wire)) ++routed_;
+    return;
+  }
+
+  if (stanza.name == "iq") {
+    // Roster management: <iq type='set'><item jid='contact'/></iq>
+    // subscribes the sender to the contact's presence.
+    XmlNode result;
+    result.name = "iq";
+    result.set_attr("type", "result");
+    if (const std::string* id = stanza.attr("id")) result.set_attr("id", *id);
+    send_raw(index_, socket, result.serialize());
+
+    const std::string* type = stanza.attr("type");
+    if (type != nullptr && *type == "set") {
+      if (const XmlNode* item = stanza.child("item")) {
+        if (const std::string* contact = item->attr("jid")) {
+          shared_->roster.add(client.jid, *contact);
+          // Immediate status (after the result) so the watcher knows the
+          // current state.
+          XmlNode presence;
+          presence.name = "presence";
+          presence.set_attr("from", *contact);
+          presence.set_attr(
+              "type", shared_->directory.get(*contact).has_value()
+                          ? "available"
+                          : "unavailable");
+          send_raw(index_, socket, presence.serialize());
+        }
+      }
+    }
+  }
+}
+
+void XmppActor::broadcast_presence(const std::string& jid, bool available) {
+  XmlNode presence;
+  presence.name = "presence";
+  presence.set_attr("from", jid);
+  presence.set_attr("type", available ? "available" : "unavailable");
+  std::string wire = presence.serialize();
+  for (const std::string& watcher : shared_->roster.watchers_of(jid)) {
+    auto route = shared_->directory.get(watcher);
+    if (route.has_value()) {
+      send_raw(route->instance, route->socket, wire);
+    }
+  }
+}
+
+void XmppActor::forward_groupchat(int owner, const XmlNode& stanza,
+                                  const std::string& from_jid) {
+  // Forward the stanza to the instance owning the room ("each group chat
+  // is confined to a dedicated XMPP eactor"). If the owner lives in a
+  // different enclave, the node memory between us is untrusted and the
+  // transfer is sealed with the attested pair key.
+  XmlNode forwarded = stanza;
+  forwarded.set_attr("from", from_jid);
+  std::string wire = forwarded.serialize();
+
+  concurrent::Node* node = shared_->pool->get();
+  if (node == nullptr) {
+    EA_WARN("xmpp", "dropping forwarded groupchat (pool exhausted)");
+    return;
+  }
+  const crypto::AeadKey* key = shared_->transfer_key(index_, owner);
+  bool encrypted = key != nullptr;
+  if (encrypted) {
+    std::uint64_t nonce =
+        shared_->transfer_nonce.fetch_add(1, std::memory_order_relaxed);
+    util::Bytes sealed = crypto::seal_with_counter(
+        *key, nonce, {},
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+    if (sealed.size() > node->capacity) {
+      concurrent::NodeLease(node).reset();
+      EA_WARN("xmpp", "dropping forwarded groupchat (capacity)");
+      return;
+    }
+    node->fill(sealed);
+  } else {
+    if (wire.size() > node->capacity) {
+      concurrent::NodeLease(node).reset();
+      EA_WARN("xmpp", "dropping forwarded groupchat (capacity)");
+      return;
+    }
+    node->fill(wire);
+  }
+  node->tag = transfer_tag(index_, encrypted);
+  shared_->inboxes[static_cast<std::size_t>(owner)]->push(node);
+}
+
+void XmppActor::handle_transfer(const concurrent::Node& node) {
+  std::string wire;
+  if (node.tag & kTransferEncrypted) {
+    int from_instance = static_cast<int>(node.tag & 0xffffffffull);
+    const crypto::AeadKey* key = shared_->transfer_key(from_instance, index_);
+    if (key == nullptr) return;
+    std::optional<util::Bytes> plain =
+        crypto::open_framed(*key, {}, node.data());
+    if (!plain.has_value()) {
+      EA_WARN("xmpp", "transfer failing authentication dropped");
+      return;
+    }
+    wire = util::to_string(*plain);
+  } else {
+    wire = std::string(node.view());
+  }
+  std::size_t pos = 0;
+  auto stanza = parse_element(wire, pos);
+  if (!stanza.has_value()) return;
+  const std::string* from = stanza->attr("from");
+  const std::string* to = stanza->attr("to");
+  const XmlNode* body = stanza->child("body");
+  if (from == nullptr || to == nullptr || body == nullptr) return;
+  process_groupchat(*from, *to, body->text);
+}
+
+void XmppActor::process_groupchat(const std::string& from,
+                                  const std::string& room,
+                                  const std::string& body) {
+  // "The server decrypts the messages of each user and re-encrypts for all
+  // members of the group" — this is the enclave-resident work of the room's
+  // XMPP eactor.
+  std::optional<std::string> plain =
+      open_body(user_key(from, kCtxGroupUp), body);
+  if (!plain.has_value()) {
+    EA_WARN("xmpp", "groupchat from %s: body failed authentication",
+            from.c_str());
+    return;
+  }
+  crypto::FastRng rng(nonce_seed_ += 0x9e3779b97f4a7c15ull);
+  for (const std::string& member : shared_->rooms.members(room)) {
+    auto route = shared_->directory.get(member);
+    if (!route.has_value()) continue;
+    std::string sealed =
+        seal_body(user_key(member, kCtxGroup), rng.next(), *plain);
+    std::string wire =
+        make_groupchat_message(room + "/" + from, member, sealed);
+    if (send_raw(route->instance, route->socket, wire)) ++routed_;
+  }
+}
+
+void XmppActor::drop_client(net::SocketId socket) {
+  auto it = clients_.find(socket);
+  if (it != clients_.end()) {
+    if (!it->second.jid.empty()) {
+      std::string jid = it->second.jid;
+      shared_->directory.remove(jid);
+      shared_->rooms.leave_all(jid);
+      broadcast_presence(jid, /*available=*/false);
+    }
+    clients_.erase(it);
+  }
+  if (shared_->closer_input != nullptr) {
+    if (concurrent::Node* node = shared_->pool->get()) {
+      node->tag = static_cast<std::uint64_t>(socket);
+      node->size = 0;
+      shared_->closer_input->push(node);
+    }
+  }
+}
+
+bool XmppActor::send_raw(int instance, net::SocketId socket,
+                         std::string_view bytes) {
+  concurrent::Node* node = shared_->pool->get();
+  if (node == nullptr) {
+    EA_WARN("xmpp", "instance %d: send pool exhausted", index_);
+    return false;
+  }
+  if (bytes.size() > node->capacity) {
+    concurrent::NodeLease(node).reset();
+    EA_WARN("xmpp", "instance %d: message exceeds node capacity", index_);
+    return false;
+  }
+  node->fill(bytes);
+  node->tag = static_cast<std::uint64_t>(socket);
+  shared_->writer_inputs[static_cast<std::size_t>(instance)]->push(node);
+  return true;
+}
+
+// --- installation ------------------------------------------------------------
+
+XmppService install_xmpp_service(core::Runtime& rt,
+                                 const XmppServiceConfig& config) {
+  XmppService service;
+  auto shared = std::make_shared<XmppShared>();
+  auto table = std::make_shared<net::SocketTable>();
+  shared->pool = &rt.public_pool();
+  shared->instances = config.instances;
+  service.shared = shared;
+
+  if (config.offline_messages) {
+    pos::PosOptions pos_options;
+    pos_options.path = config.offline_store_path;
+    pos_options.entry_count = 4096;
+    pos_options.entry_payload = 1024;
+    shared->offline_pos = std::make_unique<pos::Pos>(pos_options);
+    // The spool master key is derived from the deployment master secret,
+    // like the per-user message keys in e2e.hpp.
+    util::Bytes master = crypto::hkdf(
+        {}, util::to_bytes("ea-xmpp-deployment-master"),
+        util::to_bytes("offline-spool"), 32);
+    shared->offline_store =
+        std::make_unique<pos::EncryptedPos>(*shared->offline_pos, master);
+  }
+
+  // Bind the listener now so the port is known synchronously.
+  net::Socket listener = net::Socket::listen_on(config.port);
+  if (!listener.valid()) {
+    throw std::runtime_error("xmpp: cannot bind listener");
+  }
+  service.port = listener.local_port();
+  net::SocketId listener_id = table->add(std::move(listener));
+
+  int cpu = config.first_cpu;
+
+  // Global network actors: ACCEPTER (feeding the Online list) and CLOSER.
+  auto accepter = std::make_unique<net::AccepterActor>("xmpp.accepter", table,
+                                                       rt.public_pool());
+  auto closer = std::make_unique<net::CloserActor>("xmpp.closer", table);
+  shared->closer_input = &closer->input();
+  {
+    concurrent::Node* sub_node = rt.public_pool().get();
+    net::AcceptSubscribe sub;
+    sub.listener = listener_id;
+    sub.reply = &shared->online;
+    net::write_struct(*sub_node, sub);
+    accepter->requests().push(sub_node);
+  }
+  rt.add_actor(std::move(accepter));
+  rt.add_actor(std::move(closer));
+  rt.add_worker("xmpp.net0", {cpu++}, {"xmpp.accepter", "xmpp.closer"});
+
+  // The CONNECTOR, enclaved when the service is trusted.
+  auto connector = std::make_unique<ConnectorActor>("xmpp.connector", shared);
+  service.connector = connector.get();
+  rt.add_actor(std::move(connector),
+               config.trusted ? "xmpp.connector.enclave" : "");
+  rt.add_worker("xmpp.conn", {cpu++}, {"xmpp.connector"});
+
+  // Instances with their dedicated READER/WRITER pairs.
+  const int enclave_count =
+      config.enclaves > 0 ? config.enclaves : config.instances;
+  shared->inboxes.resize(static_cast<std::size_t>(config.instances));
+  shared->reader_reqs.resize(static_cast<std::size_t>(config.instances));
+  shared->writer_inputs.resize(static_cast<std::size_t>(config.instances));
+  for (int i = 0; i < config.instances; ++i) {
+    std::string suffix = std::to_string(i);
+    auto xmpp = std::make_unique<XmppActor>("xmpp.i" + suffix, i, shared);
+    auto reader = std::make_unique<net::ReaderActor>("xmpp.reader" + suffix,
+                                                     table, rt.public_pool());
+    auto writer =
+        std::make_unique<net::WriterActor>("xmpp.writer" + suffix, table);
+
+    shared->inboxes[static_cast<std::size_t>(i)] = &xmpp->inbox();
+    shared->reader_reqs[static_cast<std::size_t>(i)] = &reader->requests();
+    shared->writer_inputs[static_cast<std::size_t>(i)] = &writer->input();
+    service.instances.push_back(xmpp.get());
+
+    std::string enclave_name;
+    if (config.trusted) {
+      enclave_name = "xmpp.e" + std::to_string(i % enclave_count);
+    }
+    rt.add_actor(std::move(xmpp), enclave_name);
+    shared->instance_enclaves.push_back(
+        enclave_name.empty() ? sgxsim::kUntrusted
+                             : rt.enclave(enclave_name).id());
+    rt.add_actor(std::move(reader));
+    rt.add_actor(std::move(writer));
+
+    rt.add_worker("xmpp.app" + suffix, {cpu++}, {"xmpp.i" + suffix});
+    rt.add_worker("xmpp.net" + std::to_string(i + 1), {cpu++},
+                  {"xmpp.reader" + suffix, "xmpp.writer" + suffix});
+  }
+
+  // Attested session keys between every pair of distinct instance
+  // enclaves; used to seal cross-enclave room transfers.
+  auto& mgr = sgxsim::EnclaveManager::instance();
+  for (std::size_t i = 0; i < shared->instance_enclaves.size(); ++i) {
+    for (std::size_t j = i + 1; j < shared->instance_enclaves.size(); ++j) {
+      auto pair = std::minmax(shared->instance_enclaves[i],
+                              shared->instance_enclaves[j]);
+      if (pair.first == pair.second ||
+          pair.first == sgxsim::kUntrusted ||
+          shared->enclave_pair_keys.count(pair) > 0) {
+        continue;
+      }
+      sgxsim::Enclave* a = mgr.find(pair.first);
+      sgxsim::Enclave* b = mgr.find(pair.second);
+      if (a == nullptr || b == nullptr) continue;
+      auto key = sgxsim::establish_session_key(*a, *b);
+      if (key.has_value()) {
+        shared->enclave_pair_keys.emplace(pair, *key);
+      }
+    }
+  }
+  return service;
+}
+
+}  // namespace ea::xmpp

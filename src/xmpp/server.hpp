@@ -1,0 +1,229 @@
+// EActors XMPP instant-messaging service (paper §5.1, Fig. 7).
+//
+// Architecture:
+//   * an enclaved CONNECTOR eactor accepts incoming connections (via the
+//     ACCEPTER system actor feeding the shared Online list) and assigns
+//     them round-robin to XMPP instances by subscribing the socket to that
+//     instance's READER;
+//   * N enclaved XMPP eactors implement the protocol logic (auth, O2O
+//     routing, group-chat re-encryption). Each instance has its own
+//     untrusted READER and WRITER eactors (Fig. 7), so the application
+//     layer and the networking layer scale independently;
+//   * shared (untrusted-memory) state: the user Directory and RoomTable —
+//     equivalents of the paper's Online list — guarded by HLE locks.
+//
+// Deployment knobs reproduce the paper's experiments: instance count
+// (EA/3 = 1 instance, EA/6 = 2, EA/48 = 16), trusted vs untrusted
+// execution (Fig. 15/17) and the number of distinct enclaves the instances
+// are packed into (Fig. 16).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concurrent/hle_lock.hpp"
+#include "crypto/aead.hpp"
+#include "pos/encrypted.hpp"
+#include "pos/pos.hpp"
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+#include "core/runtime.hpp"
+#include "net/actors.hpp"
+#include "xmpp/stanza.hpp"
+
+namespace ea::xmpp {
+
+// Shared routing state in untrusted memory. Values (socket ids, instance
+// indexes) are not confidential; message *contents* are protected by the
+// service-level encryption in e2e.hpp.
+struct Route {
+  net::SocketId socket = -1;
+  int instance = -1;
+};
+
+class Directory {
+ public:
+  void put(const std::string& jid, Route route);
+  std::optional<Route> get(const std::string& jid) const;
+  void remove(const std::string& jid);
+  std::size_t size() const;
+
+ private:
+  mutable concurrent::HleSpinLock lock_;
+  std::map<std::string, Route> users_;
+};
+
+class RoomTable {
+ public:
+  // Adds a member (idempotent).
+  void join(const std::string& room, const std::string& jid);
+  void leave_all(const std::string& jid);
+  std::vector<std::string> members(const std::string& room) const;
+
+ private:
+  mutable concurrent::HleSpinLock lock_;
+  std::map<std::string, std::vector<std::string>> rooms_;
+};
+
+// Contact lists: who wants presence updates about whom. A watcher adds a
+// contact via an <iq type='set'><item jid='...'/></iq>; when the contact
+// (dis)connects, every online watcher receives a presence stanza.
+class RosterTable {
+ public:
+  void add(const std::string& watcher, const std::string& contact);
+  // Watchers interested in `contact`.
+  std::vector<std::string> watchers_of(const std::string& contact) const;
+  std::vector<std::string> contacts_of(const std::string& watcher) const;
+
+ private:
+  mutable concurrent::HleSpinLock lock_;
+  std::map<std::string, std::vector<std::string>> watchers_by_contact_;
+  std::map<std::string, std::vector<std::string>> contacts_by_watcher_;
+};
+
+struct XmppShared {
+  Directory directory;
+  RoomTable rooms;
+  RosterTable roster;
+  concurrent::Mbox online;  // accepted socket ids from the ACCEPTER
+  std::vector<concurrent::Mbox*> inboxes;        // per-instance data mboxes
+  std::vector<concurrent::Mbox*> reader_reqs;    // per-instance READER reqs
+  std::vector<concurrent::Mbox*> writer_inputs;  // per-instance WRITER input
+  concurrent::Mbox* closer_input = nullptr;
+  concurrent::Pool* pool = nullptr;
+  int instances = 0;
+
+  // Enclave of each instance (kUntrusted when deployed outside) and the
+  // attested session keys between distinct instance enclaves. Transfers
+  // between instances in *different* enclaves travel through untrusted
+  // node memory and are therefore encrypted — this is the effect behind
+  // the paper's Fig. 16: packing all instances into one enclave lets them
+  // share data without encryption.
+  std::vector<sgxsim::EnclaveId> instance_enclaves;
+  std::map<std::pair<sgxsim::EnclaveId, sgxsim::EnclaveId>, crypto::AeadKey>
+      enclave_pair_keys;
+  std::atomic<std::uint64_t> transfer_nonce{1};
+
+  // Optional offline-message spool: an encrypted POS shared by all
+  // instances (the application-data role the paper gives the POS in §4.1).
+  // Messages to users that are not connected are stored and delivered when
+  // the user authenticates.
+  std::unique_ptr<pos::Pos> offline_pos;
+  std::unique_ptr<pos::EncryptedPos> offline_store;
+  concurrent::HleSpinLock offline_lock;
+  static constexpr std::uint32_t kMaxOfflinePerUser = 64;
+
+  // Spools `wire` for `jid`; false when the store is absent or full.
+  bool spool_offline(const std::string& jid, std::string_view wire);
+  // Pops every spooled message for `jid` in arrival order.
+  std::vector<std::string> drain_offline(const std::string& jid);
+
+  int room_owner(const std::string& room) const;
+
+  // Key for transfers between two instances, nullptr when they share an
+  // enclave (or either is untrusted — encryption would be pointless).
+  const crypto::AeadKey* transfer_key(int from_instance,
+                                      int to_instance) const;
+};
+
+// Enclaved connection manager: distributes accepted sockets to instances.
+class ConnectorActor : public core::Actor {
+ public:
+  ConnectorActor(std::string name, std::shared_ptr<XmppShared> shared)
+      : core::Actor(std::move(name)), shared_(std::move(shared)) {}
+
+  bool body() override;
+
+ private:
+  std::shared_ptr<XmppShared> shared_;
+  int next_instance_ = 0;
+};
+
+// Enclaved protocol instance.
+class XmppActor : public core::Actor {
+ public:
+  XmppActor(std::string name, int index, std::shared_ptr<XmppShared> shared)
+      : core::Actor(std::move(name)),
+        index_(index),
+        shared_(std::move(shared)) {}
+
+  bool body() override;
+
+  // Data/transfer mbox this instance consumes (READER pushes here).
+  concurrent::Mbox& inbox() noexcept { return inbox_; }
+
+  std::uint64_t messages_routed() const noexcept { return routed_; }
+
+ private:
+  struct ClientState {
+    StanzaStream stream;
+    std::string jid;
+    bool authed = false;
+  };
+
+  void handle_data(net::SocketId socket, std::string_view bytes);
+  void handle_stanza(net::SocketId socket, ClientState& client,
+                     const XmlNode& stanza);
+  void forward_groupchat(int owner, const XmlNode& stanza,
+                         const std::string& from_jid);
+  void handle_transfer(const concurrent::Node& node);
+  // Sends <presence from=jid type=available|unavailable/> to every online
+  // watcher of `jid`.
+  void broadcast_presence(const std::string& jid, bool available);
+  void process_groupchat(const std::string& from, const std::string& room,
+                         const std::string& body);
+  void drop_client(net::SocketId socket);
+  // Sends raw bytes to a socket owned by instance `instance`.
+  bool send_raw(int instance, net::SocketId socket, std::string_view bytes);
+
+  int index_;
+  std::shared_ptr<XmppShared> shared_;
+  concurrent::Mbox inbox_;
+  std::map<net::SocketId, ClientState> clients_;  // the PCL
+  std::uint64_t nonce_seed_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+// Forwarded-stanza nodes in instance inboxes carry a transfer tag instead
+// of a socket id (socket ids are small positive integers, so the high
+// range is free): flag bit, optional encrypted bit, and the sending
+// instance index in the low bits.
+inline constexpr std::uint64_t kTransferFlag = 1ull << 63;
+inline constexpr std::uint64_t kTransferEncrypted = 1ull << 62;
+
+inline std::uint64_t transfer_tag(int from_instance, bool encrypted) {
+  return kTransferFlag | (encrypted ? kTransferEncrypted : 0) |
+         static_cast<std::uint64_t>(from_instance);
+}
+
+struct XmppServiceConfig {
+  int instances = 1;
+  bool trusted = true;       // place XMPP eactors (and connector) in enclaves
+  int enclaves = -1;         // enclaves to spread instances over; -1 = one each
+  std::uint16_t port = 0;    // 0 = pick a free port
+  int first_cpu = 0;         // workers are pinned starting at this cpu
+  // Store messages for offline users in an encrypted POS and deliver them
+  // at the next login (instead of returning recipient-unavailable).
+  bool offline_messages = false;
+  // Backing file for the offline store; empty = anonymous (non-persistent).
+  std::string offline_store_path;
+};
+
+struct XmppService {
+  std::uint16_t port = 0;
+  std::shared_ptr<XmppShared> shared;
+  ConnectorActor* connector = nullptr;
+  std::vector<XmppActor*> instances;
+};
+
+// Installs the full service into `rt` (networking included). Must be called
+// before rt.start(); the listening socket is bound immediately, so `port`
+// is valid on return.
+XmppService install_xmpp_service(core::Runtime& rt,
+                                 const XmppServiceConfig& config);
+
+}  // namespace ea::xmpp

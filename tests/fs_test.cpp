@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <unistd.h>
+
+#include "concurrent/arena.hpp"
+#include "concurrent/pool.hpp"
+#include "fs/file_actor.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::fs {
+namespace {
+
+class FileActorTest : public ::testing::Test {
+ protected:
+  FileActorTest() : arena_(64, 2048), actor_("file") {
+    pool_.adopt(arena_);
+    path_ = "/tmp/ea_fs_test_" + std::to_string(::getpid()) + ".dat";
+    ::unlink(path_.c_str());
+  }
+  ~FileActorTest() override { ::unlink(path_.c_str()); }
+
+  // Sends one request and drives the actor until the reply arrives.
+  concurrent::NodeLease round_trip(const FileRequest& request,
+                                   std::span<const std::uint8_t> payload = {}) {
+    concurrent::Node* node = pool_.get();
+    EXPECT_TRUE(fill_file_request(*node, request, payload));
+    actor_.requests().push(node);
+    for (int i = 0; i < 100 && reply_.empty(); ++i) actor_.body();
+    return concurrent::NodeLease(reply_.pop());
+  }
+
+  FileRequest make_request(FileRequest::Op op) {
+    FileRequest request;
+    request.op = op;
+    std::snprintf(request.path, sizeof(request.path), "%s", path_.c_str());
+    request.reply = &reply_;
+    request.pool = &pool_;
+    request.cookie = 77;
+    return request;
+  }
+
+  concurrent::NodeArena arena_;
+  concurrent::Pool pool_;
+  concurrent::Mbox reply_;
+  FileActor actor_;
+  std::string path_;
+};
+
+TEST_F(FileActorTest, WriteThenRead) {
+  util::Bytes data = util::to_bytes("persistent payload");
+  auto wrote = round_trip(make_request(FileRequest::kWrite), data);
+  ASSERT_TRUE(wrote);
+  FileReplyHeader header;
+  std::span<const std::uint8_t> body;
+  ASSERT_TRUE(parse_file_reply(*wrote.get(), header, body));
+  EXPECT_EQ(header.cookie, 77u);
+  EXPECT_EQ(header.status, static_cast<std::int64_t>(data.size()));
+
+  FileRequest read = make_request(FileRequest::kRead);
+  read.length = 1024;
+  auto got = round_trip(read);
+  ASSERT_TRUE(got);
+  ASSERT_TRUE(parse_file_reply(*got.get(), header, body));
+  EXPECT_EQ(header.status, static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(util::to_string(body), "persistent payload");
+}
+
+TEST_F(FileActorTest, AppendAccumulates) {
+  round_trip(make_request(FileRequest::kWrite), util::to_bytes("abc"));
+  round_trip(make_request(FileRequest::kAppend), util::to_bytes("def"));
+
+  FileRequest size_req = make_request(FileRequest::kSize);
+  auto size_reply = round_trip(size_req);
+  FileReplyHeader header;
+  std::span<const std::uint8_t> body;
+  ASSERT_TRUE(parse_file_reply(*size_reply.get(), header, body));
+  EXPECT_EQ(header.status, 6);
+}
+
+TEST_F(FileActorTest, ReadAtOffset) {
+  round_trip(make_request(FileRequest::kWrite), util::to_bytes("0123456789"));
+  FileRequest read = make_request(FileRequest::kRead);
+  read.offset = 4;
+  read.length = 3;
+  auto reply = round_trip(read);
+  FileReplyHeader header;
+  std::span<const std::uint8_t> body;
+  ASSERT_TRUE(parse_file_reply(*reply.get(), header, body));
+  EXPECT_EQ(util::to_string(body), "456");
+}
+
+TEST_F(FileActorTest, MissingFileReportsErrno) {
+  FileRequest read = make_request(FileRequest::kRead);
+  read.length = 10;
+  auto reply = round_trip(read);
+  FileReplyHeader header;
+  std::span<const std::uint8_t> body;
+  ASSERT_TRUE(parse_file_reply(*reply.get(), header, body));
+  EXPECT_EQ(header.status, -ENOENT);
+}
+
+TEST_F(FileActorTest, DeleteRemovesFile) {
+  round_trip(make_request(FileRequest::kWrite), util::to_bytes("temp"));
+  auto del = round_trip(make_request(FileRequest::kDelete));
+  FileReplyHeader header;
+  std::span<const std::uint8_t> body;
+  ASSERT_TRUE(parse_file_reply(*del.get(), header, body));
+  EXPECT_EQ(header.status, 0);
+
+  auto size_reply = round_trip(make_request(FileRequest::kSize));
+  ASSERT_TRUE(parse_file_reply(*size_reply.get(), header, body));
+  EXPECT_EQ(header.status, -ENOENT);
+}
+
+TEST_F(FileActorTest, NodesAreConserved) {
+  for (int i = 0; i < 20; ++i) {
+    auto reply = round_trip(make_request(FileRequest::kSize));
+  }
+  // Every request and reply node returned to the pool.
+  EXPECT_EQ(pool_.size(), arena_.count());
+}
+
+}  // namespace
+}  // namespace ea::fs

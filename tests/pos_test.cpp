@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <map>
+#include <thread>
+
+#include "crypto/rng.hpp"
+#include "pos/cleaner_actor.hpp"
+#include "pos/encrypted.hpp"
+#include "pos/pos.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/enclave.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::pos {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+PosOptions small_options() {
+  PosOptions options;
+  options.entry_count = 64;
+  options.entry_payload = 128;
+  options.bucket_count = 8;
+  return options;
+}
+
+TEST(Pos, SetGetRoundTrip) {
+  Pos store(small_options());
+  EXPECT_TRUE(store.set(to_bytes("alice"), to_bytes("online")));
+  auto value = store.get(to_bytes("alice"));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(util::to_string(*value), "online");
+}
+
+TEST(Pos, MissingKeyReturnsNullopt) {
+  Pos store(small_options());
+  EXPECT_FALSE(store.get(to_bytes("ghost")).has_value());
+}
+
+TEST(Pos, EmptyKeyRejected) {
+  Pos store(small_options());
+  EXPECT_FALSE(store.set({}, to_bytes("v")));
+}
+
+TEST(Pos, EmptyValueAllowed) {
+  Pos store(small_options());
+  EXPECT_TRUE(store.set(to_bytes("k"), {}));
+  auto value = store.get(to_bytes("k"));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(value->empty());
+}
+
+TEST(Pos, OversizedPairRejected) {
+  Pos store(small_options());
+  Bytes big(200, 0x7);
+  EXPECT_FALSE(store.set(to_bytes("k"), big));
+}
+
+TEST(Pos, UpdateReturnsNewestVersion) {
+  Pos store(small_options());
+  store.set(to_bytes("k"), to_bytes("v1"));
+  store.set(to_bytes("k"), to_bytes("v2"));
+  store.set(to_bytes("k"), to_bytes("v3"));
+  EXPECT_EQ(util::to_string(*store.get(to_bytes("k"))), "v3");
+}
+
+TEST(Pos, UpdatesConsumeEntriesUntilCleaned) {
+  PosOptions options = small_options();
+  options.entry_count = 4;
+  Pos store(options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(store.set(to_bytes("k"), to_bytes("v" + std::to_string(i))));
+  }
+  // All four entries hold versions of "k"; the store is full.
+  EXPECT_FALSE(store.set(to_bytes("k"), to_bytes("v4")));
+  PosStats stats = store.stats();
+  EXPECT_EQ(stats.live, 1u);
+  EXPECT_EQ(stats.outdated, 3u);
+}
+
+TEST(Pos, CleanerRequiresGracePeriod) {
+  Pos store(small_options());
+  Pos::Reader reader = store.register_reader();
+  store.set(to_bytes("k"), to_bytes("v1"));
+  store.set(to_bytes("k"), to_bytes("v2"));
+
+  // Phase 1: gather outdated into limbo.
+  EXPECT_EQ(store.clean_step(), 0u);
+  EXPECT_EQ(store.stats().limbo, 1u);
+  // Reader has not ticked since: nothing may be freed.
+  EXPECT_EQ(store.clean_step(), 0u);
+  reader.tick();
+  EXPECT_EQ(store.clean_step(), 1u);
+  EXPECT_EQ(store.stats().limbo, 0u);
+  EXPECT_EQ(store.stats().outdated, 0u);
+  EXPECT_EQ(util::to_string(*store.get(to_bytes("k"))), "v2");
+}
+
+TEST(Pos, CleanerWithNoReadersFreesImmediately) {
+  Pos store(small_options());
+  store.set(to_bytes("k"), to_bytes("v1"));
+  store.set(to_bytes("k"), to_bytes("v2"));
+  EXPECT_EQ(store.clean_step(), 0u);  // gather
+  EXPECT_EQ(store.clean_step(), 1u);  // free (no registered readers)
+}
+
+TEST(Pos, CleanerRecyclesIntoFreeList) {
+  PosOptions options = small_options();
+  options.entry_count = 4;
+  Pos store(options);
+  for (int i = 0; i < 4; ++i) {
+    store.set(to_bytes("k"), to_bytes("v" + std::to_string(i)));
+  }
+  EXPECT_FALSE(store.set(to_bytes("k"), to_bytes("overflow")));
+  store.clean_step();
+  store.clean_step();
+  EXPECT_TRUE(store.set(to_bytes("k"), to_bytes("fits-again")));
+  EXPECT_EQ(util::to_string(*store.get(to_bytes("k"))), "fits-again");
+}
+
+TEST(Pos, EraseHidesKeyAfterCleaning) {
+  Pos store(small_options());
+  store.set(to_bytes("k"), to_bytes("v"));
+  EXPECT_TRUE(store.erase(to_bytes("k")));
+  EXPECT_FALSE(store.erase(to_bytes("k")));
+  store.clean_step();
+  store.clean_step();
+  EXPECT_FALSE(store.get(to_bytes("k")).has_value());
+}
+
+TEST(Pos, ManyKeysAcrossBuckets) {
+  PosOptions options;
+  options.entry_count = 512;
+  options.entry_payload = 64;
+  options.bucket_count = 32;
+  Pos store(options);
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    ASSERT_TRUE(store.set(to_bytes(key), to_bytes(std::to_string(i * 3))));
+  }
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    auto value = store.get(to_bytes(key));
+    ASSERT_TRUE(value.has_value()) << key;
+    EXPECT_EQ(util::to_string(*value), std::to_string(i * 3));
+  }
+}
+
+TEST(Pos, PersistsAcrossRemap) {
+  std::string path = "/tmp/ea_pos_test_" + std::to_string(::getpid()) + ".img";
+  ::unlink(path.c_str());
+  {
+    PosOptions options = small_options();
+    options.path = path;
+    Pos store(options);
+    store.set(to_bytes("persistent"), to_bytes("yes"));
+    store.persist();
+  }
+  {
+    PosOptions options = small_options();
+    options.path = path;
+    Pos store(options);
+    auto value = store.get(to_bytes("persistent"));
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(util::to_string(*value), "yes");
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(Pos, ReopenRejectsCorruptSuperblock) {
+  std::string path = "/tmp/ea_pos_bad_" + std::to_string(::getpid()) + ".img";
+  ::unlink(path.c_str());
+  {
+    PosOptions options = small_options();
+    options.path = path;
+    Pos store(options);
+    store.persist();
+  }
+  // Corrupt the magic.
+  FILE* f = ::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  char zero[8] = {};
+  ::fwrite(zero, 1, sizeof(zero), f);
+  ::fclose(f);
+  PosOptions options = small_options();
+  options.path = path;
+  EXPECT_THROW(Pos store(options), std::runtime_error);
+  ::unlink(path.c_str());
+}
+
+TEST(Pos, ConcurrentSetGetLinearisable) {
+  PosOptions options;
+  options.entry_count = 2048;
+  options.entry_payload = 64;
+  Pos store(options);
+  store.set(to_bytes("shared"), to_bytes("0"));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= 500; ++i) {
+      store.set(to_bytes("shared"), to_bytes(std::to_string(i)));
+    }
+    stop.store(true);
+  });
+
+  // Readers must always observe some previously written value, never
+  // garbage, and values must be monotonically non-decreasing per reader
+  // (each get starts after the previous returned).
+  int last = 0;
+  while (!stop.load()) {
+    auto value = store.get(to_bytes("shared"));
+    ASSERT_TRUE(value.has_value());
+    int seen = std::stoi(util::to_string(*value));
+    EXPECT_GE(seen, last);
+    last = seen;
+  }
+  writer.join();
+  EXPECT_EQ(util::to_string(*store.get(to_bytes("shared"))), "500");
+}
+
+// Property test: random operations mirrored against std::map.
+class PosModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PosModelCheck, MatchesStdMapModel) {
+  PosOptions options;
+  options.entry_count = 4096;
+  options.entry_payload = 64;
+  Pos store(options);
+  std::map<std::string, std::string> model;
+  crypto::FastRng rng(GetParam());
+
+  for (int op = 0; op < 2000; ++op) {
+    std::string key = "k" + std::to_string(rng.next_below(40));
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {  // set
+        std::string value = "v" + std::to_string(rng.next());
+        ASSERT_TRUE(store.set(to_bytes(key), to_bytes(value)));
+        model[key] = value;
+        break;
+      }
+      case 2: {  // get
+        auto got = store.get(to_bytes(key));
+        auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_FALSE(got.has_value()) << key;
+        } else {
+          ASSERT_TRUE(got.has_value()) << key;
+          EXPECT_EQ(util::to_string(*got), it->second);
+        }
+        break;
+      }
+      case 3: {  // occasionally clean
+        store.clean_step();
+        break;
+      }
+    }
+  }
+  // Final sweep.
+  for (const auto& [key, value] : model) {
+    auto got = store.get(to_bytes(key));
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(util::to_string(*got), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PosModelCheck,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+// --- encrypted view -----------------------------------------------------------
+
+TEST(EncryptedPos, RoundTrip) {
+  Pos store(small_options());
+  Bytes master(32, 0x5a);
+  EncryptedPos enc(store, master);
+  EXPECT_TRUE(enc.set(to_bytes("alice"), to_bytes("secret-profile")));
+  auto value = enc.get(to_bytes("alice"));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(util::to_string(*value), "secret-profile");
+}
+
+TEST(EncryptedPos, PlaintextNeverStored) {
+  PosOptions options = small_options();
+  Pos store(options);
+  Bytes master(32, 0x5a);
+  EncryptedPos enc(store, master);
+  enc.set(to_bytes("alice"), to_bytes("topsecretvalue"));
+  // The plaintext key must not be findable in the raw store.
+  EXPECT_FALSE(store.get(to_bytes("alice")).has_value());
+}
+
+TEST(EncryptedPos, WrongMasterCannotRead) {
+  Pos store(small_options());
+  EncryptedPos good(store, Bytes(32, 0x01));
+  EncryptedPos evil(store, Bytes(32, 0x02));
+  good.set(to_bytes("k"), to_bytes("v"));
+  EXPECT_FALSE(evil.get(to_bytes("k")).has_value());
+  EXPECT_TRUE(good.get(to_bytes("k")).has_value());
+}
+
+TEST(EncryptedPos, UpdateAndErase) {
+  Pos store(small_options());
+  EncryptedPos enc(store, Bytes(32, 0x09));
+  enc.set(to_bytes("k"), to_bytes("v1"));
+  enc.set(to_bytes("k"), to_bytes("v2"));
+  EXPECT_EQ(util::to_string(*enc.get(to_bytes("k"))), "v2");
+  EXPECT_TRUE(enc.erase(to_bytes("k")));
+  EXPECT_FALSE(enc.get(to_bytes("k")).has_value());
+}
+
+TEST(EncryptedPos, SealedMasterKeyLifecycle) {
+  sgxsim::ScopedCostModel scoped;
+  sgxsim::cost_model().ecall_cycles = 10;
+  sgxsim::cost_model().ocall_cycles = 10;
+  auto& mgr = sgxsim::EnclaveManager::instance();
+  sgxsim::Enclave& owner = mgr.create("pos-owner");
+  sgxsim::Enclave& other = mgr.create("pos-other");
+
+  Pos store(small_options());
+  Bytes master(32);
+  crypto::secure_random(master);
+  {
+    EncryptedPos enc(store, master);
+    enc.set(to_bytes("data"), to_bytes("valuable"));
+    EXPECT_TRUE(enc.store_sealed_master(owner, "__master", master));
+  }
+  // Same enclave identity recovers the key and the data.
+  auto recovered = EncryptedPos::load_sealed_master(store, owner, "__master");
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(util::to_string(*recovered->get(to_bytes("data"))), "valuable");
+  // A different enclave cannot.
+  EXPECT_FALSE(
+      EncryptedPos::load_sealed_master(store, other, "__master").has_value());
+}
+
+TEST(CleanerActorTest, FreesThroughActorInterface) {
+  Pos store(small_options());
+  store.set(to_bytes("k"), to_bytes("v1"));
+  store.set(to_bytes("k"), to_bytes("v2"));
+  CleanerActor cleaner("cleaner", store);
+  cleaner.body();  // gather
+  cleaner.body();  // free
+  EXPECT_EQ(cleaner.freed_total(), 1u);
+  EXPECT_EQ(store.stats().outdated, 0u);
+}
+
+}  // namespace
+}  // namespace ea::pos

@@ -1,0 +1,274 @@
+// Property-based and failure-injection tests across modules: randomised
+// inputs checked against invariants rather than fixed expectations.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+
+#include "core/config.hpp"
+#include "core/runtime.hpp"
+#include "crypto/rng.hpp"
+#include "pos/pos.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "xmpp/stanza.hpp"
+
+namespace ea {
+namespace {
+
+// --- channels under every cipher mode and many sizes ------------------------
+
+struct ChannelCase {
+  bool cross_enclave;
+  core::CipherModel cipher;
+  const char* name;
+};
+
+class ChannelProperty
+    : public ::testing::TestWithParam<std::tuple<ChannelCase, std::size_t>> {
+ protected:
+  ChannelProperty() {
+    sgxsim::cost_model().ecall_cycles = 10;
+    sgxsim::cost_model().ocall_cycles = 10;
+  }
+  sgxsim::ScopedCostModel scoped_;
+};
+
+TEST_P(ChannelProperty, RandomPayloadsRoundTripInOrder) {
+  const auto& [cc, size] = GetParam();
+  core::RuntimeOptions options;
+  options.pool_nodes = 64;
+  options.node_payload_bytes = size + 64;
+  core::Runtime rt(options);
+
+  core::ChannelOptions ch_options;
+  ch_options.cipher = cc.cipher;
+  core::Channel& ch = rt.channel("prop", ch_options);
+  core::ChannelEnd* a;
+  core::ChannelEnd* b;
+  if (cc.cross_enclave) {
+    a = ch.connect(rt.enclave("prop-a").id());
+    b = ch.connect(rt.enclave("prop-b").id());
+    EXPECT_TRUE(ch.encrypted());
+  } else {
+    a = ch.connect(sgxsim::kUntrusted);
+    b = ch.connect(sgxsim::kUntrusted);
+    EXPECT_FALSE(ch.encrypted());
+  }
+
+  crypto::FastRng rng(size * 31 + (cc.cross_enclave ? 7 : 0));
+  std::deque<std::string> in_flight;
+  for (int round = 0; round < 50; ++round) {
+    // Random interleaving of sends and receives.
+    if (in_flight.size() < 8 && rng.next_below(2) == 0) {
+      std::size_t n = size == 0 ? 0 : rng.next_below(size + 1);
+      std::string payload = util::random_printable(rng.next(), n);
+      if (a->send(payload)) in_flight.push_back(std::move(payload));
+    } else if (!in_flight.empty()) {
+      auto msg = b->recv();
+      ASSERT_TRUE(msg);
+      EXPECT_EQ(msg->view(), in_flight.front());
+      in_flight.pop_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    auto msg = b->recv();
+    ASSERT_TRUE(msg);
+    EXPECT_EQ(msg->view(), in_flight.front());
+    in_flight.pop_front();
+  }
+  EXPECT_FALSE(b->recv());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChannelProperty,
+    ::testing::Combine(
+        ::testing::Values(
+            ChannelCase{false, core::CipherModel::kSoftwareAead, "plain"},
+            ChannelCase{true, core::CipherModel::kSoftwareAead, "aead"},
+            ChannelCase{true, core::CipherModel::kHardwareModel, "hw"}),
+        ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{16},
+                          std::size_t{255}, std::size_t{1024},
+                          std::size_t{16384})),
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param).name) + "_" +
+             std::to_string(std::get<1>(suite_info.param));
+    });
+
+// --- stanza stream robustness ---------------------------------------------------
+
+TEST(StanzaFuzz, RandomMutationsNeverCrash) {
+  crypto::FastRng rng(20260705);
+  for (int round = 0; round < 500; ++round) {
+    std::string wire = xmpp::make_chat_message(
+        "al'ice", "bob<x>", util::random_printable(rng.next(), 40));
+    // Mutate up to 4 random bytes.
+    for (std::uint64_t m = rng.next_below(5); m > 0; --m) {
+      wire[rng.next_below(wire.size())] =
+          static_cast<char>(rng.next_below(256));
+    }
+    xmpp::StanzaStream stream;
+    stream.feed(wire);
+    // Must terminate and never crash; events may or may not appear.
+    int guard = 0;
+    while (stream.next().has_value() && ++guard < 100) {
+    }
+  }
+}
+
+TEST(StanzaFuzz, RandomFragmentationPreservesEvents) {
+  crypto::FastRng rng(42);
+  for (int round = 0; round < 100; ++round) {
+    std::string wire;
+    int stanzas = 1 + static_cast<int>(rng.next_below(5));
+    for (int i = 0; i < stanzas; ++i) {
+      wire += xmpp::make_chat_message(
+          "a", "b", util::random_printable(rng.next(), rng.next_below(64)));
+    }
+    xmpp::StanzaStream stream;
+    int events = 0;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      std::size_t chunk = 1 + rng.next_below(17);
+      chunk = std::min(chunk, wire.size() - pos);
+      stream.feed(std::string_view(wire).substr(pos, chunk));
+      pos += chunk;
+      while (stream.next().has_value()) ++events;
+    }
+    EXPECT_EQ(events, stanzas) << "round " << round;
+    EXPECT_FALSE(stream.failed());
+  }
+}
+
+TEST(StanzaFuzz, EscapedContentAlwaysRoundTrips) {
+  crypto::FastRng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    // Bodies containing XML metacharacters.
+    std::string body;
+    for (int i = 0; i < 20; ++i) {
+      static constexpr char kAlphabet[] = "<>&'\"abc ";
+      body += kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)];
+    }
+    std::string wire = xmpp::make_chat_message("a", "b", body);
+    std::size_t pos = 0;
+    auto node = xmpp::parse_element(wire, pos);
+    ASSERT_TRUE(node.has_value());
+    EXPECT_EQ(node->child("body")->text, body);
+  }
+}
+
+// --- POS under concurrent writers, readers and cleaner --------------------------
+
+TEST(PosStress, WritersReadersCleanerConcurrently) {
+  pos::PosOptions options;
+  options.entry_count = 8192;
+  options.entry_payload = 64;
+  options.bucket_count = 32;
+  pos::Pos store(options);
+
+  constexpr int kWriters = 2;
+  constexpr int kKeys = 16;
+  constexpr int kWritesPerWriter = 2000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        std::string key = "k" + std::to_string((w * 7 + i) % kKeys);
+        std::string value = std::to_string(w) + ":" + std::to_string(i);
+        // The store can transiently fill before the cleaner catches up.
+        while (!store.set(util::to_bytes(key), util::to_bytes(value))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // A reader with a registered grace slot.
+  threads.emplace_back([&] {
+    pos::Pos::Reader reader = store.register_reader();
+    crypto::FastRng rng(3);
+    while (!stop.load()) {
+      reader.tick();
+      std::string key = "k" + std::to_string(rng.next_below(kKeys));
+      auto value = store.get(util::to_bytes(key));
+      if (value.has_value()) {
+        // Values are well-formed "w:i" strings — never torn garbage.
+        std::string s = util::to_string(*value);
+        EXPECT_NE(s.find(':'), std::string::npos);
+      }
+    }
+  });
+  // The cleaner.
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      store.clean_step();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // All keys readable; store not leaking entries beyond live + bounded
+  // outdated backlog.
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(
+        store.get(util::to_bytes("k" + std::to_string(k))).has_value());
+  }
+  store.clean_step();
+  store.clean_step();
+  store.clean_step();
+  pos::PosStats stats = store.stats();
+  EXPECT_EQ(stats.live, static_cast<std::uint64_t>(kKeys));
+}
+
+// --- runtime edge cases -----------------------------------------------------------
+
+TEST(RuntimeEdge, StopBeforeStartIsNoop) {
+  core::Runtime rt;
+  rt.stop();
+  EXPECT_FALSE(rt.running());
+}
+
+TEST(RuntimeEdge, DoubleStartIdempotent) {
+  struct Idle : core::Actor {
+    using core::Actor::Actor;
+    bool body() override { return false; }
+  };
+  core::Runtime rt;
+  rt.add_actor(std::make_unique<Idle>("idle"));
+  rt.add_worker("w", {}, {"idle"});
+  rt.start();
+  rt.start();  // must not spawn duplicate workers or re-run constructors
+  EXPECT_TRUE(rt.running());
+  rt.stop();
+}
+
+TEST(RuntimeEdge, StatsStringMentionsEverything) {
+  struct Idle : core::Actor {
+    using core::Actor::Actor;
+    bool body() override { return false; }
+  };
+  core::Runtime rt;
+  rt.add_actor(std::make_unique<Idle>("watcher"), "stats-enclave");
+  rt.add_worker("stats-worker", {}, {"watcher"});
+  rt.channel("stats-channel");
+  std::string stats = rt.stats_string();
+  EXPECT_NE(stats.find("watcher"), std::string::npos);
+  EXPECT_NE(stats.find("stats-worker"), std::string::npos);
+  EXPECT_NE(stats.find("stats-channel"), std::string::npos);
+  EXPECT_NE(stats.find("transitions"), std::string::npos);
+}
+
+TEST(RuntimeEdge, ChannelNamesAreIndependent) {
+  core::Runtime rt;
+  core::Channel& a = rt.channel("one");
+  core::Channel& b = rt.channel("two");
+  core::Channel& a2 = rt.channel("one");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_NE(&a, &b);
+}
+
+}  // namespace
+}  // namespace ea

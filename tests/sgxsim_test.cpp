@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sgxsim/attestation.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/enclave.hpp"
+#include "sgxsim/sealing.hpp"
+#include "sgxsim/sgx_mutex.hpp"
+#include "sgxsim/transition.hpp"
+#include "sgxsim/trusted_rng.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::sgxsim {
+namespace {
+
+class SgxSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_transition_stats();
+    // Cheap transitions keep tests fast; behavioural assertions only.
+    cost_model().ecall_cycles = 100;
+    cost_model().ocall_cycles = 100;
+  }
+
+  // Restores the cost model when the fixture is destroyed (it was saved
+  // before SetUp ran).
+  ScopedCostModel scoped_;
+};
+
+TEST_F(SgxSimTest, EnclaveCreationAssignsDistinctIdentity) {
+  auto& mgr = EnclaveManager::instance();
+  Enclave& a = mgr.create("test-a");
+  Enclave& b = mgr.create("test-b");
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.measurement(), b.measurement());
+  EXPECT_EQ(mgr.find(a.id()), &a);
+  EXPECT_EQ(mgr.find(kUntrusted), nullptr);
+}
+
+TEST_F(SgxSimTest, SameNameDifferentInstanceDifferentMeasurement) {
+  auto& mgr = EnclaveManager::instance();
+  Enclave& a = mgr.create("twin");
+  Enclave& b = mgr.create("twin");
+  EXPECT_NE(a.measurement(), b.measurement());
+}
+
+TEST_F(SgxSimTest, EcallSetsAndRestoresContext) {
+  Enclave& e = EnclaveManager::instance().create("ctx");
+  EXPECT_EQ(current_enclave(), kUntrusted);
+  ecall(e, [&] { EXPECT_EQ(current_enclave(), e.id()); });
+  EXPECT_EQ(current_enclave(), kUntrusted);
+}
+
+TEST_F(SgxSimTest, EcallCountsAndBurnsCycles) {
+  Enclave& e = EnclaveManager::instance().create("count");
+  reset_transition_stats();
+  ecall(e, [] {});
+  TransitionStats stats = transition_stats();
+  EXPECT_EQ(stats.ecalls, 1u);
+  EXPECT_GE(stats.cycles_burned, 200u);  // entry + exit
+  EXPECT_EQ(e.entries(), 1u);
+}
+
+TEST_F(SgxSimTest, NestedEcallSameEnclaveIsFree) {
+  Enclave& e = EnclaveManager::instance().create("nested");
+  reset_transition_stats();
+  ecall(e, [&] { ecall(e, [] {}); });
+  EXPECT_EQ(transition_stats().ecalls, 1u);
+}
+
+TEST_F(SgxSimTest, EcallIntoOtherEnclaveMigrates) {
+  Enclave& a = EnclaveManager::instance().create("mig-a");
+  Enclave& b = EnclaveManager::instance().create("mig-b");
+  ecall(a, [&] {
+    ecall(b, [&] { EXPECT_EQ(current_enclave(), b.id()); });
+    EXPECT_EQ(current_enclave(), a.id());
+  });
+}
+
+TEST_F(SgxSimTest, OcallLeavesAndReenters) {
+  Enclave& e = EnclaveManager::instance().create("ocall");
+  reset_transition_stats();
+  ecall(e, [&] {
+    ocall([&] { EXPECT_EQ(current_enclave(), kUntrusted); });
+    EXPECT_EQ(current_enclave(), e.id());
+  });
+  EXPECT_EQ(transition_stats().ocalls, 1u);
+}
+
+TEST_F(SgxSimTest, OcallFromUntrustedIsFree) {
+  reset_transition_stats();
+  ocall([] {});
+  EXPECT_EQ(transition_stats().ocalls, 0u);
+  EXPECT_EQ(transition_stats().cycles_burned, 0u);
+}
+
+TEST_F(SgxSimTest, MarshalledEcallCopiesBuffers) {
+  Enclave& e = EnclaveManager::instance().create("marshal");
+  util::Bytes in = util::to_bytes("hello enclave");
+  util::Bytes out(32, 0);
+  std::size_t produced = ecall_marshalled(
+      e, in, out,
+      [](void*, std::span<const std::uint8_t> input,
+         std::span<std::uint8_t> output) -> std::size_t {
+        // Uppercase inside the enclave.
+        std::size_t n = std::min(input.size(), output.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          output[i] = static_cast<std::uint8_t>(std::toupper(input[i]));
+        }
+        return n;
+      },
+      nullptr);
+  EXPECT_EQ(produced, in.size());
+  EXPECT_EQ(util::to_string(std::span<const std::uint8_t>(out.data(), produced)),
+            "HELLO ENCLAVE");
+}
+
+TEST_F(SgxSimTest, SealingRoundTrip) {
+  Enclave& e = EnclaveManager::instance().create("seal");
+  util::Bytes secret = util::to_bytes("enclave secret");
+  util::Bytes sealed = seal(e, secret);
+  EXPECT_NE(sealed, secret);
+  auto unsealed = unseal(e, sealed);
+  ASSERT_TRUE(unsealed.has_value());
+  EXPECT_EQ(*unsealed, secret);
+}
+
+TEST_F(SgxSimTest, SealedBlobBoundToEnclaveIdentity) {
+  Enclave& a = EnclaveManager::instance().create("seal-a");
+  Enclave& b = EnclaveManager::instance().create("seal-b");
+  util::Bytes sealed = seal(a, util::to_bytes("secret"));
+  EXPECT_FALSE(unseal(b, sealed).has_value());
+  EXPECT_TRUE(unseal(a, sealed).has_value());
+}
+
+TEST_F(SgxSimTest, SealedBlobTamperRejected) {
+  Enclave& e = EnclaveManager::instance().create("seal-t");
+  util::Bytes sealed = seal(e, util::to_bytes("secret"));
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(unseal(e, sealed).has_value());
+}
+
+TEST_F(SgxSimTest, ReportVerification) {
+  Enclave& a = EnclaveManager::instance().create("att-a");
+  Enclave& b = EnclaveManager::instance().create("att-b");
+  Report report = create_report(a, b);
+  EXPECT_TRUE(verify_report(b, report));
+  EXPECT_FALSE(verify_report(a, report));  // misaddressed
+}
+
+TEST_F(SgxSimTest, ForgedReportRejected) {
+  Enclave& a = EnclaveManager::instance().create("att-f1");
+  Enclave& b = EnclaveManager::instance().create("att-f2");
+  Report report = create_report(a, b);
+  report.source_measurement[0] ^= 1;  // claim a different identity
+  EXPECT_FALSE(verify_report(b, report));
+}
+
+TEST_F(SgxSimTest, SessionKeySymmetricAndPairUnique) {
+  Enclave& a = EnclaveManager::instance().create("sess-a");
+  Enclave& b = EnclaveManager::instance().create("sess-b");
+  Enclave& c = EnclaveManager::instance().create("sess-c");
+  auto ab = establish_session_key(a, b);
+  auto ba = establish_session_key(b, a);
+  auto ac = establish_session_key(a, c);
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  ASSERT_TRUE(ac.has_value());
+  EXPECT_EQ(*ab, *ba);
+  EXPECT_NE(*ab, *ac);
+}
+
+TEST_F(SgxSimTest, TrustedRngChargesPerByte) {
+  cost_model().rng_cycles_per_byte = 1000;
+  std::uint8_t buf[1024];
+  std::uint64_t start = util::rdtsc();
+  trusted_read_rand(buf);
+  std::uint64_t elapsed = util::rdtsc() - start;
+  EXPECT_GE(elapsed, 1000u * 1024u);
+}
+
+TEST_F(SgxSimTest, TrustedRngProducesEntropy) {
+  std::uint8_t a[32] = {};
+  std::uint8_t b[32] = {};
+  cost_model().rng_cycles_per_byte = 0;
+  trusted_read_rand(a);
+  trusted_read_rand(b);
+  EXPECT_NE(std::memcmp(a, b, sizeof(a)), 0);
+}
+
+TEST_F(SgxSimTest, EpcOverflowPagesAccounted) {
+  auto& mgr = EnclaveManager::instance();
+  std::uint64_t before = mgr.overflow_pages();
+  Enclave& big = mgr.create("epc-big");
+  big.add_committed(cost_model().epc_usable_bytes);  // guarantees overflow
+  EXPECT_GT(mgr.overflow_pages(), before);
+  // Transitions now record paging events.
+  reset_transition_stats();
+  ecall(big, [] {});
+  EXPECT_GT(transition_stats().paging_events, 0u);
+  // Shrink back so later tests are unaffected (commitment is additive-only
+  // in the API; compensate with the cost model instead).
+  cost_model().epc_usable_bytes += big.committed_bytes();
+}
+
+TEST_F(SgxSimTest, SgxMutexMutualExclusion) {
+  SgxMutex mutex;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        mutex.lock();
+        ++counter;
+        mutex.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(SgxSimTest, SgxMutexExitsEnclaveUnderContention) {
+  cost_model().mutex_spin_iterations = 10;  // give up almost immediately
+  SgxMutex mutex;
+  Enclave& e = EnclaveManager::instance().create("mutex-enclave");
+
+  std::atomic<bool> hold{true};
+  mutex.lock();
+  std::thread contender([&] {
+    ecall(e, [&] {
+      mutex.lock();
+      mutex.unlock();
+    });
+    hold.store(false);
+  });
+  // Give the contender time to exhaust its spin budget and sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  reset_transition_stats();
+  mutex.unlock();
+  contender.join();
+  EXPECT_FALSE(hold.load());
+  EXPECT_GE(mutex.enclave_exits(), 1u);
+}
+
+TEST(CostModelTest, ScopedRestore) {
+  std::uint64_t orig = cost_model().ecall_cycles;
+  {
+    ScopedCostModel scoped;
+    cost_model().ecall_cycles = 1;
+    EXPECT_EQ(cost_model().ecall_cycles, 1u);
+  }
+  EXPECT_EQ(cost_model().ecall_cycles, orig);
+}
+
+}  // namespace
+}  // namespace ea::sgxsim

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/affinity.hpp"
+#include "util/bytes.hpp"
+#include "util/cycles.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace ea::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  std::string s = "hello \x01 world";
+  Bytes b = to_bytes(s);
+  EXPECT_EQ(to_string(b), s);
+}
+
+TEST(Bytes, CtEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, LoadStoreLe) {
+  std::uint8_t buf[8];
+  store_le32(buf, 0x12345678u);
+  EXPECT_EQ(load_le32(buf), 0x12345678u);
+  store_le64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(load_le64(buf), 0x0123456789abcdefull);
+}
+
+TEST(Bytes, Rotl32) {
+  EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+  EXPECT_EQ(rotl32(1u, 31), 0x80000000u);
+}
+
+TEST(Bytes, RandomPrintableDeterministic) {
+  std::string a = random_printable(42, 128);
+  std::string b = random_printable(42, 128);
+  std::string c = random_printable(43, 128);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 128u);
+  for (char ch : a) {
+    EXPECT_GE(ch, '!');
+    EXPECT_LE(ch, '~');
+  }
+}
+
+TEST(Env, IntParsing) {
+  ::setenv("EA_TEST_INT", "1234", 1);
+  EXPECT_EQ(env_int("EA_TEST_INT", 7), 1234);
+  ::setenv("EA_TEST_INT", "garbage", 1);
+  EXPECT_EQ(env_int("EA_TEST_INT", 7), 7);
+  ::unsetenv("EA_TEST_INT");
+  EXPECT_EQ(env_int("EA_TEST_INT", 7), 7);
+}
+
+TEST(Env, DoubleParsing) {
+  ::setenv("EA_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("EA_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("EA_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_double("EA_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(Env, StringFallback) {
+  ::unsetenv("EA_TEST_STR");
+  EXPECT_EQ(env_str("EA_TEST_STR", "dflt"), "dflt");
+  ::setenv("EA_TEST_STR", "value", 1);
+  EXPECT_EQ(env_str("EA_TEST_STR", "dflt"), "value");
+  ::unsetenv("EA_TEST_STR");
+}
+
+TEST(Cycles, RdtscMonotonicish) {
+  std::uint64_t a = rdtsc();
+  std::uint64_t b = rdtsc();
+  EXPECT_LE(a, b + 1000000);  // same core: effectively monotonic
+}
+
+TEST(Cycles, BurnConsumesTime) {
+  std::uint64_t start = rdtsc();
+  burn_cycles(100000);
+  std::uint64_t elapsed = rdtsc() - start;
+  EXPECT_GE(elapsed, 100000u);
+}
+
+TEST(Affinity, PinClampsAndSucceeds) {
+  EXPECT_TRUE(pin_current_thread({}));
+  EXPECT_TRUE(pin_current_thread({0}));
+  // CPUs beyond the machine size are clamped, not an error.
+  EXPECT_TRUE(pin_current_thread({1000}));
+  EXPECT_GE(online_cpus(), 1);
+}
+
+TEST(Logging, LevelGate) {
+  LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_level(saved);
+}
+
+class RandomPrintableSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomPrintableSizes, ExactLength) {
+  EXPECT_EQ(random_printable(7, GetParam()).size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomPrintableSizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 150, 4096));
+
+}  // namespace
+}  // namespace ea::util

@@ -1,0 +1,543 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "xmpp/baseline_server.hpp"
+#include "xmpp/client.hpp"
+#include "xmpp/e2e.hpp"
+#include "xmpp/server.hpp"
+#include "xmpp/stanza.hpp"
+
+namespace ea::xmpp {
+namespace {
+
+// --- XML / stanza layer -------------------------------------------------------
+
+TEST(Xml, ParseSimpleElement) {
+  std::size_t pos = 0;
+  auto node = parse_element("<message to='bob' from=\"alice\"/>", pos);
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(node->name, "message");
+  ASSERT_NE(node->attr("to"), nullptr);
+  EXPECT_EQ(*node->attr("to"), "bob");
+  EXPECT_EQ(*node->attr("from"), "alice");
+  EXPECT_EQ(node->attr("missing"), nullptr);
+}
+
+TEST(Xml, ParseNestedWithText) {
+  std::size_t pos = 0;
+  auto node =
+      parse_element("<message><body>hi there</body><x/></message>", pos);
+  ASSERT_TRUE(node.has_value());
+  ASSERT_EQ(node->children.size(), 2u);
+  EXPECT_EQ(node->children[0].name, "body");
+  EXPECT_EQ(node->children[0].text, "hi there");
+  EXPECT_NE(node->child("x"), nullptr);
+  EXPECT_EQ(node->child("nope"), nullptr);
+}
+
+TEST(Xml, EscapeRoundTrip) {
+  std::string nasty = "a<b>&c'd\"e";
+  EXPECT_EQ(xml_unescape(xml_escape(nasty)), nasty);
+}
+
+TEST(Xml, SerializeParseRoundTrip) {
+  XmlNode node;
+  node.name = "message";
+  node.set_attr("to", "bob@host");
+  node.set_attr("type", "chat");
+  XmlNode body;
+  body.name = "body";
+  body.text = "tricky <&> text";
+  node.children.push_back(body);
+
+  std::string wire = node.serialize();
+  std::size_t pos = 0;
+  auto parsed = parse_element(wire, pos);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(pos, wire.size());
+  EXPECT_EQ(parsed->name, "message");
+  EXPECT_EQ(*parsed->attr("to"), "bob@host");
+  EXPECT_EQ(parsed->child("body")->text, "tricky <&> text");
+}
+
+TEST(Xml, RejectsMismatchedClose) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(parse_element("<a><b></a></b>", pos).has_value());
+}
+
+TEST(Xml, RejectsTruncated) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(parse_element("<a attr='x'", pos).has_value());
+}
+
+TEST(StanzaStreamTest, EmitsEventsAcrossChunkBoundaries) {
+  StanzaStream stream;
+  std::string data = make_stream_open("srv") +
+                     make_chat_message("a", "b", "hello") +
+                     make_stream_close();
+  // Feed one byte at a time — brutal fragmentation.
+  std::vector<StanzaStream::Event> events;
+  for (char c : data) {
+    stream.feed(std::string_view(&c, 1));
+    while (auto event = stream.next()) events.push_back(std::move(*event));
+  }
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, StanzaStream::EventType::kStreamOpen);
+  EXPECT_EQ(events[1].type, StanzaStream::EventType::kStanza);
+  EXPECT_EQ(events[1].node.name, "message");
+  EXPECT_EQ(events[2].type, StanzaStream::EventType::kStreamClose);
+  EXPECT_FALSE(stream.failed());
+}
+
+TEST(StanzaStreamTest, MultipleStanzasInOneChunk) {
+  StanzaStream stream;
+  stream.feed(make_auth("alice") + make_chat_message("a", "b", "1") +
+              make_chat_message("a", "b", "2"));
+  int count = 0;
+  while (auto event = stream.next()) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+TEST(StanzaStreamTest, GarbageMarksFailure) {
+  StanzaStream stream;
+  stream.feed("this is not xml");
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_TRUE(stream.failed());
+}
+
+TEST(StanzaStreamTest, XmlDeclarationSkipped) {
+  StanzaStream stream;
+  stream.feed("<?xml version='1.0'?>" + make_auth("bob"));
+  auto event = stream.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->node.name, "auth");
+}
+
+// --- service-level crypto -------------------------------------------------------
+
+TEST(E2E, SealOpenRoundTrip) {
+  auto key = user_key("alice", kCtxO2O);
+  std::string sealed = seal_body(key, 42, "plaintext body");
+  auto opened = open_body(key, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, "plaintext body");
+}
+
+TEST(E2E, DistinctUsersDistinctKeys) {
+  std::string sealed = seal_body(user_key("alice", kCtxO2O), 1, "secret");
+  EXPECT_FALSE(open_body(user_key("bob", kCtxO2O), sealed).has_value());
+}
+
+TEST(E2E, DistinctContextsDistinctKeys) {
+  std::string sealed = seal_body(user_key("alice", kCtxO2O), 1, "secret");
+  EXPECT_FALSE(open_body(user_key("alice", kCtxGroup), sealed).has_value());
+}
+
+TEST(E2E, NonHexBodyRejected) {
+  EXPECT_FALSE(open_body(user_key("a", kCtxO2O), "zz-not-hex").has_value());
+}
+
+// --- EActors service end-to-end ---------------------------------------------------
+
+class XmppServiceTest : public ::testing::Test {
+ protected:
+  XmppServiceTest() {
+    sgxsim::cost_model().ecall_cycles = 100;
+    sgxsim::cost_model().ocall_cycles = 100;
+  }
+  sgxsim::ScopedCostModel scoped_;
+};
+
+core::RuntimeOptions service_runtime_options() {
+  core::RuntimeOptions options;
+  options.pool_nodes = 2048;
+  options.node_payload_bytes = 2048;
+  return options;
+}
+
+TEST_F(XmppServiceTest, O2OChatRoundTrip) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 1;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client alice, bob;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+
+  ASSERT_TRUE(alice.send_chat("bob", "hi bob, e2e!"));
+  auto msg = bob.recv(5000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, "chat");
+  EXPECT_EQ(msg->from, "alice");
+  EXPECT_TRUE(msg->decrypt_ok);
+  EXPECT_EQ(msg->body, "hi bob, e2e!");
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, O2OAcrossInstances) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 2;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  // Round-robin assignment puts consecutive connections on different
+  // instances, forcing the cross-instance routing path.
+  Client alice, bob;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+
+  ASSERT_TRUE(alice.send_chat("bob", "cross-instance"));
+  auto msg = bob.recv(5000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body, "cross-instance");
+
+  ASSERT_TRUE(bob.send_chat("alice", "and back"));
+  auto reply = alice.recv(5000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->body, "and back");
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, GroupChatFanOut) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 2;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  constexpr int kMembers = 4;
+  std::vector<std::unique_ptr<Client>> members;
+  for (int i = 0; i < kMembers; ++i) {
+    auto c = std::make_unique<Client>();
+    ASSERT_TRUE(c->connect(service.port, "user" + std::to_string(i)));
+    ASSERT_TRUE(c->join_room("room1"));
+    members.push_back(std::move(c));
+  }
+
+  ASSERT_TRUE(members[0]->send_groupchat("room1", "hello group"));
+  for (int i = 0; i < kMembers; ++i) {
+    auto msg = members[static_cast<std::size_t>(i)]->recv(5000);
+    ASSERT_TRUE(msg.has_value()) << "member " << i;
+    EXPECT_EQ(msg->kind, "groupchat");
+    EXPECT_TRUE(msg->decrypt_ok) << "member " << i;
+    EXPECT_EQ(msg->body, "hello group");
+    EXPECT_EQ(msg->from, "room1/user0");
+  }
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, UntrustedDeploymentBehavesIdentically) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 1;
+  config.trusted = false;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client alice, bob;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+  ASSERT_TRUE(alice.send_chat("bob", "works untrusted"));
+  auto msg = bob.recv(5000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body, "works untrusted");
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, UnknownRecipientYieldsError) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client alice;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(alice.send_chat("nobody", "hello?"));
+  auto msg = alice.recv(5000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, "stream:error");
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, UnauthedMessageRejected) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  // Hand-rolled client that skips auth.
+  net::Socket raw = net::Socket::connect_to("127.0.0.1", service.port);
+  ASSERT_TRUE(raw.valid());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::string wire =
+      make_stream_open("x") + make_chat_message("a", "b", "sneak");
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    long n = raw.write_nb(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(wire.data()) + sent,
+        wire.size() - sent));
+    ASSERT_GE(n, 0);
+    sent += static_cast<std::size_t>(n);
+    if (n == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Expect a not-authorized error back.
+  std::string response;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         response.find("not-authorized") == std::string::npos) {
+    std::uint8_t buf[512];
+    long n = raw.read_nb(buf);
+    if (n > 0) response.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(response.find("not-authorized"), std::string::npos);
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, GroupChatAcrossEnclavesUsesEncryptedTransfers) {
+  // With one instance per enclave and a 4-member group, transfers from
+  // non-owner instances travel sealed through untrusted node memory; the
+  // message must still arrive intact at every member.
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 3;
+  config.enclaves = 3;
+  XmppService service = install_xmpp_service(rt, config);
+  // Sanity: with 3 distinct enclaves there are attested pair keys.
+  EXPECT_GE(service.shared->enclave_pair_keys.size(), 3u);
+  rt.start();
+
+  std::vector<std::unique_ptr<Client>> members;
+  for (int i = 0; i < 4; ++i) {
+    auto c = std::make_unique<Client>();
+    ASSERT_TRUE(c->connect(service.port, "enc-user" + std::to_string(i)));
+    ASSERT_TRUE(c->join_room("enc-room"));
+    members.push_back(std::move(c));
+  }
+  // Every member sends once, so at least two senders sit on non-owner
+  // instances and exercise the sealed-transfer path.
+  for (int sender = 0; sender < 4; ++sender) {
+    ASSERT_TRUE(members[static_cast<std::size_t>(sender)]->send_groupchat(
+        "enc-room", "msg-" + std::to_string(sender)));
+    for (int i = 0; i < 4; ++i) {
+      auto msg = members[static_cast<std::size_t>(i)]->recv(5000);
+      ASSERT_TRUE(msg.has_value()) << "sender " << sender << " member " << i;
+      EXPECT_EQ(msg->body, "msg-" + std::to_string(sender));
+      EXPECT_TRUE(msg->decrypt_ok);
+    }
+  }
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, SingleEnclavePackingUsesPlainTransfers) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 3;
+  config.enclaves = 1;  // all instances share one enclave
+  XmppService service = install_xmpp_service(rt, config);
+  EXPECT_TRUE(service.shared->enclave_pair_keys.empty());
+  EXPECT_EQ(service.shared->transfer_key(0, 2), nullptr);
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, OfflineMessagesDeliveredOnLogin) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 1;
+  config.offline_messages = true;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client alice;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  // bob is not connected: the messages are spooled, not bounced.
+  ASSERT_TRUE(alice.send_chat("bob", "first while offline"));
+  ASSERT_TRUE(alice.send_chat("bob", "second while offline"));
+  // No error should come back to alice.
+  auto err = alice.recv(300);
+  EXPECT_FALSE(err.has_value()) << err->kind;
+
+  Client bob;
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+  auto first = bob.recv(5000);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->body, "first while offline");
+  EXPECT_EQ(first->from, "alice");
+  auto second = bob.recv(5000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->body, "second while offline");
+
+  // The spool is drained: nothing more arrives.
+  EXPECT_FALSE(bob.recv(300).has_value());
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, OfflineSpoolIsEncryptedAtRest) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 1;
+  config.offline_messages = true;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client alice;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(alice.send_chat("bob", "spooled"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The raw POS must not contain the plaintext spool keys.
+  pos::Pos& raw = *service.shared->offline_pos;
+  EXPECT_FALSE(raw.get(util::to_bytes("offcnt:bob")).has_value());
+  EXPECT_FALSE(raw.get(util::to_bytes("off:bob:0")).has_value());
+  // But the encrypted view has exactly one message for bob.
+  auto count = service.shared->offline_store->get(util::to_bytes("offcnt:bob"));
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(util::load_le32(count->data()), 1u);
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, OfflineDisabledStillBouncesUnknownUsers) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 1;
+  config.offline_messages = false;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+  Client alice;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(alice.send_chat("bob", "hello?"));
+  auto err = alice.recv(5000);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, "stream:error");
+  rt.stop();
+}
+
+
+TEST_F(XmppServiceTest, RosterPresenceNotifications) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  config.instances = 2;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client bob;
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+  // alice is offline: the immediate status says so.
+  auto status = bob.add_contact("alice");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, "unavailable");
+
+  // alice connects: bob is notified.
+  Client alice;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  auto note = bob.recv(5000);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->kind, "presence");
+  EXPECT_EQ(note->from, "alice");
+  EXPECT_EQ(note->body, "available");
+
+  // alice disconnects: bob is notified again.
+  alice.close();
+  note = bob.recv(5000);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->kind, "presence");
+  EXPECT_EQ(note->from, "alice");
+  EXPECT_EQ(note->body, "unavailable");
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, RosterImmediateStatusForOnlineContact) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client alice, bob;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+  auto status = bob.add_contact("alice");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, "available");
+  rt.stop();
+}
+
+TEST_F(XmppServiceTest, NonWatchersGetNoPresence) {
+  core::Runtime rt(service_runtime_options());
+  XmppServiceConfig config;
+  XmppService service = install_xmpp_service(rt, config);
+  rt.start();
+
+  Client bob;
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+  // bob never subscribed; alice's connect must not notify him.
+  Client alice;
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  EXPECT_FALSE(bob.recv(300).has_value());
+  rt.stop();
+}
+
+// --- baseline servers --------------------------------------------------------------
+
+class BaselineTest : public ::testing::TestWithParam<BaselineFlavor> {};
+
+TEST_P(BaselineTest, O2OChatRoundTrip) {
+  BaselineOptions options;
+  options.flavor = GetParam();
+  BaselineServer server(options);
+  server.start();
+
+  Client alice, bob;
+  ASSERT_TRUE(alice.connect(server.port(), "alice"));
+  ASSERT_TRUE(bob.connect(server.port(), "bob"));
+  ASSERT_TRUE(alice.send_chat("bob", "baseline hello"));
+  auto msg = bob.recv(5000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body, "baseline hello");
+  // The routed counter is bumped after the socket write; give the server
+  // thread a moment to get there.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (server.messages_routed() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.messages_routed(), 1u);
+  server.stop();
+}
+
+TEST_P(BaselineTest, GroupChatFanOut) {
+  BaselineOptions options;
+  options.flavor = GetParam();
+  BaselineServer server(options);
+  server.start();
+
+  Client a, b, c;
+  ASSERT_TRUE(a.connect(server.port(), "a"));
+  ASSERT_TRUE(b.connect(server.port(), "b"));
+  ASSERT_TRUE(c.connect(server.port(), "c"));
+  ASSERT_TRUE(a.join_room("room"));
+  ASSERT_TRUE(b.join_room("room"));
+  ASSERT_TRUE(c.join_room("room"));
+
+  ASSERT_TRUE(b.send_groupchat("room", "to everyone"));
+  for (Client* client : {&a, &b, &c}) {
+    auto msg = client->recv(5000);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->body, "to everyone");
+    EXPECT_EQ(msg->from, "room/b");
+  }
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, BaselineTest,
+                         ::testing::Values(BaselineFlavor::kJabberd2,
+                                           BaselineFlavor::kEjabberd));
+
+}  // namespace
+}  // namespace ea::xmpp
