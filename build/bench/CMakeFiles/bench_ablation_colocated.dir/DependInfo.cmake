@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_colocated.cpp" "bench/CMakeFiles/bench_ablation_colocated.dir/bench_ablation_colocated.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_colocated.dir/bench_ablation_colocated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ea_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/ea_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/ea_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/ea_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ea_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmpp/CMakeFiles/ea_xmpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/smc/CMakeFiles/ea_smc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_colocated.dir/bench_ablation_colocated.cpp.o"
+  "CMakeFiles/bench_ablation_colocated.dir/bench_ablation_colocated.cpp.o.d"
+  "bench_ablation_colocated"
+  "bench_ablation_colocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

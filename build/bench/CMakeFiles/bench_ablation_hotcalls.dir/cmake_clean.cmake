@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hotcalls.dir/bench_ablation_hotcalls.cpp.o"
+  "CMakeFiles/bench_ablation_hotcalls.dir/bench_ablation_hotcalls.cpp.o.d"
+  "bench_ablation_hotcalls"
+  "bench_ablation_hotcalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hotcalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

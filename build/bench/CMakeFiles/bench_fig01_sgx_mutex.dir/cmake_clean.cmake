@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_sgx_mutex.dir/bench_fig01_sgx_mutex.cpp.o"
+  "CMakeFiles/bench_fig01_sgx_mutex.dir/bench_fig01_sgx_mutex.cpp.o.d"
+  "bench_fig01_sgx_mutex"
+  "bench_fig01_sgx_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_sgx_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_sgx_mutex.
+# This may be replaced when dependencies are built.

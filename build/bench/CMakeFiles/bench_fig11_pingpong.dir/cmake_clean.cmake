@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pingpong.dir/bench_fig11_pingpong.cpp.o"
+  "CMakeFiles/bench_fig11_pingpong.dir/bench_fig11_pingpong.cpp.o.d"
+  "bench_fig11_pingpong"
+  "bench_fig11_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_smc_plain.dir/bench_fig12_smc_plain.cpp.o"
+  "CMakeFiles/bench_fig12_smc_plain.dir/bench_fig12_smc_plain.cpp.o.d"
+  "bench_fig12_smc_plain"
+  "bench_fig12_smc_plain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_smc_plain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_xmpp_o2o.dir/bench_fig14_xmpp_o2o.cpp.o"
+  "CMakeFiles/bench_fig14_xmpp_o2o.dir/bench_fig14_xmpp_o2o.cpp.o.d"
+  "bench_fig14_xmpp_o2o"
+  "bench_fig14_xmpp_o2o.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_xmpp_o2o.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

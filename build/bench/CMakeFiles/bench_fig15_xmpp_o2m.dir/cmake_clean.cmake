@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_xmpp_o2m.dir/bench_fig15_xmpp_o2m.cpp.o"
+  "CMakeFiles/bench_fig15_xmpp_o2m.dir/bench_fig15_xmpp_o2m.cpp.o.d"
+  "bench_fig15_xmpp_o2m"
+  "bench_fig15_xmpp_o2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_xmpp_o2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_trusted_untrusted.dir/bench_fig17_trusted_untrusted.cpp.o"
+  "CMakeFiles/bench_fig17_trusted_untrusted.dir/bench_fig17_trusted_untrusted.cpp.o.d"
+  "bench_fig17_trusted_untrusted"
+  "bench_fig17_trusted_untrusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_trusted_untrusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_deployment.dir/config_deployment.cpp.o"
+  "CMakeFiles/config_deployment.dir/config_deployment.cpp.o.d"
+  "config_deployment"
+  "config_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_query.dir/private_query.cpp.o"
+  "CMakeFiles/private_query.dir/private_query.cpp.o.d"
+  "private_query"
+  "private_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_sum.dir/secure_sum.cpp.o"
+  "CMakeFiles/secure_sum.dir/secure_sum.cpp.o.d"
+  "secure_sum"
+  "secure_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concurrent/arena.cpp" "src/concurrent/CMakeFiles/ea_concurrent.dir/arena.cpp.o" "gcc" "src/concurrent/CMakeFiles/ea_concurrent.dir/arena.cpp.o.d"
+  "/root/repo/src/concurrent/mbox.cpp" "src/concurrent/CMakeFiles/ea_concurrent.dir/mbox.cpp.o" "gcc" "src/concurrent/CMakeFiles/ea_concurrent.dir/mbox.cpp.o.d"
+  "/root/repo/src/concurrent/pool.cpp" "src/concurrent/CMakeFiles/ea_concurrent.dir/pool.cpp.o" "gcc" "src/concurrent/CMakeFiles/ea_concurrent.dir/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_concurrent.dir/arena.cpp.o"
+  "CMakeFiles/ea_concurrent.dir/arena.cpp.o.d"
+  "CMakeFiles/ea_concurrent.dir/mbox.cpp.o"
+  "CMakeFiles/ea_concurrent.dir/mbox.cpp.o.d"
+  "CMakeFiles/ea_concurrent.dir/pool.cpp.o"
+  "CMakeFiles/ea_concurrent.dir/pool.cpp.o.d"
+  "libea_concurrent.a"
+  "libea_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

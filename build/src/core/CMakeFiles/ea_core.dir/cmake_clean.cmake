@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_core.dir/actor.cpp.o"
+  "CMakeFiles/ea_core.dir/actor.cpp.o.d"
+  "CMakeFiles/ea_core.dir/channel.cpp.o"
+  "CMakeFiles/ea_core.dir/channel.cpp.o.d"
+  "CMakeFiles/ea_core.dir/config.cpp.o"
+  "CMakeFiles/ea_core.dir/config.cpp.o.d"
+  "CMakeFiles/ea_core.dir/runtime.cpp.o"
+  "CMakeFiles/ea_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/ea_core.dir/worker.cpp.o"
+  "CMakeFiles/ea_core.dir/worker.cpp.o.d"
+  "libea_core.a"
+  "libea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

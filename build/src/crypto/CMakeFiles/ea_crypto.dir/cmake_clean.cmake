@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_crypto.dir/aead.cpp.o"
+  "CMakeFiles/ea_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/ea_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/deterministic.cpp.o"
+  "CMakeFiles/ea_crypto.dir/deterministic.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/ea_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/ea_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/ea_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/rng.cpp.o"
+  "CMakeFiles/ea_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ea_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/ea_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/ea_crypto.dir/x25519.cpp.o.d"
+  "libea_crypto.a"
+  "libea_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/file_actor.cpp" "src/fs/CMakeFiles/ea_fs.dir/file_actor.cpp.o" "gcc" "src/fs/CMakeFiles/ea_fs.dir/file_actor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/ea_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/ea_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ea_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_fs.dir/file_actor.cpp.o"
+  "CMakeFiles/ea_fs.dir/file_actor.cpp.o.d"
+  "libea_fs.a"
+  "libea_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_net.dir/actors.cpp.o"
+  "CMakeFiles/ea_net.dir/actors.cpp.o.d"
+  "CMakeFiles/ea_net.dir/socket.cpp.o"
+  "CMakeFiles/ea_net.dir/socket.cpp.o.d"
+  "CMakeFiles/ea_net.dir/socket_table.cpp.o"
+  "CMakeFiles/ea_net.dir/socket_table.cpp.o.d"
+  "libea_net.a"
+  "libea_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

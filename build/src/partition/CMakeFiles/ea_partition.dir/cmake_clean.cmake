@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_partition.dir/actors.cpp.o"
+  "CMakeFiles/ea_partition.dir/actors.cpp.o.d"
+  "CMakeFiles/ea_partition.dir/record.cpp.o"
+  "CMakeFiles/ea_partition.dir/record.cpp.o.d"
+  "libea_partition.a"
+  "libea_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_pos.dir/cleaner_actor.cpp.o"
+  "CMakeFiles/ea_pos.dir/cleaner_actor.cpp.o.d"
+  "CMakeFiles/ea_pos.dir/encrypted.cpp.o"
+  "CMakeFiles/ea_pos.dir/encrypted.cpp.o.d"
+  "CMakeFiles/ea_pos.dir/pos.cpp.o"
+  "CMakeFiles/ea_pos.dir/pos.cpp.o.d"
+  "libea_pos.a"
+  "libea_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgxsim/attestation.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/attestation.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/attestation.cpp.o.d"
+  "/root/repo/src/sgxsim/attested_exchange.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/attested_exchange.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/attested_exchange.cpp.o.d"
+  "/root/repo/src/sgxsim/cost_model.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/cost_model.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sgxsim/enclave.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/enclave.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgxsim/hotcalls.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/hotcalls.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/hotcalls.cpp.o.d"
+  "/root/repo/src/sgxsim/monotonic_counter.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/monotonic_counter.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/monotonic_counter.cpp.o.d"
+  "/root/repo/src/sgxsim/remote_attestation.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/remote_attestation.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/remote_attestation.cpp.o.d"
+  "/root/repo/src/sgxsim/sealing.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/sealing.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/sealing.cpp.o.d"
+  "/root/repo/src/sgxsim/sgx_mutex.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/sgx_mutex.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/sgx_mutex.cpp.o.d"
+  "/root/repo/src/sgxsim/transition.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/transition.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/transition.cpp.o.d"
+  "/root/repo/src/sgxsim/trusted_rng.cpp" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/trusted_rng.cpp.o" "gcc" "src/sgxsim/CMakeFiles/ea_sgxsim.dir/trusted_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ea_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

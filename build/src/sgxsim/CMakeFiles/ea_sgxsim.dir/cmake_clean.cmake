@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_sgxsim.dir/attestation.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/attestation.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/attested_exchange.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/attested_exchange.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/cost_model.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/enclave.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/enclave.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/hotcalls.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/hotcalls.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/monotonic_counter.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/monotonic_counter.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/remote_attestation.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/remote_attestation.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/sealing.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/sealing.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/sgx_mutex.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/sgx_mutex.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/transition.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/transition.cpp.o.d"
+  "CMakeFiles/ea_sgxsim.dir/trusted_rng.cpp.o"
+  "CMakeFiles/ea_sgxsim.dir/trusted_rng.cpp.o.d"
+  "libea_sgxsim.a"
+  "libea_sgxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_smc.dir/party_actor.cpp.o"
+  "CMakeFiles/ea_smc.dir/party_actor.cpp.o.d"
+  "CMakeFiles/ea_smc.dir/sdk_ring.cpp.o"
+  "CMakeFiles/ea_smc.dir/sdk_ring.cpp.o.d"
+  "CMakeFiles/ea_smc.dir/secure_sum.cpp.o"
+  "CMakeFiles/ea_smc.dir/secure_sum.cpp.o.d"
+  "CMakeFiles/ea_smc.dir/tcp_ring.cpp.o"
+  "CMakeFiles/ea_smc.dir/tcp_ring.cpp.o.d"
+  "CMakeFiles/ea_smc.dir/voting.cpp.o"
+  "CMakeFiles/ea_smc.dir/voting.cpp.o.d"
+  "libea_smc.a"
+  "libea_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

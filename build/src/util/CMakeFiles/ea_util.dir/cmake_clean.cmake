@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_util.dir/affinity.cpp.o"
+  "CMakeFiles/ea_util.dir/affinity.cpp.o.d"
+  "CMakeFiles/ea_util.dir/bytes.cpp.o"
+  "CMakeFiles/ea_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ea_util.dir/env.cpp.o"
+  "CMakeFiles/ea_util.dir/env.cpp.o.d"
+  "CMakeFiles/ea_util.dir/logging.cpp.o"
+  "CMakeFiles/ea_util.dir/logging.cpp.o.d"
+  "libea_util.a"
+  "libea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_xmpp.dir/baseline_server.cpp.o"
+  "CMakeFiles/ea_xmpp.dir/baseline_server.cpp.o.d"
+  "CMakeFiles/ea_xmpp.dir/client.cpp.o"
+  "CMakeFiles/ea_xmpp.dir/client.cpp.o.d"
+  "CMakeFiles/ea_xmpp.dir/server.cpp.o"
+  "CMakeFiles/ea_xmpp.dir/server.cpp.o.d"
+  "CMakeFiles/ea_xmpp.dir/stanza.cpp.o"
+  "CMakeFiles/ea_xmpp.dir/stanza.cpp.o.d"
+  "libea_xmpp.a"
+  "libea_xmpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_xmpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

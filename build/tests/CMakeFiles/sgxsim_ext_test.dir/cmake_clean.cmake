@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_ext_test.dir/sgxsim_ext_test.cpp.o"
+  "CMakeFiles/sgxsim_ext_test.dir/sgxsim_ext_test.cpp.o.d"
+  "sgxsim_ext_test"
+  "sgxsim_ext_test.pdb"
+  "sgxsim_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_test.dir/smc_test.cpp.o"
+  "CMakeFiles/smc_test.dir/smc_test.cpp.o.d"
+  "smc_test"
+  "smc_test.pdb"
+  "smc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

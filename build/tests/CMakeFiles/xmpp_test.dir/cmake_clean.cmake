@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmpp_test.dir/xmpp_test.cpp.o"
+  "CMakeFiles/xmpp_test.dir/xmpp_test.cpp.o.d"
+  "xmpp_test"
+  "xmpp_test.pdb"
+  "xmpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
