@@ -1,0 +1,52 @@
+# Sanitizer / hardening knobs, threaded through every module via
+# ea_harden(<target>).
+#
+#   -DEA_SANITIZE=address            ASan
+#   -DEA_SANITIZE=address,undefined  ASan + UBSan (the check.sh default leg)
+#   -DEA_SANITIZE=thread             TSan (use with `ctest -L tsan`)
+#   -DEA_WERROR=ON                   promote warnings to errors (CI/check.sh)
+#
+# ThreadSanitizer cannot be combined with AddressSanitizer; the combination
+# is rejected at configure time rather than failing obscurely at link time.
+
+set(EA_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizer set: address, undefined, thread, leak")
+option(EA_WERROR "Treat compiler warnings as errors" OFF)
+
+set(EA_SANITIZE_COMPILE_FLAGS "")
+set(EA_SANITIZE_LINK_FLAGS "")
+
+if(EA_SANITIZE)
+  string(REPLACE "," ";" _ea_san_list "${EA_SANITIZE}")
+  set(_ea_san_valid address undefined thread leak)
+  foreach(_s IN LISTS _ea_san_list)
+    if(NOT _s IN_LIST _ea_san_valid)
+      message(FATAL_ERROR
+        "EA_SANITIZE: unknown sanitizer '${_s}' (valid: ${_ea_san_valid})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _ea_san_list AND
+     ("address" IN_LIST _ea_san_list OR "leak" IN_LIST _ea_san_list))
+    message(FATAL_ERROR
+      "EA_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+  string(REPLACE ";" "," _ea_san_joined "${_ea_san_list}")
+  set(EA_SANITIZE_COMPILE_FLAGS
+      -fsanitize=${_ea_san_joined} -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST _ea_san_list)
+    # Fail fast instead of logging and continuing.
+    list(APPEND EA_SANITIZE_COMPILE_FLAGS -fno-sanitize-recover=undefined)
+  endif()
+  set(EA_SANITIZE_LINK_FLAGS -fsanitize=${_ea_san_joined})
+  message(STATUS "EActors: sanitizers enabled: ${_ea_san_joined}")
+endif()
+
+function(ea_harden target)
+  if(EA_WERROR)
+    target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(EA_SANITIZE_COMPILE_FLAGS)
+    target_compile_options(${target} PRIVATE ${EA_SANITIZE_COMPILE_FLAGS})
+    target_link_options(${target} PRIVATE ${EA_SANITIZE_LINK_FLAGS})
+  endif()
+endfunction()

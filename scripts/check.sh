@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Full verification matrix for the EActors runtime:
+#
+#   1. plain build (+ -Werror) and the entire ctest suite (incl. the
+#      enclave-safety lint and its fixture self-test)
+#   2. ASan+UBSan build, entire ctest suite
+#   3. TSan build, concurrency suite (ctest -L tsan)
+#   4. enclave-safety lint, standalone (fast feedback even if cmake fails)
+#   5. clang-tidy over src/ (skipped with a notice when unavailable)
+#
+# Any leg failing fails the script. Usage:
+#   scripts/check.sh [--quick]    # --quick: plain leg + lint only
+#
+# Build trees are kept per-leg (build-check, build-asan, build-tsan) so
+# incremental re-runs stay cheap.
+
+set -u
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+JOBS=${JOBS:-$(nproc)}
+FAILED=()
+
+note() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+leg() {
+  # leg <name> <cmd...> — runs a matrix leg, records failure, keeps going.
+  local name=$1
+  shift
+  note "$name"
+  if "$@"; then
+    printf '\033[1;32mPASS\033[0m %s\n' "$name"
+  else
+    printf '\033[1;31mFAIL\033[0m %s\n' "$name"
+    FAILED+=("$name")
+  fi
+}
+
+build_and_test() {
+  # build_and_test <dir> <ctest-extra-args...> -- <cmake-extra-args...>
+  local dir=$1
+  shift
+  local ctest_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do
+    ctest_args+=("$1")
+    shift
+  done
+  [[ "${1:-}" == "--" ]] && shift
+  cmake -B "$dir" -S . "$@" || return 1
+  cmake --build "$dir" -j "$JOBS" || return 1
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "${ctest_args[@]}"
+}
+
+# --- 1. enclave lint first: cheapest signal --------------------------------
+leg "enclave-lint (src/)" python3 tools/enclave_lint.py
+leg "enclave-lint (fixture self-test)" python3 tools/enclave_lint.py --self-test
+
+# --- 2. plain build + full suite, warnings as errors -----------------------
+leg "plain build + ctest (-Werror)" \
+  build_and_test build-check -- -DEA_WERROR=ON -DEA_SANITIZE=
+
+if [[ $QUICK -eq 0 ]]; then
+  # --- 3. ASan + UBSan, full suite -----------------------------------------
+  leg "ASan+UBSan build + ctest" \
+    build_and_test build-asan -- -DEA_WERROR=ON -DEA_SANITIZE=address,undefined
+
+  # --- 4. TSan, concurrency suite ------------------------------------------
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  leg "TSan build + ctest -L tsan" \
+    build_and_test build-tsan -L tsan -- -DEA_WERROR=ON -DEA_SANITIZE=thread
+fi
+
+# --- 5. clang-tidy (optional tooling; never silently skipped) --------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_tidy() {
+    # Reuse the plain tree's compile commands.
+    cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+      find src -name '*.cpp' -print0 |
+      xargs -0 -n 8 -P "$JOBS" clang-tidy -p build-check --quiet
+  }
+  leg "clang-tidy (src/)" run_tidy
+else
+  note "clang-tidy not installed — leg skipped (install clang-tidy to run it)"
+fi
+
+# --- summary ---------------------------------------------------------------
+note "matrix summary"
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  printf '\033[1;31m%d leg(s) failed:\033[0m\n' "${#FAILED[@]}"
+  printf '  - %s\n' "${FAILED[@]}"
+  exit 1
+fi
+echo "all legs passed"

@@ -7,16 +7,26 @@
 // the paper's semantics. Crucially the lock never issues a system call, so
 // it is safe to take inside an enclave (no enclave exit — this is the whole
 // point versus sgx_mutex, cf. Fig. 1).
+// Under ThreadSanitizer the HLE intrinsic path is replaced by a std::atomic
+// TTAS loop (same semantics, no elision) with explicit happens-before
+// annotations — see concurrent/tsan.hpp for why TSan cannot model the HLE
+// flag bits.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "concurrent/tsan.hpp"
 
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
 
 namespace ea::concurrent {
+
+#if defined(__x86_64__) && !defined(EA_TSAN)
+#define EA_HLE_LOCK_PATH 1
+#endif
 
 class HleSpinLock {
  public:
@@ -25,7 +35,7 @@ class HleSpinLock {
   HleSpinLock& operator=(const HleSpinLock&) = delete;
 
   void lock() noexcept {
-#if defined(__x86_64__)
+#if defined(EA_HLE_LOCK_PATH)
     while (__atomic_exchange_n(&flag_, 1,
                                __ATOMIC_ACQUIRE | __ATOMIC_HLE_ACQUIRE) != 0) {
       while (__atomic_load_n(&flag_, __ATOMIC_RELAXED) != 0) {
@@ -35,25 +45,34 @@ class HleSpinLock {
 #else
     while (flag_atomic().exchange(1, std::memory_order_acquire) != 0) {
       while (flag_atomic().load(std::memory_order_relaxed) != 0) {
+        cpu_relax();
       }
     }
+    EA_TSAN_ACQUIRE(this);
 #endif
   }
 
   void unlock() noexcept {
-#if defined(__x86_64__)
+#if defined(EA_HLE_LOCK_PATH)
     __atomic_store_n(&flag_, 0, __ATOMIC_RELEASE | __ATOMIC_HLE_RELEASE);
 #else
+    EA_TSAN_RELEASE(this);
     flag_atomic().store(0, std::memory_order_release);
 #endif
   }
 
  private:
-#if defined(__x86_64__)
+#if defined(EA_HLE_LOCK_PATH)
   // Plain int manipulated through __atomic builtins so the HLE prefixes can
   // be attached; alignas keeps it on its own cache line.
   alignas(64) int flag_ = 0;
 #else
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__)
+    _mm_pause();
+#endif
+  }
+
   alignas(64) std::atomic<int> flag_{0};
   std::atomic<int>& flag_atomic() noexcept { return flag_; }
 #endif

@@ -52,7 +52,9 @@ struct alignas(64) Node {
   // Returns the number of bytes copied.
   std::size_t fill(std::span<const std::uint8_t> bytes) noexcept {
     std::size_t n = bytes.size() < capacity ? bytes.size() : capacity;
-    std::memcpy(payload(), bytes.data(), n);
+    // Empty spans may carry a null data(); memcpy from null is UB even
+    // for zero lengths.
+    if (n != 0) std::memcpy(payload(), bytes.data(), n);
     size = static_cast<std::uint32_t>(n);
     return n;
   }

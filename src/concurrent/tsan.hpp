@@ -1,0 +1,32 @@
+// ThreadSanitizer detection and happens-before annotations.
+//
+// TSan cannot see through the raw `__atomic_*` intrinsics carrying the
+// XACQUIRE/XRELEASE HLE flag bits that HleSpinLock uses on x86: it would
+// report every structure guarded by the lock as racy. Builds with
+// -fsanitize=thread therefore (a) take a std::atomic lock path TSan models
+// natively and (b) annotate the lock's synchronisation edges explicitly via
+// __tsan_acquire/__tsan_release, so the happens-before relation stays
+// declared even if the fallback path's atomics are ever weakened.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define EA_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EA_TSAN 1
+#endif
+#endif
+
+#if defined(EA_TSAN)
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+#define EA_TSAN_ACQUIRE(addr) __tsan_acquire(static_cast<void*>(addr))
+#define EA_TSAN_RELEASE(addr) __tsan_release(static_cast<void*>(addr))
+// NOLINTEND(cppcoreguidelines-macro-usage)
+#else
+#define EA_TSAN_ACQUIRE(addr) (static_cast<void>(0))
+#define EA_TSAN_RELEASE(addr) (static_cast<void>(0))
+#endif

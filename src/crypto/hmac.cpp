@@ -9,7 +9,9 @@ HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
   if (key.size() > block.size()) {
     Sha256Digest digest = sha256(key);
     std::memcpy(block.data(), digest.data(), digest.size());
-  } else {
+  } else if (!key.empty()) {
+    // Guard: HKDF passes an empty salt as a null span, and
+    // memcpy(dst, nullptr, 0) is undefined behaviour.
     std::memcpy(block.data(), key.data(), key.size());
   }
   std::array<std::uint8_t, 64> ipad_key{};

@@ -80,6 +80,9 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
+  // Empty spans may carry a null data(); memcpy from null is UB even for
+  // zero lengths.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t pos = 0;
   if (buffer_len_ > 0) {

@@ -38,6 +38,12 @@ void Socket::close() noexcept {
   }
 }
 
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 Socket Socket::listen_on(std::uint16_t port, int backlog) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket();

@@ -31,6 +31,13 @@ class Socket {
   }
   void close() noexcept;
 
+  // Shuts down both directions without invalidating the descriptor. Safe to
+  // call from another thread while the owner is mid-read: pending and future
+  // reads return EOF, but fd_ itself is untouched, so there is no data race
+  // on the descriptor (close() concurrent with a reader is one — TSan
+  // flagged exactly that in the baseline server's stop path).
+  void shutdown_both() noexcept;
+
   // Creates a non-blocking listening socket on 127.0.0.1:port (port 0 picks
   // a free port). Returns invalid socket on failure.
   static Socket listen_on(std::uint16_t port, int backlog = 512);

@@ -33,6 +33,7 @@ Enclave& EnclaveManager::create(std::string name, std::uint64_t base_bytes) {
   Enclave& ref = *enclave;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    by_id_.emplace(id, enclave.get());
     enclaves_.push_back(std::move(enclave));
   }
   EA_DEBUG("sgxsim", "created enclave %u (%s), base %llu bytes", ref.id(),
@@ -43,21 +44,29 @@ Enclave& EnclaveManager::create(std::string name, std::uint64_t base_bytes) {
 Enclave* EnclaveManager::find(EnclaveId id) noexcept {
   if (id == kUntrusted) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& e : enclaves_) {
-    if (e->id() == id) return e.get();
-  }
-  return nullptr;
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
 }
 
-std::uint64_t EnclaveManager::total_committed() const noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+std::uint64_t EnclaveManager::total_committed_locked() const noexcept {
   std::uint64_t total = 0;
   for (const auto& e : enclaves_) total += e->committed_bytes();
   return total;
 }
 
+std::uint64_t EnclaveManager::total_committed() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_committed_locked();
+}
+
 std::uint64_t EnclaveManager::overflow_pages() const noexcept {
-  std::uint64_t total = total_committed();
+  // Single lock acquisition: summing and comparing under one critical
+  // section keeps the answer consistent with the enclave set it saw.
+  std::uint64_t total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = total_committed_locked();
+  }
   std::uint64_t usable = cost_model().epc_usable_bytes;
   if (total <= usable) return 0;
   return (total - usable + 4095) / 4096;
@@ -70,6 +79,7 @@ std::size_t EnclaveManager::enclave_count() const {
 
 void EnclaveManager::reset_for_testing() {
   std::lock_guard<std::mutex> lock(mu_);
+  by_id_.clear();
   enclaves_.clear();
   next_id_.store(1, std::memory_order_relaxed);
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/sha256.hpp"
@@ -68,7 +69,8 @@ class EnclaveManager {
   // (the paper reports ~500 KiB per XMPP enclave).
   Enclave& create(std::string name, std::uint64_t base_bytes = 512 * 1024);
 
-  // Finds by id; nullptr for kUntrusted or unknown ids.
+  // Finds by id; nullptr for kUntrusted or unknown ids. O(1) hash lookup —
+  // this sits on the enclave-transition hot path.
   Enclave* find(EnclaveId id) noexcept;
 
   std::uint64_t total_committed() const noexcept;
@@ -90,8 +92,14 @@ class EnclaveManager {
  private:
   EnclaveManager();
 
+  // Sums committed bytes across enclaves; caller must hold mu_.
+  std::uint64_t total_committed_locked() const noexcept;
+
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Enclave>> enclaves_;
+  // id -> enclave index for O(1) find(); entries live exactly as long as
+  // the owning unique_ptr in enclaves_.
+  std::unordered_map<EnclaveId, Enclave*> by_id_;
   std::atomic<EnclaveId> next_id_{1};
   std::array<std::uint8_t, 32> device_root_key_{};
 };

@@ -36,12 +36,15 @@ void BaselineServer::start() {
 
 void BaselineServer::stop() {
   if (stop_.exchange(true, std::memory_order_relaxed)) return;
-  listener_.close();
+  // Shutdown (not close) while accept_loop may still be polling the fd;
+  // the close happens after the join.
+  listener_.shutdown_both();
   queue_cv_.notify_all();
   if (router_fds_[0] >= 0) {
     ::shutdown(router_fds_[0], SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
   if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
   if (router_thread_.joinable()) router_thread_.join();
   for (int& fd : router_fds_) {
@@ -50,18 +53,18 @@ void BaselineServer::stop() {
       fd = -1;
     }
   }
-  // Close sockets to unblock connection threads, then join them.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) conn->socket.close();
-  }
+  // Shut the sockets down (not close: closing would race the connection
+  // threads' concurrent reads of the descriptor — found by TSan) to
+  // unblock the connection threads, join them, and only then close.
   std::vector<std::unique_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->socket.shutdown_both();
     conns.swap(conns_);
   }
   for (auto& conn : conns) {
     if (conn->thread.joinable()) conn->thread.join();
+    conn->socket.close();
   }
 }
 
@@ -283,13 +286,20 @@ bool BaselineServer::send_to(Connection& conn, std::string_view bytes) {
 }
 
 void BaselineServer::drop(Connection& conn) {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  if (!conn.jid.empty()) {
-    auto it = directory_.find(conn.jid);
-    if (it != directory_.end() && it->second == &conn) directory_.erase(it);
-    for (auto& [room, members] : rooms_) std::erase(members, conn.jid);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!conn.jid.empty()) {
+      auto it = directory_.find(conn.jid);
+      if (it != directory_.end() && it->second == &conn) directory_.erase(it);
+      for (auto& [room, members] : rooms_) std::erase(members, conn.jid);
+    }
   }
-  conn.socket.close();
+  // Shutdown only — the fd stays valid until stop() has joined this
+  // connection's thread, so concurrent send_to()/stop() never race a
+  // close. Taken under write_mu so an in-flight send_to drains first;
+  // its next write then fails cleanly with EPIPE.
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  conn.socket.shutdown_both();
 }
 
 }  // namespace ea::xmpp

@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""Enclave-safety lint for the EActors runtime.
+
+Enforces the framework invariants from the paper (EActors, Middleware '18):
+actors running inside an enclave must never block or exit the enclave on the
+message path. Concretely, trusted-capable modules may not use OS mutexes,
+blocking syscalls, dynamic heap allocation (outside designated construction
+paths), or iostream; and POD structs copied into node payloads (which cross
+the enclave boundary through Channels) must not smuggle raw pointers.
+
+The per-module policy lives in tools/enclave_policy.toml. Files can carry
+inline waivers:
+
+    ... offending code ...        // ea-lint: allow(rule-name) -- reason
+    // ea-lint: allow-next-line(rule-name) -- reason
+    // ea-lint: allow-file(rule-name) -- reason   (within the first 15 lines)
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
+
+Self-test mode (`--self-test`) runs the lint over tools/lint_fixtures/ and
+checks that every `// EXPECT: rule-name` annotation fires on exactly that
+line and that nothing else fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+WAIVER_LINE = re.compile(r"//\s*ea-lint:\s*allow\(([\w\-, ]+)\)")
+WAIVER_NEXT = re.compile(r"//\s*ea-lint:\s*allow-next-line\(([\w\-, ]+)\)")
+WAIVER_FILE = re.compile(r"//\s*ea-lint:\s*allow-file\(([\w\-, ]+)\)")
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w\-]+)")
+
+# sizeof(T) on a line that also touches a node payload — T is (heuristically)
+# a type whose bytes cross the enclave boundary inside a node.
+PAYLOAD_SIZEOF = re.compile(r"sizeof\((\w+)\)")
+STRUCT_OPEN = re.compile(r"^\s*struct\s+(\w+)\b[^;]*$")
+POINTER_MEMBER = re.compile(
+    r"^\s*(?:const\s+)?[\w:<>,\s]+?[*&]\s*\w+\s*(?:=[^;]*)?;"
+)
+FUNC_DECL_HINT = re.compile(r"\(|\boperator\b")
+
+
+@dataclass
+class Rule:
+    name: str
+    description: str
+    patterns: list[re.Pattern] = field(default_factory=list)
+
+
+@dataclass
+class Violation:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root.parent)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Policy:
+    trusted_modules: list[str]
+    untrusted_modules: list[str]
+    rules: dict[str, Rule]
+    # list of (path glob, set of rule names or {"*"}, reason)
+    exemptions: list[tuple[str, set[str], str]]
+
+    @staticmethod
+    def load(path: Path) -> "Policy":
+        with open(path, "rb") as f:
+            raw = tomllib.load(f)
+        modules = raw.get("modules", {})
+        rules: dict[str, Rule] = {}
+        for name, spec in raw.get("rules", {}).items():
+            patterns = [re.compile(p) for p in spec.get("patterns", [])]
+            rules[name] = Rule(name, spec.get("description", ""), patterns)
+        exemptions = []
+        for ex in raw.get("exempt", []):
+            if "reason" not in ex:
+                raise SystemExit(
+                    f"policy error: exemption for {ex.get('path')} lacks a reason"
+                )
+            exemptions.append(
+                (ex["path"], set(ex.get("rules", ["*"])), ex["reason"])
+            )
+        return Policy(
+            trusted_modules=modules.get("trusted", []),
+            untrusted_modules=modules.get("untrusted", []),
+            rules=rules,
+            exemptions=exemptions,
+        )
+
+    def exempt(self, rel: str, rule: str) -> bool:
+        for glob, rule_set, _reason in self.exemptions:
+            if fnmatch.fnmatch(rel, glob) and ("*" in rule_set or rule in rule_set):
+                return True
+        return False
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Returns lines with comments and string/char literals blanked out,
+    preserving line numbering so diagnostics stay accurate."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # rest of line is a comment
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in ('"', "'"):
+                quote = c
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        break
+                    i += 1
+                buf.append(quote)
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def collect_payload_types(files: list[Path]) -> set[str]:
+    """Type names T appearing as sizeof(T) on lines that also touch a node
+    payload — their bytes are serialized across the enclave boundary."""
+    types: set[str] = set()
+    for path in files:
+        try:
+            text = path.read_text(errors="replace")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            if "payload()" not in line and "payload_bytes" not in line:
+                continue
+            for m in PAYLOAD_SIZEOF.finditer(line):
+                name = m.group(1)
+                if len(name) > 2:  # skip template params like T, U
+                    types.add(name)
+    return types
+
+
+def check_payload_structs(
+    path: Path, stripped: list[str], payload_types: set[str]
+) -> list[Violation]:
+    """Flags raw pointer/reference members inside structs whose bytes are
+    copied into node payloads (bypassing Node/Channel ownership)."""
+    violations = []
+    i = 0
+    n = len(stripped)
+    while i < n:
+        m = STRUCT_OPEN.match(stripped[i])
+        if not m or m.group(1) not in payload_types:
+            i += 1
+            continue
+        name = m.group(1)
+        # Walk the struct body tracking brace depth.
+        depth = 0
+        seen_open = False
+        j = i
+        while j < n:
+            line = stripped[j]
+            if seen_open and depth >= 1 and j > i:
+                if POINTER_MEMBER.match(line) and not FUNC_DECL_HINT.search(line):
+                    violations.append(
+                        Violation(
+                            path,
+                            j + 1,
+                            "payload-raw-pointer",
+                            f"struct {name} is copied into node payloads but "
+                            f"this member holds a raw pointer/reference; "
+                            f"pointers must not cross the enclave boundary — "
+                            f"pass ids or inline bytes instead",
+                        )
+                    )
+            if "{" in line:
+                seen_open = True
+            depth += line.count("{") - line.count("}")
+            if seen_open and depth <= 0:
+                break
+            if not seen_open and j > i + 1:
+                break  # forward declaration or unrelated match
+            j += 1
+        i = j + 1
+    return violations
+
+
+def waived_rules(line: str) -> set[str]:
+    m = WAIVER_LINE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def lint_file(
+    path: Path, rel: str, policy: Policy, payload_types: set[str]
+) -> tuple[list[Violation], int]:
+    try:
+        raw_lines = path.read_text(errors="replace").splitlines()
+    except OSError as e:
+        print(f"warning: cannot read {path}: {e}", file=sys.stderr)
+        return [], 0
+    stripped = strip_comments_and_strings(raw_lines)
+
+    file_waivers: set[str] = set()
+    for line in raw_lines[:15]:
+        m = WAIVER_FILE.search(line)
+        if m:
+            file_waivers |= {r.strip() for r in m.group(1).split(",")}
+
+    violations: list[Violation] = []
+    waiver_count = 0
+    pending_next: set[str] = set()
+    for idx, (raw, code) in enumerate(zip(raw_lines, stripped)):
+        lineno = idx + 1
+        line_waivers = waived_rules(raw) | pending_next | file_waivers
+        pending_next = set()
+        m = WAIVER_NEXT.search(raw)
+        if m:
+            pending_next = {r.strip() for r in m.group(1).split(",")}
+            continue
+        for rule in policy.rules.values():
+            if policy.exempt(rel, rule.name):
+                continue
+            for pat in rule.patterns:
+                pm = pat.search(code)
+                if not pm:
+                    continue
+                if rule.name in line_waivers:
+                    waiver_count += 1
+                    break
+                violations.append(
+                    Violation(
+                        path,
+                        lineno,
+                        rule.name,
+                        f"`{pm.group(0).strip()}` — {rule.description}",
+                    )
+                )
+                break  # one diagnostic per rule per line
+
+    if not policy.exempt(rel, "payload-raw-pointer"):
+        for v in check_payload_structs(path, stripped, payload_types):
+            if "payload-raw-pointer" in file_waivers or "payload-raw-pointer" in waived_rules(
+                raw_lines[v.line - 1]
+            ):
+                waiver_count += 1
+                continue
+            violations.append(v)
+    return violations, waiver_count
+
+
+def run_lint(root: Path, policy: Policy) -> tuple[list[Violation], int]:
+    files = sorted(
+        p
+        for p in root.rglob("*")
+        if p.suffix in SOURCE_SUFFIXES and p.is_file()
+    )
+    payload_types = collect_payload_types(files)
+    all_violations: list[Violation] = []
+    total_waivers = 0
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        module = rel.split("/", 1)[0]
+        if module in policy.untrusted_modules:
+            continue
+        if policy.trusted_modules and module not in policy.trusted_modules:
+            continue
+        vs, waivers = lint_file(path, rel, policy, payload_types)
+        all_violations.extend(vs)
+        total_waivers += waivers
+    return all_violations, total_waivers
+
+
+def self_test(tools_dir: Path) -> int:
+    fixtures = tools_dir / "lint_fixtures"
+    policy = Policy.load(fixtures / "policy.toml")
+    root = fixtures / "src"
+    violations, _ = run_lint(root, policy)
+    got = {(v.path.relative_to(root).as_posix(), v.line, v.rule) for v in violations}
+
+    expected: set[tuple[str, int, str]] = set()
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES:
+            continue
+        rel = path.relative_to(root).as_posix()
+        for idx, line in enumerate(path.read_text().splitlines()):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((rel, idx + 1, m.group(1)))
+
+    ok = True
+    for miss in sorted(expected - got):
+        print(f"SELF-TEST FAIL: expected violation did not fire: {miss}")
+        ok = False
+    for extra in sorted(got - expected):
+        print(f"SELF-TEST FAIL: unexpected violation: {extra}")
+        ok = False
+    if not expected:
+        print("SELF-TEST FAIL: no EXPECT annotations found in fixtures")
+        ok = False
+    if ok:
+        print(
+            f"self-test OK: {len(expected)} seeded violations fired, "
+            f"no false positives"
+        )
+        return 0
+    return 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    tools_dir = Path(__file__).resolve().parent
+    ap.add_argument("--root", type=Path, default=tools_dir.parent / "src")
+    ap.add_argument(
+        "--policy", type=Path, default=tools_dir / "enclave_policy.toml"
+    )
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(tools_dir)
+
+    if not args.root.is_dir():
+        print(f"error: source root {args.root} not found", file=sys.stderr)
+        return 2
+    try:
+        policy = Policy.load(args.policy)
+    except FileNotFoundError:
+        print(f"error: policy file {args.policy} not found", file=sys.stderr)
+        return 2
+    except tomllib.TOMLDecodeError as e:
+        print(f"error: policy file {args.policy}: {e}", file=sys.stderr)
+        return 2
+    violations, waivers = run_lint(args.root, policy)
+    for v in violations:
+        print(v.render(args.root))
+    if violations:
+        print(
+            f"\nenclave-lint: {len(violations)} violation(s) "
+            f"({waivers} inline waiver(s) honoured)"
+        )
+        return 1
+    print(f"enclave-lint: clean ({waivers} inline waiver(s) honoured)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

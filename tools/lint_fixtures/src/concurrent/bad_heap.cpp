@@ -1,0 +1,28 @@
+// Fixture: dynamic allocation on the message path.
+#include <memory>
+
+namespace fixture {
+
+struct Node {
+  char payload[64];
+};
+
+Node* fresh_node() {
+  return new Node();  // EXPECT: heap-alloc
+}
+
+void* raw_buffer(unsigned long n) {
+  return malloc(n);  // EXPECT: heap-alloc
+}
+
+std::unique_ptr<Node> owned() {
+  return std::make_unique<Node>();  // EXPECT: heap-alloc
+}
+
+// Placement new into a preallocated arena is the sanctioned construction
+// idiom and must NOT fire.
+Node* placement_ok(void* slot) {
+  return new (slot) Node();
+}
+
+}  // namespace fixture

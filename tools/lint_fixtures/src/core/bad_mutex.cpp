@@ -1,0 +1,20 @@
+// Fixture: OS blocking synchronisation inside a trusted-capable module.
+#include <mutex>  // EXPECT: mutex-blocking-sync
+
+namespace fixture {
+
+std::mutex g_mu;  // EXPECT: mutex-blocking-sync
+
+void critical() {
+  std::lock_guard<std::mutex> lock(g_mu);  // EXPECT: mutex-blocking-sync
+}
+
+void sleepy_wait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // EXPECT: blocking-syscall
+}
+
+void raw_pthread(pthread_mutex_t* mu) {  // EXPECT: mutex-blocking-sync
+  pthread_mutex_lock(mu);  // EXPECT: mutex-blocking-sync
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: direct syscalls from trusted actor code.
+namespace fixture {
+
+int drain(int fd, char* buf, unsigned long len) {
+  return static_cast<int>(::read(fd, buf, len));  // EXPECT: blocking-syscall
+}
+
+void push(int fd, const char* buf, unsigned long len) {
+  ::write(fd, buf, len);  // EXPECT: blocking-syscall
+}
+
+int take(int listen_fd) {
+  return ::accept(listen_fd, nullptr, nullptr);  // EXPECT: blocking-syscall
+}
+
+void backoff() {
+  usleep(100);  // EXPECT: blocking-syscall
+}
+
+// Member functions *named* like syscalls must not fire (the real tree has
+// Socket::close(), Client::connect(), MonotonicCounterService::read()).
+struct Socket {
+  void close();
+  int read(char* buf, int len);
+};
+void Socket::close() {}
+int Socket::read(char*, int) { return 0; }
+
+void member_calls_ok(Socket& s) {
+  s.close();
+  s.read(nullptr, 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: policy.toml exempts this file from heap-alloc (with a reason);
+// the seeded allocation below must NOT fire. The syscall still must fire —
+// exemptions are per-rule, not per-file blanket passes.
+#include <memory>
+
+namespace fixture {
+
+struct Cfg {
+  int workers;
+};
+
+std::unique_ptr<Cfg> build() { return std::make_unique<Cfg>(); }
+
+void leak_probe(int fd, char* buf, unsigned long len) {
+  ::read(fd, buf, len);  // EXPECT: blocking-syscall
+}
+
+}  // namespace fixture

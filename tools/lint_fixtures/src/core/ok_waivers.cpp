@@ -1,0 +1,19 @@
+// Fixture: inline waivers suppress diagnostics; none of these may fire.
+#include <memory>
+
+namespace fixture {
+
+struct Widget {
+  int v;
+};
+
+Widget* setup_path() {
+  return new Widget();  // ea-lint: allow(heap-alloc) -- pre-start wiring
+}
+
+void ocall_shim(int fd, const char* buf, unsigned long len) {
+  // ea-lint: allow-next-line(blocking-syscall)
+  ::write(fd, buf, len);
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: this module is whitelisted as untrusted-side; the host layer may
+// block, allocate, and talk to the kernel. Nothing here may fire.
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_table_mu;
+
+int host_accept(int listen_fd) {
+  std::lock_guard<std::mutex> lock(g_table_mu);
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+void host_log(const char* what) { std::cout << what << "\n"; }
+
+std::unique_ptr<int> host_alloc() { return std::make_unique<int>(42); }
+
+}  // namespace fixture

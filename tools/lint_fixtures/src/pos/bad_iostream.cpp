@@ -1,0 +1,21 @@
+// Fixture: iostream / stdio on trusted paths.
+#include <iostream>  // EXPECT: iostream
+
+namespace fixture {
+
+void report(int value) {
+  std::cout << "value=" << value << "\n";  // EXPECT: iostream
+  printf("value=%d\n", value);             // EXPECT: iostream
+}
+
+// snprintf formats into a caller buffer without locks or syscalls — the
+// logging layer uses it — and must NOT fire.
+int format_ok(char* buf, unsigned long n, int value) {
+  return snprintf(buf, n, "value=%d", value);
+}
+
+// Tokens inside comments and string literals must NOT fire:
+// std::cout << "printf( ::read( std::mutex";
+const char* decoy() { return "std::cerr ::write( #include <iostream>"; }
+
+}  // namespace fixture

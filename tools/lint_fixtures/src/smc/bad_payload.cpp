@@ -1,0 +1,41 @@
+// Fixture: raw pointers smuggled across the enclave boundary inside a node
+// payload, bypassing Node/Channel ownership.
+#include <cstring>
+
+namespace fixture {
+
+struct Node {
+  unsigned char* payload() { return bytes; }
+  unsigned char bytes[256];
+};
+
+struct SecretState {
+  int x;
+};
+
+// This struct's bytes are memcpy'd into a node payload below, so pointer
+// members would leak untrusted-addressable pointers into the enclave (or
+// enclave pointers out of it).
+struct BadFrame {
+  unsigned long long request_id;
+  SecretState* state;  // EXPECT: payload-raw-pointer
+  const char* label;   // EXPECT: payload-raw-pointer
+  int count;
+
+  // Member functions with pointer/reference signatures must NOT fire.
+  SecretState* get_state() const { return state; }
+};
+
+// A value-only frame must NOT fire.
+struct GoodFrame {
+  unsigned long long request_id;
+  char label[32];
+  int count;
+};
+
+void send_frames(Node& n, const BadFrame& bad, const GoodFrame& good) {
+  std::memcpy(n.payload(), &bad, sizeof(BadFrame));
+  std::memcpy(n.payload(), &good, sizeof(GoodFrame));
+}
+
+}  // namespace fixture
