@@ -49,17 +49,24 @@ inline double run_smc_ea(const smc::SmcConfig& config,
   Timer timer;
   std::uint64_t issued = 0, received = 0;
   // Keep a small number of requests in flight (the paper issues
-  // invocations back-to-back).
+  // invocations back-to-back). Requests are injected as one chain and
+  // results drained as one burst — a single mbox lock acquisition each way.
   while (received < requests) {
+    concurrent::ChainBuilder chain;
     while (issued < requests && issued - received < 4) {
       concurrent::Node* req = rt.public_pool().get();
       if (req == nullptr) break;
-      deployment.requests->push(req);
+      chain.append(req);
       ++issued;
     }
-    if (concurrent::Node* node = deployment.results->pop()) {
-      concurrent::NodeLease lease(node);
-      ++received;
+    chain.flush_into(*deployment.requests);
+    concurrent::Node* burst[8];
+    std::size_t got = deployment.results->pop_burst(burst, 8);
+    if (got != 0) {
+      for (std::size_t i = 0; i < got; ++i) {
+        concurrent::NodeLease lease(burst[i]);
+      }
+      received += got;
     } else {
       std::this_thread::yield();
     }

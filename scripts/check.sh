@@ -6,7 +6,8 @@
 #   2. ASan+UBSan build, entire ctest suite
 #   3. TSan build, concurrency suite (ctest -L tsan)
 #   4. enclave-safety lint, standalone (fast feedback even if cmake fails)
-#   5. clang-tidy over src/ (skipped with a notice when unavailable)
+#   5. bench smoke: bench_batching with tiny iterations, JSON schema check
+#   6. clang-tidy over src/ (skipped with a notice when unavailable)
 #
 # Any leg failing fails the script. Usage:
 #   scripts/check.sh [--quick]    # --quick: plain leg + lint only
@@ -69,6 +70,35 @@ if [[ $QUICK -eq 0 ]]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
   leg "TSan build + ctest -L tsan" \
     build_and_test build-tsan -L tsan -- -DEA_WERROR=ON -DEA_SANITIZE=thread
+
+  # --- 5. bench smoke: the batching bench runs end-to-end and its JSON -----
+  # report parses with the expected schema (uses the plain tree from leg 2).
+  run_bench_smoke() {
+    EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
+      EA_BENCH_JSON=build-check/BENCH_batching.json \
+      ./build-check/bench/bench_batching >/dev/null || return 1
+    python3 - <<'EOF'
+import json
+
+with open("build-check/BENCH_batching.json") as f:
+    doc = json.load(f)
+assert doc.get("bench") == "batching", doc.get("bench")
+assert doc.get("schema_version") == 1, doc.get("schema_version")
+results = doc["results"]
+assert results, "empty results"
+for r in results:
+    assert isinstance(r["scenario"], str) and r["scenario"], r
+    assert isinstance(r["mode"], str) and r["mode"], r
+    assert isinstance(r["x"], (int, float)), r
+    assert isinstance(r["value"], (int, float)) and r["value"] >= 0, r
+    assert isinstance(r["unit"], str) and r["unit"], r
+scenarios = {r["scenario"] for r in results}
+expected = {"mbox", "channel_enc", "transition", "pool"}
+assert expected <= scenarios, scenarios
+print(f"BENCH_batching.json ok: {len(results)} results")
+EOF
+  }
+  leg "bench smoke (bench_batching + JSON schema)" run_bench_smoke
 fi
 
 # --- 5. clang-tidy (optional tooling; never silently skipped) --------------

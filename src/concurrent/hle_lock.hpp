@@ -28,7 +28,11 @@ namespace ea::concurrent {
 #define EA_HLE_LOCK_PATH 1
 #endif
 
-class HleSpinLock {
+// Cache-line-aligned so a lock embedded in Mbox/Pool never shares a line
+// with the data it protects: the flag ping-pongs between producer and
+// consumer cores, and co-locating it with head/tail pointers would drag
+// them along on every acquisition (false sharing).
+class alignas(64) HleSpinLock {
  public:
   HleSpinLock() = default;
   HleSpinLock(const HleSpinLock&) = delete;

@@ -14,6 +14,25 @@ void Mbox::push(Node* n) noexcept {
   }
   tail_ = n;
   ++size_;
+  count_.store(size_, std::memory_order_relaxed);
+}
+
+void Mbox::push_chain(Node* head, Node* tail, std::size_t n) noexcept {
+  if (head == nullptr || tail == nullptr || n == 0) return;
+  // The chain is still private here: fix up the links that don't depend on
+  // the shared list outside the critical section.
+  head->prev = nullptr;
+  tail->next = nullptr;
+  HleGuard guard(lock_);
+  head->prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->next = head;
+  } else {
+    head_ = head;
+  }
+  tail_ = tail;
+  size_ += n;
+  count_.store(size_, std::memory_order_relaxed);
 }
 
 Node* Mbox::pop() noexcept {
@@ -29,20 +48,49 @@ Node* Mbox::pop() noexcept {
       tail_ = nullptr;
     }
     --size_;
+    count_.store(size_, std::memory_order_relaxed);
   }
   n->next = nullptr;
   n->prev = nullptr;
   return n;
 }
 
-bool Mbox::empty() const noexcept {
-  HleGuard guard(lock_);
-  return head_ == nullptr;
-}
-
-std::size_t Mbox::size() const noexcept {
-  HleGuard guard(lock_);
-  return size_;
+std::size_t Mbox::pop_burst(Node** out, std::size_t max) noexcept {
+  if (out == nullptr || max == 0) return 0;
+  Node* burst_head;
+  std::size_t taken;
+  {
+    HleGuard guard(lock_);
+    burst_head = head_;
+    if (burst_head == nullptr) return 0;
+    if (max >= size_) {
+      // Full drain: detach the whole list in O(1).
+      taken = size_;
+      head_ = nullptr;
+      tail_ = nullptr;
+      size_ = 0;
+    } else {
+      // Partial burst: walk to the new head. O(max) under the lock, but it
+      // replaces `max` separate acquisitions.
+      taken = max;
+      Node* cut = burst_head;
+      for (std::size_t i = 1; i < max; ++i) cut = cut->next;
+      head_ = cut->next;
+      head_->prev = nullptr;
+      cut->next = nullptr;
+      size_ -= max;
+    }
+    count_.store(size_, std::memory_order_relaxed);
+  }
+  Node* n = burst_head;
+  for (std::size_t i = 0; i < taken; ++i) {
+    Node* next = n->next;
+    n->next = nullptr;
+    n->prev = nullptr;
+    out[i] = n;
+    n = next;
+  }
+  return taken;
 }
 
 }  // namespace ea::concurrent

@@ -6,8 +6,17 @@
 // the backbone of all eactor communication and of the networking batch
 // interface — it "enables concurrent access by multiple readers and multiple
 // writers" (§4.2).
+//
+// Besides the per-node push/pop, mboxes support *burst* transfer:
+// push_chain() splices a privately pre-linked chain of nodes under a single
+// lock acquisition and pop_burst() detaches up to N nodes at once, so the
+// per-message synchronisation cost is amortized over the whole burst. The
+// emptiness/size probes never take the lock — actors poll their mboxes on
+// every activation, and a locked probe would make idle polling contend with
+// the producers it is waiting for.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "concurrent/hle_lock.hpp"
@@ -15,7 +24,7 @@
 
 namespace ea::concurrent {
 
-class Mbox {
+class alignas(64) Mbox {
  public:
   Mbox() = default;
   Mbox(const Mbox&) = delete;
@@ -24,21 +33,84 @@ class Mbox {
   // Enqueues at the tail.
   void push(Node* n) noexcept;
 
+  // Enqueues a chain of `n` nodes, linked head->...->tail via Node::next,
+  // under one lock acquisition. The chain must be private to the caller
+  // (no other thread may observe it) until push_chain returns; prev links
+  // are fixed up here, outside the critical section. FIFO order of the
+  // chain is preserved: head is dequeued first.
+  void push_chain(Node* head, Node* tail, std::size_t n) noexcept;
+
   // Dequeues from the head; nullptr when empty (actors poll, they never
   // block — blocking would stall a worker and, inside an enclave, force an
   // expensive exit).
   Node* pop() noexcept;
 
-  // Non-destructive emptiness probe.
-  bool empty() const noexcept;
+  // Dequeues up to `max` nodes into `out` under one lock acquisition and
+  // returns how many were dequeued (0 when empty). Order in `out` is the
+  // FIFO dequeue order. When the burst drains the whole mailbox the list
+  // head is detached in O(1); partial bursts walk the detached prefix.
+  std::size_t pop_burst(Node** out, std::size_t max) noexcept;
 
-  std::size_t size() const noexcept;
+  // Non-destructive emptiness probe. Lock-free: reads a relaxed atomic
+  // counter maintained by push/pop, so the hot poll loop of every actor
+  // never touches the mailbox lock. The value is a snapshot — exact only
+  // when producers/consumers are quiescent.
+  bool empty() const noexcept {
+    return count_.load(std::memory_order_relaxed) == 0;
+  }
+
+  std::size_t size() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // The lock occupies its own cache line (HleSpinLock aligns its flag);
+  // head/tail/size share the next line (only touched under the lock); the
+  // probe counter gets a third line so lock-free pollers never contend
+  // with the list mutation traffic (no false sharing producer<->poller).
   mutable HleSpinLock lock_;
   Node* head_ = nullptr;
   Node* tail_ = nullptr;
   std::size_t size_ = 0;
+  alignas(64) std::atomic<std::size_t> count_{0};
+};
+
+// Accumulates a private chain of nodes for a single push_chain() splice —
+// the producer-side half of the burst interface. Usage:
+//
+//   ChainBuilder chain;
+//   while (...) chain.append(node);
+//   chain.flush_into(mbox);   // one lock acquisition for the whole chain
+class ChainBuilder {
+ public:
+  void append(Node* n) noexcept {
+    if (n == nullptr) return;
+    n->next = nullptr;
+    n->prev = tail_;
+    if (tail_ != nullptr) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++count_;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  // Splices the accumulated chain into `mbox` and resets the builder.
+  void flush_into(Mbox& mbox) noexcept {
+    if (count_ == 0) return;
+    mbox.push_chain(head_, tail_, count_);
+    head_ = tail_ = nullptr;
+    count_ = 0;
+  }
+
+ private:
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t count_ = 0;
 };
 
 }  // namespace ea::concurrent

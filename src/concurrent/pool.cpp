@@ -1,27 +1,236 @@
 #include "concurrent/pool.hpp"
 
+#include "util/env.hpp"
+
 namespace ea::concurrent {
 
+// --- per-thread magazines ---------------------------------------------------
+//
+// A magazine is a tiny LIFO of free nodes owned by one (thread, pool) pair.
+// items[] and the count are only mutated by the owning thread; the count is
+// an atomic so Pool::size() on other threads can read a coherent snapshot.
+// Node ownership transfers between a magazine and the shared list only under
+// the pool's free-list lock, which provides the happens-before edge for the
+// node memory itself.
+//
+// Lifetime: magazines live in thread-local storage. A thread exiting flushes
+// its magazines back to their pools (PoolThreadCache destructor); a pool
+// being destroyed evicts every magazine still pointing at it (~Pool). The
+// pre-existing contract that a pool must outlive any concurrent get()/put()
+// covers the remaining interleavings: eviction only races with a thread that
+// would be using a destroyed pool anyway.
+
+struct Pool::Magazine {
+  // Owner pool; atomic only so eviction (~Pool) and the slot scan in
+  // Pool::magazine() never constitute a data race. Relaxed everywhere:
+  // cross-thread agreement is provided by join/sequencing per the lifetime
+  // contract above.
+  std::atomic<Pool*> owner{nullptr};
+  Magazine* next_registered = nullptr;  // pool registry list, registry_lock_
+  std::atomic<std::uint32_t> count{0};  // written by owner thread only
+  Node* items[kMagazineCapacity] = {};
+};
+
+struct PoolThreadCache {
+  Pool::Magazine slots[kMaxThreadMagazines];
+
+  ~PoolThreadCache() {
+    // Thread exit: hand every cached node back to its pool so conservation
+    // (pool.size() == arena.count() when quiescent) holds after join(), and
+    // unlink the magazine from the pool's registry — this storage is about
+    // to be freed with the rest of the thread's TLS.
+    for (Pool::Magazine& mag : slots) {
+      Pool* pool = mag.owner.load(std::memory_order_relaxed);
+      if (pool != nullptr) {
+        pool->flush(mag, 0);
+        pool->deregister_magazine(&mag);
+        mag.owner.store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+namespace {
+thread_local PoolThreadCache t_pool_cache;
+}  // namespace
+
+bool Pool::magazines_enabled() noexcept {
+  static const bool enabled = util::env_int("EA_POOL_MAGAZINE", 1) != 0;
+  return enabled;
+}
+
+Pool::~Pool() {
+  // Evict every magazine still caching for this pool. Cached nodes are
+  // simply dropped — the arena owns their memory, and it is being torn
+  // down alongside the pool.
+  HleGuard guard(registry_lock_);
+  for (Magazine* mag = magazines_; mag != nullptr;) {
+    Magazine* next = mag->next_registered;
+    mag->count.store(0, std::memory_order_relaxed);
+    mag->next_registered = nullptr;
+    mag->owner.store(nullptr, std::memory_order_relaxed);
+    mag = next;
+  }
+  magazines_ = nullptr;
+}
+
 void Pool::adopt(NodeArena& arena) {
+  if (arena.count() == 0) return;
+  // Build one private chain and splice it in a single lock acquisition.
+  Node* head = nullptr;
+  Node* tail = nullptr;
   for (std::size_t i = 0; i < arena.count(); ++i) {
     Node* n = arena.node(i);
     n->home = this;
-    put(n);
+    n->prev = nullptr;
+    n->next = head;
+    if (head == nullptr) tail = n;
+    head = n;
   }
+  shared_put_chain(head, tail, arena.count());
 }
 
-Node* Pool::get() noexcept {
+// --- shared LIFO ------------------------------------------------------------
+
+Node* Pool::shared_get() noexcept {
   Node* n;
   {
     HleGuard guard(lock_);
     n = top_;
-    if (n != nullptr) {
-      top_ = n->next;
-      if (top_ != nullptr) top_->prev = nullptr;
-      --size_;
+    if (n == nullptr) return nullptr;
+    // Pointer swap only: the list is singly linked, and the node reset
+    // happens outside, in get().
+    top_ = n->next;
+    --size_;
+    shared_count_.store(size_, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Pool::shared_put(Node* n) noexcept {
+  HleGuard guard(lock_);
+  n->next = top_;
+  top_ = n;
+  ++size_;
+  shared_count_.store(size_, std::memory_order_relaxed);
+}
+
+void Pool::shared_put_chain(Node* head, Node* tail, std::size_t n) noexcept {
+  if (head == nullptr || n == 0) return;
+  HleGuard guard(lock_);
+  tail->next = top_;
+  top_ = head;
+  size_ += n;
+  shared_count_.store(size_, std::memory_order_relaxed);
+}
+
+// --- magazine plumbing ------------------------------------------------------
+
+Pool::Magazine* Pool::magazine() noexcept {
+  if (!use_magazines_) return nullptr;
+  PoolThreadCache& tc = t_pool_cache;
+  Magazine* free_slot = nullptr;
+  for (Magazine& mag : tc.slots) {
+    Pool* owner = mag.owner.load(std::memory_order_relaxed);
+    if (owner == this) return &mag;
+    if (owner == nullptr && free_slot == nullptr) free_slot = &mag;
+  }
+  if (free_slot == nullptr) return nullptr;  // thread touches >8 pools: uncached
+  free_slot->count.store(0, std::memory_order_relaxed);
+  free_slot->owner.store(this, std::memory_order_relaxed);
+  register_magazine(free_slot);
+  return free_slot;
+}
+
+void Pool::register_magazine(Magazine* mag) noexcept {
+  HleGuard guard(registry_lock_);
+  mag->next_registered = magazines_;
+  magazines_ = mag;
+}
+
+void Pool::deregister_magazine(Magazine* mag) noexcept {
+  HleGuard guard(registry_lock_);
+  Magazine** link = &magazines_;
+  while (*link != nullptr) {
+    if (*link == mag) {
+      *link = mag->next_registered;
+      mag->next_registered = nullptr;
+      return;
     }
+    link = &(*link)->next_registered;
+  }
+}
+
+std::uint32_t Pool::refill(Magazine& mag) noexcept {
+  // Detach up to kMagazineBatch nodes from the shared top under one lock
+  // acquisition.
+  Node* head;
+  std::uint32_t taken = 0;
+  {
+    HleGuard guard(lock_);
+    head = top_;
+    Node* cut = nullptr;
+    Node* n = top_;
+    while (n != nullptr && taken < kMagazineBatch) {
+      cut = n;
+      n = n->next;
+      ++taken;
+    }
+    if (taken == 0) return 0;
+    top_ = n;
+    cut->next = nullptr;
+    size_ -= taken;
+    shared_count_.store(size_, std::memory_order_relaxed);
+  }
+  // The shared top is the hottest node; store it at the magazine top so
+  // get() (which pops items[count-1]) keeps strict LIFO order.
+  std::uint32_t c = taken;
+  for (Node* n = head; n != nullptr; --c) {
+    Node* next = n->next;
+    mag.items[c - 1] = n;
+    n = next;
+  }
+  mag.count.store(taken, std::memory_order_relaxed);
+  return taken;
+}
+
+void Pool::flush(Magazine& mag, std::uint32_t keep) noexcept {
+  std::uint32_t c = mag.count.load(std::memory_order_relaxed);
+  if (c <= keep) return;
+  std::uint32_t drop = c - keep;
+  // Flush the *oldest* entries (bottom of the magazine) so the hottest
+  // nodes stay cached; link them into a private chain and splice once.
+  Node* head = mag.items[0];
+  for (std::uint32_t i = 0; i + 1 < drop; ++i) {
+    mag.items[i]->next = mag.items[i + 1];
+  }
+  Node* tail = mag.items[drop - 1];
+  tail->next = nullptr;
+  for (std::uint32_t i = 0; i < keep; ++i) {
+    mag.items[i] = mag.items[drop + i];
+  }
+  mag.count.store(keep, std::memory_order_relaxed);
+  shared_put_chain(head, tail, drop);
+}
+
+// --- public get/put ---------------------------------------------------------
+
+Node* Pool::get() noexcept {
+  Node* n = nullptr;
+  Magazine* mag = magazine();
+  if (mag != nullptr) {
+    std::uint32_t c = mag->count.load(std::memory_order_relaxed);
+    if (c == 0) c = refill(*mag);
+    if (c != 0) {
+      n = mag->items[c - 1];
+      mag->count.store(c - 1, std::memory_order_relaxed);
+    }
+  } else {
+    n = shared_get();
   }
   if (n != nullptr) {
+    // Node reset deliberately happens here, outside every lock: the shared
+    // critical section stays a pointer swap.
     n->next = nullptr;
     n->prev = nullptr;
     n->size = 0;
@@ -32,17 +241,30 @@ Node* Pool::get() noexcept {
 
 void Pool::put(Node* n) noexcept {
   if (n == nullptr) return;
-  HleGuard guard(lock_);
+  Magazine* mag = magazine();
+  if (mag != nullptr) {
+    std::uint32_t c = mag->count.load(std::memory_order_relaxed);
+    if (c == kMagazineCapacity) {
+      flush(*mag, kMagazineCapacity - kMagazineBatch);
+      c = kMagazineCapacity - kMagazineBatch;
+    }
+    n->prev = nullptr;
+    mag->items[c] = n;
+    mag->count.store(c + 1, std::memory_order_relaxed);
+    return;
+  }
   n->prev = nullptr;
-  n->next = top_;
-  if (top_ != nullptr) top_->prev = n;
-  top_ = n;
-  ++size_;
+  shared_put(n);
 }
 
 std::size_t Pool::size() const noexcept {
-  HleGuard guard(lock_);
-  return size_;
+  std::size_t total = shared_count_.load(std::memory_order_relaxed);
+  HleGuard guard(registry_lock_);
+  for (Magazine* mag = magazines_; mag != nullptr;
+       mag = mag->next_registered) {
+    total += mag->count.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void NodeLease::reset() noexcept {

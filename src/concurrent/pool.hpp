@@ -4,9 +4,18 @@
 // implement LIFO semantic." LIFO keeps recently-used node payloads hot in
 // cache. Thread-safe for any number of concurrent producers/consumers via
 // the HLE lock; no system calls are ever made, so pools are enclave-safe.
+//
+// The shared free-list is fronted by per-thread *magazines*: small
+// thread-local node caches refilled from / flushed to the shared LIFO in
+// batches of kMagazineBatch, so the steady-state get()/put() path touches
+// no shared lock at all (cf. the per-worker free-list caching that lets
+// CAF-style actor runtimes scale past a few cores). Set EA_POOL_MAGAZINE=0
+// to disable the caches and fall back to the pure shared-LIFO path.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 #include "concurrent/arena.hpp"
 #include "concurrent/hle_lock.hpp"
@@ -14,31 +23,83 @@
 
 namespace ea::concurrent {
 
-class Pool {
+// Nodes a thread may cache per pool. Kept small so tiny test pools cannot
+// be starved by caches hoarding the whole arena.
+inline constexpr std::size_t kMagazineCapacity = 16;
+// Refill/flush batch K: one shared-lock acquisition moves K nodes.
+inline constexpr std::size_t kMagazineBatch = 8;
+// Distinct pools a single thread can cache for; further pools fall back to
+// the shared path (correct, just uncached).
+inline constexpr std::size_t kMaxThreadMagazines = 8;
+
+static_assert(kMagazineBatch <= kMagazineCapacity);
+
+class alignas(64) Pool {
  public:
-  Pool() = default;
+  // `use_magazines` defaults to the EA_POOL_MAGAZINE environment toggle
+  // (on unless set to 0); benchmarks construct both variants explicitly to
+  // quantify the magazines' contribution.
+  Pool() : Pool(magazines_enabled()) {}
+  explicit Pool(bool use_magazines) : use_magazines_(use_magazines) {}
+  ~Pool();
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
 
   // Adopts all nodes of `arena` into the pool and marks them as homed here.
+  // Bypasses the magazines: one splice into the shared list.
   void adopt(NodeArena& arena);
 
   // Pops a free node, or nullptr if the pool is exhausted. The node's size
-  // is reset to 0 and its tag cleared.
+  // is reset to 0 and its tag cleared (outside any lock). Steady state hits
+  // the calling thread's magazine; misses refill kMagazineBatch nodes under
+  // a single lock acquisition.
   Node* get() noexcept;
 
-  // Pushes a node back. The node must not be linked in any mbox.
+  // Pushes a node back. The node must not be linked in any mbox. Steady
+  // state hits the magazine; a full magazine flushes kMagazineBatch nodes
+  // under a single lock acquisition.
   void put(Node* n) noexcept;
 
-  // Approximate number of free nodes (exact when quiescent).
+  // Approximate number of free nodes — shared list plus every registered
+  // magazine (exact when quiescent). Never takes the free-list lock.
   std::size_t size() const noexcept;
 
   bool empty() const noexcept { return size() == 0; }
 
+  // Process-wide default for the magazine layer (EA_POOL_MAGAZINE != "0").
+  static bool magazines_enabled() noexcept;
+
  private:
+  struct Magazine;
+  friend struct PoolThreadCache;
+
+  // Shared-LIFO primitives; the critical section is a pointer swap plus a
+  // counter update (the list is singly linked via Node::next — prev is
+  // only maintained by mboxes).
+  Node* shared_get() noexcept;
+  void shared_put(Node* n) noexcept;
+  // Splices a private chain (linked via next) of `n` nodes; one lock op.
+  void shared_put_chain(Node* head, Node* tail, std::size_t n) noexcept;
+
+  Magazine* magazine() noexcept;
+  std::uint32_t refill(Magazine& mag) noexcept;
+  void flush(Magazine& mag, std::uint32_t keep) noexcept;
+  void register_magazine(Magazine* mag) noexcept;
+  void deregister_magazine(Magazine* mag) noexcept;
+
+  const bool use_magazines_;
+
   mutable HleSpinLock lock_;
   Node* top_ = nullptr;
-  std::size_t size_ = 0;
+  std::size_t size_ = 0;  // shared-list population, under lock_
+  // Lock-free probe mirror of size_ (relaxed; see Mbox::count_).
+  alignas(64) std::atomic<std::size_t> shared_count_{0};
+
+  // Registry of per-thread magazines caching for this pool, so size() can
+  // account cached nodes and ~Pool can evict dangling references before
+  // thread-local storage outlives the pool.
+  mutable HleSpinLock registry_lock_;
+  Magazine* magazines_ = nullptr;
 };
 
 // RAII lease: returns the node to its pool on destruction unless released.

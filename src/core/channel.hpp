@@ -50,6 +50,12 @@ struct ChannelOptions {
   CipherModel cipher = CipherModel::kSoftwareAead;
 };
 
+// Node tag marking a coalesced multi-message frame produced by
+// ChannelEnd::send_batch. The tag travels through untrusted memory, so it
+// is also bound into the AEAD associated data — a runtime flipping it makes
+// authentication fail instead of confusing frame layouts.
+inline constexpr std::uint64_t kBatchFrameTag = 0xEAB10000000001ull;
+
 // One side of a channel. send() never blocks: it fails (returns false) when
 // the node pool is exhausted, and the actor retries on its next activation.
 class ChannelEnd {
@@ -62,10 +68,24 @@ class ChannelEnd {
         reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
   }
 
+  // Coalesces as many of `msgs` as fit into ONE node and ONE counter-sealed
+  // AEAD frame, so the crypto setup (key schedule, Poly1305 init), the
+  // counter bump and the mailbox lock are paid once per frame instead of
+  // once per message. Returns how many messages were packed and sent (0 on
+  // pool exhaustion or when the first message does not fit); callers loop
+  // over the remainder. FIFO order is preserved.
+  std::size_t send_batch(std::span<const std::span<const std::uint8_t>> msgs);
+
   // Dequeues the next message; empty lease when the mailbox is empty or a
   // cross-enclave message fails authentication (it is then dropped).
-  // The payload is already decrypted.
+  // The payload is already decrypted. Batch frames are transparent: their
+  // sub-messages are handed out one per recv() in send order (the frame is
+  // unsealed only once, when it is first popped).
   concurrent::NodeLease recv();
+
+  // Dequeues up to `max` messages into `out`; returns the count. Unpacks
+  // batch frames with one unseal per frame.
+  std::size_t recv_burst(concurrent::NodeLease* out, std::size_t max);
 
   // True if a recv() would find a message.
   bool pending() const;
@@ -103,11 +123,45 @@ class Channel {
     return auth_failures_.load(std::memory_order_relaxed);
   }
 
+  // Messages dropped because a batch frame was malformed after successful
+  // authentication (only possible on plain channels or a buggy peer).
+  std::uint64_t frame_errors() const noexcept {
+    return frame_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class ChannelEnd;
 
+  // A batch frame being handed out message-by-message at one side. Owned by
+  // the receiving actor's thread (channel ends are point-to-point).
+  struct PendingBatch {
+    concurrent::NodeLease frame;
+    std::uint32_t remaining = 0;
+    std::size_t offset = 0;
+  };
+
   bool send_from(int side, std::span<const std::uint8_t> bytes);
+  std::size_t send_batch_from(int side,
+                              std::span<const std::span<const std::uint8_t>> msgs);
   concurrent::NodeLease recv_at(int side);
+  std::size_t recv_burst_at(int side, concurrent::NodeLease* out,
+                            std::size_t max);
+  concurrent::NodeLease next_from_batch(int side);
+  // Byte offset inside a node payload where plaintext begins for this
+  // channel's wire format (after the nonce / counter header), and the
+  // total cipher expansion. Batch frames are assembled directly at the
+  // offset so sealing never copies or allocates.
+  std::size_t plaintext_offset() const noexcept;
+  std::size_t cipher_overhead() const noexcept;
+  // Seals the `len` plaintext bytes already sitting at plaintext_offset()
+  // inside `node`; writes header and trailer in place and sets node.size.
+  // `batch` selects the batch AAD domain.
+  void seal_in_place(int side, concurrent::Node& node, std::size_t len,
+                     bool batch);
+  // Copies `bytes` into `node` and seals; false if they cannot fit.
+  bool seal_into(int side, concurrent::Node& node,
+                 std::span<const std::uint8_t> bytes, bool batch);
+  bool open_in_place(int side, concurrent::Node& node, bool batch);
 
   std::string name_;
   ChannelOptions options_;
@@ -119,10 +173,13 @@ class Channel {
 
   concurrent::Mbox dir_[2];  // dir_[0]: A->B, dir_[1]: B->A
 
+  PendingBatch pending_batch_[2];
+
   bool encrypted_ = false;
   std::optional<crypto::AeadKey> key_;
   std::atomic<std::uint64_t> send_counter_[2] = {0, 0};
   std::atomic<std::uint64_t> auth_failures_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
 };
 
 }  // namespace ea::core

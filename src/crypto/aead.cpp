@@ -79,4 +79,34 @@ std::optional<util::Bytes> open_framed(const AeadKey& key,
   return aead_decrypt(key, nonce, aad, framed.subspan(nonce.size()));
 }
 
+void seal_framed_into(const AeadKey& key, std::uint64_t counter,
+                      std::span<const std::uint8_t> aad,
+                      std::span<std::uint8_t> frame) {
+  AeadNonce nonce{};
+  util::store_le64(nonce.data() + 4, counter);
+  std::memcpy(frame.data(), nonce.data(), nonce.size());
+  auto body = frame.subspan(nonce.size(), frame.size() - kAeadOverhead);
+  chacha20_xor(key, 1, nonce, body);
+  PolyTag tag = compute_tag(key, nonce, aad, body);
+  std::memcpy(frame.data() + frame.size() - tag.size(), tag.data(),
+              tag.size());
+}
+
+bool open_framed_in_place(const AeadKey& key,
+                          std::span<const std::uint8_t> aad,
+                          std::span<std::uint8_t> framed,
+                          std::size_t& plaintext_len) {
+  if (framed.size() < kAeadOverhead) return false;
+  AeadNonce nonce;
+  std::memcpy(nonce.data(), framed.data(), nonce.size());
+  auto ciphertext =
+      framed.subspan(nonce.size(), framed.size() - kAeadOverhead);
+  auto tag = framed.last(kAeadTagSize);
+  PolyTag expected = compute_tag(key, nonce, aad, ciphertext);
+  if (!util::ct_equal(tag, expected)) return false;
+  chacha20_xor(key, 1, nonce, ciphertext);
+  plaintext_len = ciphertext.size();
+  return true;
+}
+
 }  // namespace ea::crypto

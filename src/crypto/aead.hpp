@@ -47,4 +47,24 @@ std::optional<util::Bytes> open_framed(const AeadKey& key,
                                        std::span<const std::uint8_t> aad,
                                        std::span<const std::uint8_t> framed);
 
+// Zero-allocation variants used on the channel fast path (§3.3 forbids
+// dynamic allocation on the message path: nodes are the only buffers).
+//
+// seal_framed_into seals a frame the caller has already laid out in place:
+// `frame` must be kAeadNonceSize + plaintext + kAeadTagSize bytes with the
+// plaintext starting at offset kAeadNonceSize. The nonce prefix and tag
+// suffix are written and the plaintext encrypted in place.
+void seal_framed_into(const AeadKey& key, std::uint64_t counter,
+                      std::span<const std::uint8_t> aad,
+                      std::span<std::uint8_t> frame);
+
+// Authenticates and decrypts `framed` (nonce || ciphertext || tag) in
+// place. On success the plaintext sits at offset kAeadNonceSize inside
+// `framed`, its length stored in `plaintext_len`. Returns false (leaving
+// the ciphertext untouched) on authentication failure.
+bool open_framed_in_place(const AeadKey& key,
+                          std::span<const std::uint8_t> aad,
+                          std::span<std::uint8_t> framed,
+                          std::size_t& plaintext_len);
+
 }  // namespace ea::crypto

@@ -9,46 +9,54 @@ namespace ea::net {
 
 bool OpenerActor::body() {
   bool progress = false;
-  while (concurrent::Node* req_node = requests_.pop()) {
-    concurrent::NodeLease req_lease(req_node);
-    OpenRequest req;
-    if (!read_struct(*req_node, req) || req.reply == nullptr) continue;
-    progress = true;
+  concurrent::Node* burst[kRequestBurst];
+  std::size_t got;
+  while ((got = requests_.pop_burst(burst, kRequestBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease req_lease(burst[b]);
+      OpenRequest req;
+      if (!read_struct(*burst[b], req) || req.reply == nullptr) continue;
+      progress = true;
 
-    OpenReply reply;
-    reply.cookie = req.cookie;
-    if (req.kind == OpenRequest::kListen) {
-      Socket socket = Socket::listen_on(req.port);
-      if (socket.valid()) {
-        reply.port = socket.local_port();
-        reply.id = table_->add(std::move(socket));
+      OpenReply reply;
+      reply.cookie = req.cookie;
+      if (req.kind == OpenRequest::kListen) {
+        Socket socket = Socket::listen_on(req.port);
+        if (socket.valid()) {
+          reply.port = socket.local_port();
+          reply.id = table_->add(std::move(socket));
+        }
+      } else {
+        Socket socket = Socket::connect_to(req.host, req.port);
+        if (socket.valid()) {
+          reply.id = table_->add(std::move(socket));
+        }
       }
-    } else {
-      Socket socket = Socket::connect_to(req.host, req.port);
-      if (socket.valid()) {
-        reply.id = table_->add(std::move(socket));
-      }
-    }
 
-    concurrent::Node* reply_node = pool_.get();
-    if (reply_node == nullptr) {
-      EA_WARN("net", "opener: reply pool exhausted, dropping reply");
-      continue;
+      concurrent::Node* reply_node = pool_.get();
+      if (reply_node == nullptr) {
+        EA_WARN("net", "opener: reply pool exhausted, dropping reply");
+        continue;
+      }
+      write_struct(*reply_node, reply);
+      req.reply->push(reply_node);
     }
-    write_struct(*reply_node, reply);
-    req.reply->push(reply_node);
   }
   return progress;
 }
 
 bool AccepterActor::body() {
   bool progress = false;
-  while (concurrent::Node* req_node = requests_.pop()) {
-    concurrent::NodeLease req_lease(req_node);
-    AcceptSubscribe sub;
-    if (read_struct(*req_node, sub) && sub.reply != nullptr) {
-      listeners_.push_back(sub);
-      progress = true;
+  concurrent::Node* burst[kRequestBurst];
+  std::size_t got;
+  while ((got = requests_.pop_burst(burst, kRequestBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease req_lease(burst[b]);
+      AcceptSubscribe sub;
+      if (read_struct(*burst[b], sub) && sub.reply != nullptr) {
+        listeners_.push_back(sub);
+        progress = true;
+      }
     }
   }
   for (const AcceptSubscribe& sub : listeners_) {
@@ -78,56 +86,75 @@ bool AccepterActor::body() {
 
 bool ReaderActor::body() {
   bool progress = false;
-  while (concurrent::Node* req_node = requests_.pop()) {
-    concurrent::NodeLease req_lease(req_node);
-    ReadSubscribe sub;
-    if (read_struct(*req_node, sub) && sub.data != nullptr) {
-      if (sub.pool == nullptr) sub.pool = &default_pool_;
-      subs_.push_back(sub);
-      progress = true;
+  concurrent::Node* burst[kRequestBurst];
+  std::size_t got;
+  while ((got = requests_.pop_burst(burst, kRequestBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease req_lease(burst[b]);
+      ReadSubscribe sub;
+      if (read_struct(*burst[b], sub) && sub.data != nullptr) {
+        if (sub.pool == nullptr) sub.pool = &default_pool_;
+        subs_.push_back(sub);
+        progress = true;
+      }
     }
   }
 
   for (std::size_t i = 0; i < subs_.size();) {
     ReadSubscribe& sub = subs_[i];
-    concurrent::Node* node = sub.pool->get();
-    if (node == nullptr) {
-      ++i;
-      continue;  // backpressure: retry next round
-    }
-    long n = 0;
-    bool alive = table_->with(sub.socket, [&](Socket& socket) {
-      n = socket.read_nb(node->writable());
-    });
-    if (!alive || n < 0) {
-      // EOF or closed: deliver a zero-length node as the close signal and
-      // drop the subscription.
+    // Drain up to kReadBurst reads from the socket, accumulate the data
+    // nodes in a private chain, and hand the whole burst to the consumer's
+    // mbox with a single push_chain — one lock acquisition per burst
+    // instead of one per TCP segment.
+    concurrent::ChainBuilder chain;
+    bool drop_sub = false;
+    for (std::size_t b = 0; b < kReadBurst; ++b) {
+      concurrent::Node* node = sub.pool->get();
+      if (node == nullptr) break;  // backpressure: retry next round
+      long n = 0;
+      bool alive = table_->with(sub.socket, [&](Socket& socket) {
+        n = socket.read_nb(node->writable());
+      });
+      if (!alive || n < 0) {
+        // EOF or closed: deliver a zero-length node as the close signal
+        // and drop the subscription.
+        node->tag = static_cast<std::uint64_t>(sub.socket);
+        node->size = 0;
+        chain.append(node);
+        drop_sub = true;
+        break;
+      }
+      if (n == 0) {
+        sub.pool->put(node);
+        break;
+      }
       node->tag = static_cast<std::uint64_t>(sub.socket);
-      node->size = 0;
-      sub.data->push(node);
+      node->size = static_cast<std::uint32_t>(n);
+      chain.append(node);
+    }
+    if (!chain.empty()) {
+      progress = true;
+      chain.flush_into(*sub.data);
+    }
+    if (drop_sub) {
       subs_[i] = subs_.back();
       subs_.pop_back();
-      progress = true;
-      continue;
-    }
-    if (n == 0) {
-      sub.pool->put(node);
+    } else {
       ++i;
-      continue;
     }
-    node->tag = static_cast<std::uint64_t>(sub.socket);
-    node->size = static_cast<std::uint32_t>(n);
-    sub.data->push(node);
-    progress = true;
-    ++i;
   }
   return progress;
 }
 
 bool WriterActor::body() {
   bool progress = false;
-  while (concurrent::Node* node = input_.pop()) {
-    pending_[static_cast<SocketId>(node->tag)].push_back(Pending{node, 0});
+  concurrent::Node* burst[kWriteBurst];
+  std::size_t got;
+  while ((got = input_.pop_burst(burst, kWriteBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::Node* node = burst[b];
+      pending_[static_cast<SocketId>(node->tag)].push_back(Pending{node, 0});
+    }
     progress = true;
   }
 
@@ -167,9 +194,13 @@ bool WriterActor::body() {
 
 bool CloserActor::body() {
   bool progress = false;
-  while (concurrent::Node* node = input_.pop()) {
-    concurrent::NodeLease lease(node);
-    table_->close(static_cast<SocketId>(node->tag));
+  concurrent::Node* burst[kRequestBurst];
+  std::size_t got;
+  while ((got = input_.pop_burst(burst, kRequestBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease lease(burst[b]);
+      table_->close(static_cast<SocketId>(burst[b]->tag));
+    }
     progress = true;
   }
   return progress;

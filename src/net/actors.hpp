@@ -30,6 +30,12 @@
 
 namespace ea::net {
 
+// Burst sizes for the system actors' mbox traffic: one lock acquisition
+// moves up to this many nodes (Mbox::pop_burst / ChainBuilder::flush_into).
+inline constexpr std::size_t kRequestBurst = 16;  // control-plane requests
+inline constexpr std::size_t kReadBurst = 8;      // reads per socket per round
+inline constexpr std::size_t kWriteBurst = 64;    // writer input drain
+
 // --- wire structs between application actors and system actors -----------
 
 struct OpenRequest {

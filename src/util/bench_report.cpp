@@ -1,0 +1,60 @@
+#include "util/bench_report.hpp"
+
+#include <cstdio>
+
+namespace ea::util {
+namespace {
+
+// Minimal JSON string escaping: the report only ever carries identifiers we
+// choose ourselves, but quoting and backslashes must still round-trip.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void BenchReport::add(const std::string& scenario, const std::string& mode,
+                      double x, double value, const std::string& unit) {
+  entries_.push_back(Entry{scenario, mode, x, value, unit});
+}
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + escaped(name_) + "\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += "    {\"scenario\": \"" + escaped(e.scenario) + "\", \"mode\": \"" +
+           escaped(e.mode) + "\", \"x\": " + number(e.x) +
+           ", \"value\": " + number(e.value) + ", \"unit\": \"" +
+           escaped(e.unit) + "\"}";
+    out += (i + 1 < entries_.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_json();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace ea::util

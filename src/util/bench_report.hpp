@@ -1,0 +1,58 @@
+// Machine-readable benchmark reports.
+//
+// Benchmarks historically print human-oriented CSV; from the batching work
+// onward they additionally emit a small JSON document so the performance
+// trajectory of the message plane can be tracked mechanically across PRs
+// (scripts/check.sh validates the schema in its bench smoke leg).
+//
+// Schema (version 1):
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "results": [
+//       {"scenario": "...", "mode": "...", "x": <number>,
+//        "value": <number>, "unit": "..."},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ea::util {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  // Records one measurement: `scenario` is the workload, `mode` the variant
+  // under comparison (e.g. "per_node" vs "burst"), `x` the swept parameter
+  // (worker count), `value` the measurement in `unit`.
+  void add(const std::string& scenario, const std::string& mode, double x,
+           double value, const std::string& unit);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  // Serialises the report (schema above). Returns the JSON text.
+  std::string to_json() const;
+
+  // Writes the JSON to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string scenario;
+    std::string mode;
+    double x;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ea::util

@@ -182,19 +182,26 @@ bool ConnectorActor::body() {
 
 bool XmppActor::body() {
   bool progress = false;
-  while (concurrent::Node* node = inbox_.pop()) {
-    concurrent::NodeLease lease(node);
-    progress = true;
-    if (node->tag & kTransferFlag) {
-      handle_transfer(*node);
-      continue;
+  // Burst-drain the inbox: the READER delivers data nodes in push_chain
+  // batches, so pop_burst picks whole bursts up under one lock acquisition.
+  concurrent::Node* burst[net::kReadBurst * 2];
+  std::size_t got;
+  while ((got = inbox_.pop_burst(burst, net::kReadBurst * 2)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::Node* node = burst[b];
+      concurrent::NodeLease lease(node);
+      progress = true;
+      if (node->tag & kTransferFlag) {
+        handle_transfer(*node);
+        continue;
+      }
+      auto socket = static_cast<net::SocketId>(node->tag);
+      if (node->size == 0) {
+        drop_client(socket);
+        continue;
+      }
+      handle_data(socket, node->view());
     }
-    auto socket = static_cast<net::SocketId>(node->tag);
-    if (node->size == 0) {
-      drop_client(socket);
-      continue;
-    }
-    handle_data(socket, node->view());
   }
   return progress;
 }
