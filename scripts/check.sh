@@ -5,9 +5,12 @@
 #      enclave-safety lint and its fixture self-test)
 #   2. ASan+UBSan build, entire ctest suite
 #   3. TSan build, concurrency suite (ctest -L tsan)
-#   4. enclave-safety lint, standalone (fast feedback even if cmake fails)
-#   5. bench smoke: bench_batching with tiny iterations, JSON schema check
-#   6. clang-tidy over src/ (skipped with a notice when unavailable)
+#   4. fault build (ASan+UBSan + -DEA_FAILPOINTS=ON), fault-injection and
+#      crash-recovery suite (ctest -L fault), plus a check that the plain
+#      tree contains no failpoint symbols (zero-overhead-when-off)
+#   5. enclave-safety lint, standalone (fast feedback even if cmake fails)
+#   6. bench smoke: bench_batching with tiny iterations, JSON schema check
+#   7. clang-tidy over src/ (skipped with a notice when unavailable)
 #
 # Any leg failing fails the script. Usage:
 #   scripts/check.sh [--quick]    # --quick: plain leg + lint only
@@ -71,7 +74,30 @@ if [[ $QUICK -eq 0 ]]; then
   leg "TSan build + ctest -L tsan" \
     build_and_test build-tsan -L tsan -- -DEA_WERROR=ON -DEA_SANITIZE=thread
 
-  # --- 5. bench smoke: the batching bench runs end-to-end and its JSON -----
+  # --- 5. fault injection: failpoints compiled in, ASan+UBSan, the fault ---
+  # suite (failpoint unit tests, channel/net protocol faults, POS cleaner
+  # faults, and the fork-based crash-recovery torture).
+  leg "fault build + ctest -L fault (ASan+UBSan)" \
+    build_and_test build-fault -L fault -- \
+    -DEA_WERROR=ON -DEA_SANITIZE=address,undefined -DEA_FAILPOINTS=ON
+
+  # --- 6. zero-overhead-when-off: the plain tree must contain no failpoint
+  # machinery at all (uses the build-check tree from leg 2).
+  check_no_failpoint_symbols() {
+    local objs
+    objs=$(find build-check -name 'libea_util.a' -o -name 'pos_test' |
+      head -4)
+    [[ -n "$objs" ]] || return 1
+    # shellcheck disable=SC2086
+    if nm -C $objs 2>/dev/null | grep -qi 'failpoint'; then
+      echo "failpoint symbols leaked into the EA_FAILPOINTS=OFF build" >&2
+      return 1
+    fi
+    echo "no failpoint symbols in plain build"
+  }
+  leg "no failpoint symbols in plain build" check_no_failpoint_symbols
+
+  # --- 7. bench smoke: the batching bench runs end-to-end and its JSON -----
   # report parses with the expected schema (uses the plain tree from leg 2).
   run_bench_smoke() {
     EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
@@ -101,7 +127,7 @@ EOF
   leg "bench smoke (bench_batching + JSON schema)" run_bench_smoke
 fi
 
-# --- 5. clang-tidy (optional tooling; never silently skipped) --------------
+# --- 8. clang-tidy (optional tooling; never silently skipped) --------------
 if command -v clang-tidy >/dev/null 2>&1; then
   run_tidy() {
     # Reuse the plain tree's compile commands.

@@ -1,6 +1,7 @@
 #include "concurrent/pool.hpp"
 
 #include "util/env.hpp"
+#include "util/failpoint.hpp"
 
 namespace ea::concurrent {
 
@@ -216,6 +217,9 @@ void Pool::flush(Magazine& mag, std::uint32_t keep) noexcept {
 // --- public get/put ---------------------------------------------------------
 
 Node* Pool::get() noexcept {
+  // Injected exhaustion: every get() caller must already handle a full
+  // pool returning nullptr, so fault tests can force that path at will.
+  if (EA_FAIL_TRIGGERED("pool.get.exhausted")) return nullptr;
   Node* n = nullptr;
   Magazine* mag = magazine();
   if (mag != nullptr) {

@@ -4,6 +4,7 @@
 
 #include "crypto/rng.hpp"
 #include "sgxsim/attestation.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace ea::core {
@@ -203,6 +204,11 @@ concurrent::NodeLease Channel::recv_at(int side) {
   if (node == nullptr) return concurrent::NodeLease();
   concurrent::NodeLease lease(node);
   const bool batch = node->tag == kBatchFrameTag;
+  // Injected wire corruption: flip one ciphertext byte before opening, as a
+  // tampering runtime would. Authentication must reject the node.
+  if (EA_FAIL_TRIGGERED("channel.recv.corrupt") && node->size > 0) {
+    node->payload()[node->size - 1] ^= 0x01;
+  }
   if (!open_in_place(side, *node, batch)) {
     auth_failures_.fetch_add(1, std::memory_order_relaxed);
     EA_WARN("core", "channel %s: dropping message failing authentication",
@@ -210,6 +216,12 @@ concurrent::NodeLease Channel::recv_at(int side) {
     return concurrent::NodeLease();  // lease returns node to pool
   }
   if (!batch) return lease;
+  // Injected truncation *after* authentication: models a parser bug or a
+  // sender whose frame claims more sub-messages than it carries. The batch
+  // walk must count a frame error and drop the remainder, never over-read.
+  if (EA_FAIL_TRIGGERED("channel.batch.truncate") && node->size > 6) {
+    node->size = 6;  // count field survives; the first length field cannot
+  }
   if (node->size < 4) {
     frame_errors_.fetch_add(1, std::memory_order_relaxed);
     return concurrent::NodeLease();

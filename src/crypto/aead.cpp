@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/failpoint.hpp"
+
 namespace ea::crypto {
 namespace {
 
@@ -48,6 +50,9 @@ std::optional<util::Bytes> aead_decrypt(const AeadKey& key,
                                         std::span<const std::uint8_t> aad,
                                         std::span<const std::uint8_t> sealed) {
   if (sealed.size() < kAeadTagSize) return std::nullopt;
+  // Injected tag mismatch: behaves exactly like a corrupted frame without
+  // having to craft one, so fault tests can hit every open() call site.
+  if (EA_FAIL_TRIGGERED("crypto.aead.open")) return std::nullopt;
   auto ciphertext = sealed.first(sealed.size() - kAeadTagSize);
   auto tag = sealed.last(kAeadTagSize);
   PolyTag expected = compute_tag(key, nonce, aad, ciphertext);
@@ -97,6 +102,7 @@ bool open_framed_in_place(const AeadKey& key,
                           std::span<std::uint8_t> framed,
                           std::size_t& plaintext_len) {
   if (framed.size() < kAeadOverhead) return false;
+  if (EA_FAIL_TRIGGERED("crypto.aead.open")) return false;
   AeadNonce nonce;
   std::memcpy(nonce.data(), framed.data(), nonce.size());
   auto ciphertext =

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/runtime.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace ea::net {
@@ -109,6 +110,9 @@ bool ReaderActor::body() {
     concurrent::ChainBuilder chain;
     bool drop_sub = false;
     for (std::size_t b = 0; b < kReadBurst; ++b) {
+      // Injected exhaustion of the subscription's pool: the reader must
+      // back off for the round without dropping the subscription or data.
+      if (EA_FAIL_TRIGGERED("net.reader.pool_empty")) break;
       concurrent::Node* node = sub.pool->get();
       if (node == nullptr) break;  // backpressure: retry next round
       long n = 0;
@@ -199,7 +203,9 @@ bool CloserActor::body() {
   while ((got = input_.pop_burst(burst, kRequestBurst)) != 0) {
     for (std::size_t b = 0; b < got; ++b) {
       concurrent::NodeLease lease(burst[b]);
-      table_->close(static_cast<SocketId>(burst[b]->tag));
+      if (table_->close(static_cast<SocketId>(burst[b]->tag))) {
+        closes_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     progress = true;
   }

@@ -16,6 +16,7 @@
 // networking layer.
 #pragma once
 
+#include <atomic>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -159,9 +160,16 @@ class CloserActor : public core::Actor {
   concurrent::Mbox& input() noexcept { return input_; }
   bool body() override;
 
+  // Sockets actually closed (duplicate close requests for an id already
+  // torn down do not count — SocketTable::close() is idempotent).
+  std::uint64_t closes() const noexcept {
+    return closes_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::shared_ptr<SocketTable> table_;
   concurrent::Mbox input_;
+  std::atomic<std::uint64_t> closes_{0};
 };
 
 // Aggregated networking subsystem: the five actors plus the shared socket

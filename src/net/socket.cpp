@@ -10,6 +10,8 @@
 
 #include <cstring>
 
+#include "util/failpoint.hpp"
+
 namespace ea::net {
 namespace {
 
@@ -62,6 +64,8 @@ Socket Socket::listen_on(std::uint16_t port, int backlog) {
 }
 
 Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
+  // Injected connect failure (host unreachable / port closed).
+  if (EA_FAIL_TRIGGERED("net.socket.connect")) return Socket();
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket();
   if (!set_nonblocking(fd)) {
@@ -96,6 +100,8 @@ std::uint16_t Socket::local_port() const {
 }
 
 std::optional<Socket> Socket::accept_nb() {
+  // Injected accept failure (EMFILE, aborted handshake, ...).
+  if (EA_FAIL_TRIGGERED("net.socket.accept")) return std::nullopt;
   int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return std::nullopt;
   if (!set_nonblocking(fd)) {
@@ -108,6 +114,16 @@ std::optional<Socket> Socket::accept_nb() {
 }
 
 long Socket::read_nb(std::span<std::uint8_t> buf) {
+  // Injection follows the return convention: 0 is an EAGAIN-style stall,
+  // a negative value is reset/EOF, and a positive value caps the buffer
+  // *before* the syscall so a short count never discards received bytes.
+  long inject = 0;
+  if (EA_FAIL_VALUE("net.socket.read", inject)) {
+    if (inject <= 0) return inject < 0 ? -1 : 0;
+    if (static_cast<std::size_t>(inject) < buf.size()) {
+      buf = buf.first(static_cast<std::size_t>(inject));
+    }
+  }
   ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
   if (n > 0) return n;
   if (n == 0) return -1;  // orderly shutdown
@@ -116,6 +132,15 @@ long Socket::read_nb(std::span<std::uint8_t> buf) {
 }
 
 long Socket::write_nb(std::span<const std::uint8_t> buf) {
+  // Same convention as read_nb: 0 = full kernel buffer, negative = reset,
+  // positive = short write (the syscall sees a capped buffer).
+  long inject = 0;
+  if (EA_FAIL_VALUE("net.socket.write", inject)) {
+    if (inject <= 0) return inject < 0 ? -1 : 0;
+    if (static_cast<std::size_t>(inject) < buf.size()) {
+      buf = buf.first(static_cast<std::size_t>(inject));
+    }
+  }
   ssize_t n = ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
   if (n >= 0) return n;
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;

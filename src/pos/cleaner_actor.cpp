@@ -1,4 +1,17 @@
 #include "pos/cleaner_actor.hpp"
 
-// Header-only logic; this TU anchors the vtable.
-namespace ea::pos {}
+#include "util/failpoint.hpp"
+
+namespace ea::pos {
+
+bool CleanerActor::body() {
+  // The injected skip models a cleaner activation that makes no progress
+  // (e.g. preempted before reaching the store); it must free nothing and
+  // report an idle round.
+  if (EA_FAIL_TRIGGERED("pos.cleaner.skip")) return false;
+  std::size_t freed = store_.clean_step();
+  freed_total_.fetch_add(freed, std::memory_order_relaxed);
+  return freed > 0;
+}
+
+}  // namespace ea::pos

@@ -16,11 +16,7 @@ class CleanerActor : public core::Actor {
   CleanerActor(std::string name, Pos& store)
       : core::Actor(std::move(name)), store_(store) {}
 
-  bool body() override {
-    std::size_t freed = store_.clean_step();
-    freed_total_.fetch_add(freed, std::memory_order_relaxed);
-    return freed > 0;
-  }
+  bool body() override;
 
   std::uint64_t freed_total() const noexcept {
     return freed_total_.load(std::memory_order_relaxed);

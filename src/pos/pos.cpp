@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace ea::pos {
@@ -105,9 +106,17 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
   if (options_.path.empty()) {
     map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (map_ != MAP_FAILED && EA_FAIL_TRIGGERED("pos.mmap")) {
+      ::munmap(map_, map_bytes_);
+      map_ = MAP_FAILED;
+    }
     if (map_ == MAP_FAILED) throw std::runtime_error("POS: mmap failed");
   } else {
     fd_ = ::open(options_.path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ >= 0 && EA_FAIL_TRIGGERED("pos.open")) {
+      ::close(fd_);
+      fd_ = -1;
+    }
     if (fd_ < 0) throw std::runtime_error("POS: open failed: " + options_.path);
     struct stat st {};
     if (::fstat(fd_, &st) != 0) {
@@ -125,6 +134,10 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
     }
     map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
                   fd_, 0);
+    if (map_ != MAP_FAILED && EA_FAIL_TRIGGERED("pos.mmap")) {
+      ::munmap(map_, map_bytes_);
+      map_ = MAP_FAILED;
+    }
     if (map_ == MAP_FAILED) {
       ::close(fd_);
       throw std::runtime_error("POS: mmap failed");
@@ -231,6 +244,10 @@ std::uint64_t Pos::alloc_entry() noexcept {
   Entry* e = entry_at(off);
   sb_->free_head.store(e->next.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+  // Kill-point: the popped entry is now reachable from neither the free
+  // list nor any bucket — a crash here orphans the slot, which recovery
+  // must tolerate (integrity_error() ignores unreachable entries).
+  EA_FAIL_POINT("pos.alloc.pop");
   return off;
 }
 
@@ -247,6 +264,9 @@ bool Pos::set(std::span<const std::uint8_t> key,
   e->vlen = static_cast<std::uint32_t>(value.size());
   std::memcpy(e->data(), key.data(), key.size());
   if (!value.empty()) std::memcpy(e->data() + key.size(), value.data(), value.size());
+  // Kill-point: the entry is fully written but still unlinked and not Live;
+  // a crash here must leave the previous version intact.
+  EA_FAIL_POINT("pos.set.fill");
   e->state.store(kStateLive, std::memory_order_release);
 
   const std::uint32_t bucket = bucket_of(key);
@@ -256,6 +276,8 @@ bool Pos::set(std::span<const std::uint8_t> key,
     e->next.store(bucket_head(bucket).load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     bucket_head(bucket).store(off, std::memory_order_release);
+    // Kill-point: new version linked, old version not yet marked outdated.
+    EA_FAIL_POINT("pos.set.link");
 
     // Mark the superseded version (the next LIVE occurrence of this key)
     // outdated right away "to ease cleaning" (§4.1).
@@ -271,6 +293,7 @@ bool Pos::set(std::span<const std::uint8_t> key,
       cur = c->next.load(std::memory_order_relaxed);
     }
   }
+  EA_FAIL_POINT("pos.set.done");
   sets_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -310,6 +333,10 @@ bool Pos::erase(std::span<const std::uint8_t> key) {
         e->klen == key.size() &&
         std::memcmp(e->data(), key.data(), key.size()) == 0) {
       e->state.store(kStateErased, std::memory_order_release);
+      // Kill-point: this version is tombstoned; older Live versions of the
+      // same key (if any) are not yet marked. The top-most marker already
+      // hides them from get(), so a crash here still reads as "erased".
+      EA_FAIL_POINT("pos.erase.mark");
       found = true;
     }
     cur = e->next.load(std::memory_order_relaxed);
@@ -344,17 +371,22 @@ std::size_t Pos::clean_step() {
   if (!limbo_.empty()) {
     // Phase 2: if every registered reader has run since the snapshot, the
     // limbo entries cannot be referenced by any in-flight get(): recycle.
-    bool grace_passed = true;
-    for (std::size_t r = 0; r < readers; ++r) {
+    // The injected stall models a reader that never advances its grace
+    // counter — reclamation must then free nothing, indefinitely.
+    bool grace_passed = !EA_FAIL_TRIGGERED("pos.clean.grace_stall");
+    for (std::size_t r = 0; grace_passed && r < readers; ++r) {
       if (grace_counter(r).load(std::memory_order_acquire) <=
           limbo_snapshot_[r]) {
         grace_passed = false;
-        break;
       }
     }
     if (grace_passed) {
       concurrent::HleGuard free_guard(free_lock_);
       for (std::uint64_t off : limbo_) {
+        // Kill-point: placed before the push, so a crash mid-round leaves
+        // the not-yet-freed remainder orphaned (unreachable), never a
+        // half-linked free-list node.
+        EA_FAIL_POINT("pos.clean.free");
         Entry* e = entry_at(off);
         e->state.store(kStateFree, std::memory_order_relaxed);
         e->next.store(sb_->free_head.load(std::memory_order_relaxed),
@@ -383,6 +415,10 @@ std::size_t Pos::clean_step() {
         } else {
           entry_at(prev)->next.store(next, std::memory_order_release);
         }
+        // Kill-point: the entry just left its bucket chain but sits only in
+        // the process-local limbo list, which the crash destroys — the slot
+        // is leaked until the next full reinitialisation, by design.
+        EA_FAIL_POINT("pos.clean.unlink");
         limbo_.push_back(cur);
       } else {
         prev = cur;
@@ -399,10 +435,82 @@ std::size_t Pos::clean_step() {
   return 0;
 }
 
-void Pos::persist() {
-  if (fd_ >= 0) {
-    ::msync(map_, map_bytes_, MS_SYNC);
+bool Pos::persist() {
+  if (fd_ < 0) return true;
+  // The epoch bump is the commit marker: a flushed image always carries a
+  // higher epoch than the image before the previous persist(). The
+  // kill-point between bump and msync is the torture harness's
+  // "crash mid superblock commit" scenario.
+  sb_->epoch.fetch_add(1, std::memory_order_release);
+  EA_FAIL_POINT("pos.superblock.commit");
+  int rc = ::msync(map_, map_bytes_, MS_SYNC);
+  if (EA_FAIL_TRIGGERED("pos.msync")) rc = -1;
+  return rc == 0;
+}
+
+std::optional<std::string> Pos::integrity_error() const {
+  const Superblock* sb = sb_;
+  if (sb->magic != kPosMagic) return "bad magic";
+  if (sb->version != kPosVersion) return "bad version";
+  if (sb->bucket_count == 0 || sb->entry_count == 0) return "zero geometry";
+  if (sb->entry_stride < sizeof(Entry) + sb->entry_payload) {
+    return "stride smaller than entry";
   }
+  const std::uint64_t stride = sb->entry_stride;
+  const std::uint64_t entries_end =
+      sb->entries_off + static_cast<std::uint64_t>(sb->entry_count) * stride;
+  if (sb->entries_off >= map_bytes_ || entries_end > map_bytes_) {
+    return "entry region out of bounds";
+  }
+
+  auto slot_of = [&](std::uint64_t off) -> std::int64_t {
+    if (off < sb->entries_off || off >= entries_end) return -1;
+    if ((off - sb->entries_off) % stride != 0) return -1;
+    return static_cast<std::int64_t>((off - sb->entries_off) / stride);
+  };
+  // 0 = unseen, 1 = on a bucket chain, 2 = on the free list.
+  std::vector<std::uint8_t> seen(sb->entry_count, 0);
+
+  const auto* bucket_base = reinterpret_cast<const std::atomic<std::uint64_t>*>(
+      static_cast<const std::byte*>(map_) + sb->buckets_off);
+  for (std::uint32_t b = 0; b < sb->bucket_count; ++b) {
+    std::uint64_t cur = bucket_base[b].load(std::memory_order_acquire);
+    while (cur != 0) {
+      const std::int64_t slot = slot_of(cur);
+      if (slot < 0) return "bucket chain offset out of range or misaligned";
+      if (seen[static_cast<std::size_t>(slot)] != 0) {
+        return "entry linked twice (cycle or cross-link)";
+      }
+      seen[static_cast<std::size_t>(slot)] = 1;
+      const Entry* e = entry_at(cur);
+      const std::uint32_t state = e->state.load(std::memory_order_acquire);
+      if (state != kStateLive && state != kStateOutdated &&
+          state != kStateErased) {
+        return "free or invalid-state entry reachable from a bucket";
+      }
+      if (e->klen == 0 ||
+          static_cast<std::uint64_t>(e->klen) + e->vlen > sb->entry_payload) {
+        return "entry length fields exceed payload";
+      }
+      cur = e->next.load(std::memory_order_acquire);
+    }
+  }
+
+  std::uint64_t cur = sb->free_head.load(std::memory_order_acquire);
+  while (cur != 0) {
+    const std::int64_t slot = slot_of(cur);
+    if (slot < 0) return "free list offset out of range or misaligned";
+    if (seen[static_cast<std::size_t>(slot)] != 0) {
+      return "entry on free list and elsewhere (cycle or cross-link)";
+    }
+    seen[static_cast<std::size_t>(slot)] = 2;
+    const Entry* e = entry_at(cur);
+    if (e->state.load(std::memory_order_acquire) != kStateFree) {
+      return "non-free entry on the free list";
+    }
+    cur = e->next.load(std::memory_order_acquire);
+  }
+  return std::nullopt;
 }
 
 PosStats Pos::stats() const {

@@ -98,7 +98,19 @@ class Pos {
   std::size_t clean_step();
 
   // Flushes the mapping to the backing file (no-op for anonymous mappings).
-  void persist();
+  // Bumps the superblock epoch first, so a flushed image is distinguishable
+  // from one that never reached persist(). Returns false when msync fails.
+  bool persist();
+
+  // Structural validation of the mapped image, for crash-recovery checks:
+  // walks the superblock geometry, every bucket chain, and the free list,
+  // rejecting out-of-range/misaligned offsets, cycles, entries linked
+  // twice, free-state entries reachable from a bucket, and length fields
+  // exceeding the payload. Entries reachable from *nothing* are fine — a
+  // crash between alloc and link legitimately orphans slots; only linked
+  // structure must be consistent. Returns a description of the first
+  // problem, or nullopt when the image is sound.
+  std::optional<std::string> integrity_error() const;
 
   PosStats stats() const;
 

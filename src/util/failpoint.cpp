@@ -1,0 +1,363 @@
+// Test-only fault injection; this TU is compiled exclusively when the
+// build sets EA_FAILPOINTS (see src/util/CMakeLists.txt) and is absent
+// from tier-1 / production binaries.
+#include "util/failpoint.hpp"
+
+#if defined(EA_FAILPOINTS)
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ea::util::failpoint {
+namespace {
+
+enum class Action : std::uint8_t { kOff, kReturn, kAbort };
+
+constexpr std::size_t kMaxSites = 128;
+constexpr std::size_t kMaxName = 64;
+constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+
+struct Site {
+  char name[kMaxName] = {};
+  std::uint64_t evals = 0;
+  std::uint64_t hits = 0;
+  Action action = Action::kOff;
+  long value = 0;
+  std::uint32_t prob_pct = 100;
+  // kReturn: how many more firings remain (1 for `once`, kUnlimited for
+  // `return`). kAbort: countdown of evaluations until the abort fires.
+  std::uint64_t remaining = 0;
+};
+
+// The registry is tiny and touched only in fault-injection builds, so a
+// single spinlock around all of it is fine; std::atomic_flag keeps the
+// subsystem free of std::mutex (futex) and of any dependency on the
+// concurrent module.
+struct SpinLock {
+  std::atomic_flag flag = ATOMIC_FLAG_INIT;
+  void lock() noexcept {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { flag.clear(std::memory_order_release); }
+};
+
+SpinLock g_lock;
+Site g_sites[kMaxSites];
+std::size_t g_count = 0;
+bool g_env_loaded = false;
+// Deterministic per-process stream for N% actions; no wall-clock seeding so
+// fault runs replay identically.
+std::uint64_t g_rng = 0x9e3779b97f4a7c15ull;
+
+std::uint32_t next_percent_locked() noexcept {
+  g_rng = g_rng * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<std::uint32_t>((g_rng >> 33) % 100);
+}
+
+Site* find_or_add_locked(const char* name) noexcept {
+  if (name == nullptr || name[0] == '\0') {
+    return nullptr;
+  }
+  for (std::size_t i = 0; i < g_count; ++i) {
+    if (std::strncmp(g_sites[i].name, name, kMaxName) == 0) {
+      return &g_sites[i];
+    }
+  }
+  if (g_count == kMaxSites || std::strlen(name) >= kMaxName) {
+    return nullptr;  // registry full / name too long: the site stays inert
+  }
+  Site& s = g_sites[g_count++];
+  std::strncpy(s.name, name, kMaxName - 1);
+  return &s;
+}
+
+// Parses the spec grammar ([N%] action [(arg)]); returns false and leaves
+// the out-params untouched on malformed input.
+bool parse_spec(const char* spec, Action& action, long& value,
+                std::uint32_t& prob, std::uint64_t& remaining) noexcept {
+  if (spec == nullptr) {
+    return false;
+  }
+  const char* p = spec;
+  while (*p == ' ') ++p;
+  std::uint32_t pct = 100;
+  bool has_pct = false;
+  const char* digits_end = p;
+  while (*digits_end >= '0' && *digits_end <= '9') ++digits_end;
+  if (digits_end != p && *digits_end == '%') {
+    pct = static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10));
+    if (pct > 100) {
+      return false;
+    }
+    has_pct = true;
+    p = digits_end + 1;
+  }
+  const char* word_end = p;
+  while ((*word_end >= 'a' && *word_end <= 'z') || *word_end == '_') {
+    ++word_end;
+  }
+  const std::size_t word_len = static_cast<std::size_t>(word_end - p);
+  long arg = 0;
+  bool has_arg = false;
+  if (*word_end == '(') {
+    char* close = nullptr;
+    arg = std::strtol(word_end + 1, &close, 10);
+    if (close == word_end + 1 || close == nullptr || *close != ')' ||
+        *(close + 1) != '\0') {
+      return false;
+    }
+    has_arg = true;
+  } else if (*word_end != '\0' && word_len > 0) {
+    return false;
+  }
+
+  auto word_is = [&](const char* w) {
+    return word_len == std::strlen(w) && std::strncmp(p, w, word_len) == 0;
+  };
+  if (word_is("off")) {
+    action = Action::kOff;
+    value = 0;
+    prob = 100;
+    remaining = 0;
+  } else if (word_is("return") || (word_len == 0 && has_pct)) {
+    // Bare "N%" is shorthand for "N%return".
+    action = Action::kReturn;
+    value = has_arg ? arg : 0;
+    prob = pct;
+    remaining = kUnlimited;
+  } else if (word_is("once")) {
+    action = Action::kReturn;
+    value = has_arg ? arg : 0;
+    prob = pct;
+    remaining = 1;
+  } else if (word_is("abort")) {
+    if (has_arg && arg < 1) {
+      return false;
+    }
+    action = Action::kAbort;
+    value = 0;
+    prob = pct;
+    remaining = has_arg ? static_cast<std::uint64_t>(arg) : 1;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int load_env_locked() noexcept {
+  const char* env = std::getenv("EA_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') {
+    return 0;
+  }
+  int installed = 0;
+  char buf[kMaxName + 64];
+  const char* tok = env;
+  while (*tok != '\0') {
+    const char* end = tok;
+    while (*end != '\0' && *end != ';' && *end != ',') ++end;
+    const std::size_t len = static_cast<std::size_t>(end - tok);
+    if (len > 0 && len < sizeof(buf)) {
+      std::memcpy(buf, tok, len);
+      buf[len] = '\0';
+      char* eq = std::strchr(buf, '=');
+      if (eq != nullptr) {
+        *eq = '\0';
+        Action action{};
+        long value = 0;
+        std::uint32_t prob = 100;
+        std::uint64_t remaining = 0;
+        if (parse_spec(eq + 1, action, value, prob, remaining)) {
+          if (Site* s = find_or_add_locked(buf)) {
+            s->action = action;
+            s->value = value;
+            s->prob_pct = prob;
+            s->remaining = remaining;
+            ++installed;
+          }
+        }
+      }
+    }
+    tok = (*end == '\0') ? end : end + 1;
+  }
+  return installed;
+}
+
+bool eval_impl(const char* site, long* out) noexcept {
+  g_lock.lock();
+  if (!g_env_loaded) {
+    g_env_loaded = true;
+    load_env_locked();
+  }
+  Site* s = find_or_add_locked(site);
+  if (s == nullptr) {
+    g_lock.unlock();
+    return false;
+  }
+  ++s->evals;
+  if (s->action == Action::kOff) {
+    g_lock.unlock();
+    return false;
+  }
+  if (s->prob_pct < 100 && next_percent_locked() >= s->prob_pct) {
+    g_lock.unlock();
+    return false;
+  }
+  if (s->action == Action::kAbort) {
+    if (s->remaining > 1) {
+      --s->remaining;
+      g_lock.unlock();
+      return false;
+    }
+    ++s->hits;
+    std::abort();
+  }
+  // kReturn (covers `once` via remaining == 1).
+  ++s->hits;
+  if (out != nullptr) {
+    *out = s->value;
+  }
+  if (s->remaining != kUnlimited && --s->remaining == 0) {
+    s->action = Action::kOff;
+  }
+  g_lock.unlock();
+  return true;
+}
+
+}  // namespace
+
+bool eval(const char* site) noexcept { return eval_impl(site, nullptr); }
+
+bool eval_value(const char* site, long& out) noexcept {
+  return eval_impl(site, &out);
+}
+
+bool set(const char* site, const char* spec) noexcept {
+  Action action{};
+  long value = 0;
+  std::uint32_t prob = 100;
+  std::uint64_t remaining = 0;
+  if (!parse_spec(spec, action, value, prob, remaining)) {
+    return false;
+  }
+  g_lock.lock();
+  Site* s = find_or_add_locked(site);
+  if (s == nullptr) {
+    g_lock.unlock();
+    return false;
+  }
+  s->action = action;
+  s->value = value;
+  s->prob_pct = prob;
+  s->remaining = remaining;
+  g_lock.unlock();
+  return true;
+}
+
+void clear(const char* site) noexcept {
+  g_lock.lock();
+  for (std::size_t i = 0; i < g_count; ++i) {
+    if (std::strncmp(g_sites[i].name, site, kMaxName) == 0) {
+      g_sites[i].action = Action::kOff;
+      g_sites[i].prob_pct = 100;
+      g_sites[i].remaining = 0;
+      break;
+    }
+  }
+  g_lock.unlock();
+}
+
+void clear_all() noexcept {
+  g_lock.lock();
+  for (std::size_t i = 0; i < g_count; ++i) {
+    g_sites[i].action = Action::kOff;
+    g_sites[i].prob_pct = 100;
+    g_sites[i].remaining = 0;
+  }
+  g_lock.unlock();
+}
+
+void reset_counters() noexcept {
+  g_lock.lock();
+  for (std::size_t i = 0; i < g_count; ++i) {
+    g_sites[i].evals = 0;
+    g_sites[i].hits = 0;
+  }
+  g_lock.unlock();
+}
+
+std::uint64_t evals(const char* site) noexcept {
+  std::uint64_t n = 0;
+  g_lock.lock();
+  for (std::size_t i = 0; i < g_count; ++i) {
+    if (std::strncmp(g_sites[i].name, site, kMaxName) == 0) {
+      n = g_sites[i].evals;
+      break;
+    }
+  }
+  g_lock.unlock();
+  return n;
+}
+
+std::uint64_t hits(const char* site) noexcept {
+  std::uint64_t n = 0;
+  g_lock.lock();
+  for (std::size_t i = 0; i < g_count; ++i) {
+    if (std::strncmp(g_sites[i].name, site, kMaxName) == 0) {
+      n = g_sites[i].hits;
+      break;
+    }
+  }
+  g_lock.unlock();
+  return n;
+}
+
+std::vector<std::string> sites() {
+  std::vector<std::string> out;
+  g_lock.lock();
+  out.reserve(g_count);
+  for (std::size_t i = 0; i < g_count; ++i) {
+    out.emplace_back(g_sites[i].name);
+  }
+  g_lock.unlock();
+  return out;
+}
+
+int load_env() noexcept {
+  g_lock.lock();
+  g_env_loaded = true;
+  const int n = load_env_locked();
+  g_lock.unlock();
+  return n;
+}
+
+bool write_report(const char* path) noexcept {
+  // Raw open/write so this works in a crash-torture child right before
+  // _exit(); the file is tiny and a single write per line is plenty.
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = true;
+  g_lock.lock();
+  for (std::size_t i = 0; i < g_count && ok; ++i) {
+    char line[kMaxName + 48];
+    const int n =
+        std::snprintf(line, sizeof(line), "%s %llu %llu\n", g_sites[i].name,
+                      static_cast<unsigned long long>(g_sites[i].evals),
+                      static_cast<unsigned long long>(g_sites[i].hits));
+    ok = n > 0 && ::write(fd, line, static_cast<std::size_t>(n)) == n;
+  }
+  g_lock.unlock();
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace ea::util::failpoint
+
+#endif  // EA_FAILPOINTS

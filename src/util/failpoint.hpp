@@ -1,0 +1,87 @@
+// Failpoint fault injection (test-only; compiled under EA_FAILPOINTS).
+//
+// A failpoint is a named site planted on a risk path — an mmap that can
+// fail, an AEAD open that can reject, a socket read that can return short —
+// where tests inject the failure deterministically instead of hoping the
+// kernel produces it. Sites are named `module.object.event`
+// (e.g. "pos.set.link", "net.socket.read"); see DESIGN.md §10 for the
+// conventions and the list of shipped sites.
+//
+// Configuration, via the EA_FAILPOINTS environment variable
+// ("site=spec;site=spec", parsed lazily at the first evaluation) or the
+// programmatic set() below. The spec grammar:
+//
+//   off            site inert (evaluations are still counted)
+//   return         fire on every evaluation, injected value 0
+//   return(v)      fire with value v (v is a signed decimal)
+//   once / once(v) fire exactly once, then fall back to off
+//   abort          SIGABRT the process at the next evaluation
+//   abort(k)       SIGABRT at the k-th evaluation after installation
+//                  (1-based) — the crash-torture kill-point primitive
+//   N%<action>     any of the above gated by an N percent coin flip,
+//                  e.g. "25%return(-1)"; bare "N%" means "N%return"
+//
+// Zero overhead when off: without -DEA_FAILPOINTS the macros below expand
+// to constants, this header declares nothing, and failpoint.cpp is not
+// even compiled — the production binary contains no failpoint symbols
+// (scripts/check.sh verifies this with nm).
+#pragma once
+
+#if defined(EA_FAILPOINTS)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ea::util::failpoint {
+
+// Evaluates the site: registers it on first sight, counts the evaluation,
+// and returns true when a configured action fires. An armed abort action
+// does not return.
+bool eval(const char* site) noexcept;
+
+// Like eval(), but stores the action's injected value into `out` when the
+// action fires (`out` is untouched otherwise).
+bool eval_value(const char* site, long& out) noexcept;
+
+// Installs `spec` (grammar above) on `site`, replacing any previous
+// action. Returns false on a parse error, leaving the site unchanged.
+bool set(const char* site, const char* spec) noexcept;
+
+void clear(const char* site) noexcept;  // action back to off; counters kept
+void clear_all() noexcept;              // every site back to off
+void reset_counters() noexcept;         // zero every site's evals/hits
+
+std::uint64_t evals(const char* site) noexcept;  // total evaluations
+std::uint64_t hits(const char* site) noexcept;   // evaluations that fired
+
+// Names of every site evaluated or configured so far, in registration
+// order.
+std::vector<std::string> sites();
+
+// Parses the EA_FAILPOINTS environment variable. Called lazily by the
+// first eval(); call explicitly after setenv() in tests. Returns the
+// number of specs installed (parse errors are skipped).
+int load_env() noexcept;
+
+// Writes one "site <evals> <hits>" line per registered site — the
+// crash-torture harness runs a counting pass first and samples its
+// kill-points from this report. Returns false on I/O failure.
+bool write_report(const char* path) noexcept;
+
+}  // namespace ea::util::failpoint
+
+// Pure kill-point / counting site (no branch at the call site).
+#define EA_FAIL_POINT(site) ((void)::ea::util::failpoint::eval(site))
+// Branch-style site: true when the configured action fires.
+#define EA_FAIL_TRIGGERED(site) (::ea::util::failpoint::eval(site))
+// Value-injecting site: fires ? (var = injected value, true) : false.
+#define EA_FAIL_VALUE(site, var) (::ea::util::failpoint::eval_value(site, var))
+
+#else  // !EA_FAILPOINTS — every site compiles to nothing.
+
+#define EA_FAIL_POINT(site) ((void)0)
+#define EA_FAIL_TRIGGERED(site) (false)
+#define EA_FAIL_VALUE(site, var) ((void)(var), false)
+
+#endif

@@ -337,6 +337,63 @@ TEST(Batching, ChannelBatchSurvivesPoolExhaustion) {
   EXPECT_EQ(pool.size(), arena.count());
 }
 
+// Regression for the parked-frame resume path when the node that unblocks
+// it comes back through a *different* thread's magazine flush: the freeing
+// thread caches the node in its own magazine, and only its thread-exit
+// flush (PoolThreadCache destructor) publishes it to the shared list. The
+// receiving thread's next recv() must refill from there and resume the
+// frame — the test above only covers a same-thread put().
+TEST(Batching, ParkedFrameResumesAfterForeignMagazineFlush) {
+  auto& mgr = ea::sgxsim::EnclaveManager::instance();
+  auto& ea1 = mgr.create("batching.fmf.a");
+  auto& ea2 = mgr.create("batching.fmf.b");
+
+  NodeArena arena(4, 512);
+  Pool pool(/*use_magazines=*/true);
+  pool.adopt(arena);
+
+  ea::core::Channel channel("batching.fmf", {}, pool);
+  ea::core::ChannelEnd* a = channel.connect(ea1.id());
+  ea::core::ChannelEnd* b = channel.connect(ea2.id());
+  ASSERT_TRUE(channel.encrypted());
+
+  std::vector<ea::util::Bytes> sent;
+  std::vector<std::span<const std::uint8_t>> msgs;
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    sent.emplace_back(8, static_cast<std::uint8_t>(0x10 + i));
+    msgs.emplace_back(sent.back());
+  }
+  ASSERT_EQ(a->send_batch(msgs), 6u);  // frame occupies 1 of 4 nodes
+
+  std::vector<NodeLease> held;
+  std::size_t received = 0;
+  while (received < 6) {
+    NodeLease m = b->recv();
+    if (!m) {
+      ASSERT_FALSE(held.empty()) << "no progress with free nodes available";
+      // Free the oldest held node on a foreign thread and let that thread
+      // exit: the node must come back via its magazine flush.
+      NodeLease victim = std::move(held.front());
+      held.erase(held.begin());
+      std::thread flusher([lease = std::move(victim)]() mutable {
+        lease.reset();
+      });
+      flusher.join();
+      continue;
+    }
+    ASSERT_EQ(m->size, 8u);
+    EXPECT_EQ(m->payload()[0], static_cast<std::uint8_t>(0x10 + received));
+    ++received;
+    held.push_back(std::move(m));
+  }
+  EXPECT_EQ(received, 6u);
+  EXPECT_FALSE(b->pending());
+  EXPECT_EQ(channel.frame_errors(), 0u);
+  EXPECT_EQ(channel.auth_failures(), 0u);
+  held.clear();
+  EXPECT_EQ(pool.size(), arena.count());
+}
+
 // The batch AAD domain is bound into the seal: a frame sealed as a batch
 // cannot be opened as a single message (and vice versa), so a malicious
 // runtime re-tagging nodes produces authentication failures, not confused

@@ -1,0 +1,181 @@
+// Unit tests for the failpoint subsystem itself (util/failpoint.hpp).
+// Compiled only in EA_FAILPOINTS builds; ctest label: fault.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/failpoint.hpp"
+
+namespace fp = ea::util::failpoint;
+
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::clear_all();
+    fp::reset_counters();
+  }
+  void TearDown() override { fp::clear_all(); }
+};
+
+TEST_F(FailpointTest, OffByDefaultButCounted) {
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.default"));
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.default"));
+  EXPECT_EQ(fp::evals("t.default"), 2u);
+  EXPECT_EQ(fp::hits("t.default"), 0u);
+}
+
+TEST_F(FailpointTest, ReturnFiresEveryTimeWithValue) {
+  ASSERT_TRUE(fp::set("t.ret", "return(-42)"));
+  long v = 0;
+  EXPECT_TRUE(EA_FAIL_VALUE("t.ret", v));
+  EXPECT_EQ(v, -42);
+  v = 0;
+  EXPECT_TRUE(EA_FAIL_VALUE("t.ret", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_EQ(fp::hits("t.ret"), 2u);
+}
+
+TEST_F(FailpointTest, ValueUntouchedWhenNotFiring) {
+  long v = 77;
+  EXPECT_FALSE(EA_FAIL_VALUE("t.untouched", v));
+  EXPECT_EQ(v, 77);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  ASSERT_TRUE(fp::set("t.once", "once(7)"));
+  long v = 0;
+  EXPECT_TRUE(EA_FAIL_VALUE("t.once", v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.once"));
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.once"));
+  EXPECT_EQ(fp::hits("t.once"), 1u);
+}
+
+TEST_F(FailpointTest, PercentZeroNeverAndHundredAlways) {
+  ASSERT_TRUE(fp::set("t.never", "0%return"));
+  ASSERT_TRUE(fp::set("t.always", "100%return"));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(EA_FAIL_TRIGGERED("t.never"));
+    EXPECT_TRUE(EA_FAIL_TRIGGERED("t.always"));
+  }
+}
+
+TEST_F(FailpointTest, PercentFiresApproximatelyProportionally) {
+  ASSERT_TRUE(fp::set("t.half", "50%return"));
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (EA_FAIL_TRIGGERED("t.half")) ++fired;
+  }
+  // Deterministic internal stream; bounds are loose on purpose.
+  EXPECT_GT(fired, 300);
+  EXPECT_LT(fired, 700);
+}
+
+TEST_F(FailpointTest, BarePercentMeansReturn) {
+  ASSERT_TRUE(fp::set("t.bare", "100%"));
+  EXPECT_TRUE(EA_FAIL_TRIGGERED("t.bare"));
+}
+
+TEST_F(FailpointTest, ClearAndClearAll) {
+  ASSERT_TRUE(fp::set("t.c1", "return"));
+  ASSERT_TRUE(fp::set("t.c2", "return"));
+  fp::clear("t.c1");
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.c1"));
+  EXPECT_TRUE(EA_FAIL_TRIGGERED("t.c2"));
+  fp::clear_all();
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.c2"));
+}
+
+TEST_F(FailpointTest, OffSpecDisarms) {
+  ASSERT_TRUE(fp::set("t.off", "return"));
+  ASSERT_TRUE(fp::set("t.off", "off"));
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.off"));
+}
+
+TEST_F(FailpointTest, ParseErrorsRejectedAndSiteUnchanged) {
+  ASSERT_TRUE(fp::set("t.parse", "return(5)"));
+  EXPECT_FALSE(fp::set("t.parse", "frobnicate"));
+  EXPECT_FALSE(fp::set("t.parse", ""));
+  EXPECT_FALSE(fp::set("t.parse", "return(x)"));
+  EXPECT_FALSE(fp::set("t.parse", "return(5"));
+  EXPECT_FALSE(fp::set("t.parse", "150%return"));
+  EXPECT_FALSE(fp::set("t.parse", "abort(0)"));
+  long v = 0;
+  EXPECT_TRUE(EA_FAIL_VALUE("t.parse", v));
+  EXPECT_EQ(v, 5);
+}
+
+TEST_F(FailpointTest, AbortAtKthEvaluation) {
+  EXPECT_EXIT(
+      {
+        fp::set("t.abort", "abort(3)");
+        for (int i = 0; i < 10; ++i) {
+          EA_FAIL_POINT("t.abort");
+          // The first two evaluations must survive; print progress so the
+          // death-test can also assert *when* the abort happened.
+          std::fprintf(stderr, "survived %d\n", i + 1);
+        }
+      },
+      ::testing::KilledBySignal(SIGABRT), "survived 2");
+}
+
+TEST_F(FailpointTest, EnvLoading) {
+  ASSERT_EQ(::setenv("EA_FAILPOINTS", "t.env=return(9);t.env2=once", 1), 0);
+  EXPECT_EQ(fp::load_env(), 2);
+  ::unsetenv("EA_FAILPOINTS");
+  long v = 0;
+  EXPECT_TRUE(EA_FAIL_VALUE("t.env", v));
+  EXPECT_EQ(v, 9);
+  EXPECT_TRUE(EA_FAIL_TRIGGERED("t.env2"));
+  EXPECT_FALSE(EA_FAIL_TRIGGERED("t.env2"));
+}
+
+TEST_F(FailpointTest, SitesListsRegisteredNames) {
+  EA_FAIL_POINT("t.listed.a");
+  ASSERT_TRUE(fp::set("t.listed.b", "return"));
+  auto names = fp::sites();
+  int found = 0;
+  for (const auto& n : names) {
+    if (n == "t.listed.a" || n == "t.listed.b") ++found;
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST_F(FailpointTest, ReportRoundTrip) {
+  ASSERT_TRUE(fp::set("t.rep", "return"));
+  EA_FAIL_POINT("t.rep");
+  EA_FAIL_POINT("t.rep");
+  std::string path =
+      "/tmp/ea_failpoint_report_" + std::to_string(::getpid()) + ".txt";
+  ASSERT_TRUE(fp::write_report(path.c_str()));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  bool found = false;
+  char name[128];
+  unsigned long long ev = 0, hit = 0;
+  while (std::fscanf(f, "%127s %llu %llu", name, &ev, &hit) == 3) {
+    if (std::string(name) == "t.rep") {
+      found = true;
+      EXPECT_EQ(ev, 2u);
+      EXPECT_EQ(hit, 2u);
+    }
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailpointTest, ResetCountersZeroes) {
+  EA_FAIL_POINT("t.reset");
+  ASSERT_GE(fp::evals("t.reset"), 1u);
+  fp::reset_counters();
+  EXPECT_EQ(fp::evals("t.reset"), 0u);
+}
+
+}  // namespace

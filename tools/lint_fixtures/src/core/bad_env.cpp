@@ -1,0 +1,21 @@
+// Fixture: trusted code reading the (host-controlled) environment.
+#include <cstdlib>
+
+namespace fixture {
+
+bool feature_toggle() {
+  const char* v = std::getenv("EA_SECRET_TOGGLE");  // EXPECT: env-read
+  return v != nullptr;
+}
+
+const char* raw_read() {
+  return getenv("EA_OTHER");  // EXPECT: env-read
+}
+
+// Identifiers merely *containing* getenv must not fire.
+struct Config {
+  const char* my_getenv_cache = nullptr;
+};
+const char* cached(const Config& c) { return c.my_getenv_cache; }
+
+}  // namespace fixture
