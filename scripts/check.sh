@@ -9,7 +9,8 @@
 #      crash-recovery suite (ctest -L fault), plus a check that the plain
 #      tree contains no failpoint symbols (zero-overhead-when-off)
 #   5. enclave-safety lint, standalone (fast feedback even if cmake fails)
-#   6. bench smoke: bench_batching with tiny iterations, JSON schema check
+#   6. bench smoke: bench_batching + bench_pos with tiny iterations, JSON
+#      schema check (schema v2: git_sha / threads / timestamp headers)
 #   7. clang-tidy over src/ (skipped with a notice when unavailable)
 #
 # Any leg failing fails the script. Usage:
@@ -97,19 +98,22 @@ if [[ $QUICK -eq 0 ]]; then
   }
   leg "no failpoint symbols in plain build" check_no_failpoint_symbols
 
-  # --- 7. bench smoke: the batching bench runs end-to-end and its JSON -----
-  # report parses with the expected schema (uses the plain tree from leg 2).
-  run_bench_smoke() {
-    EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
-      EA_BENCH_JSON=build-check/BENCH_batching.json \
-      ./build-check/bench/bench_batching >/dev/null || return 1
-    python3 - <<'EOF'
+  # --- 7. bench smoke: each bench runs end-to-end and its JSON report ------
+  # parses with the expected v2 schema (uses the plain tree from leg 2).
+  check_bench_json() {
+    # check_bench_json <path> <bench-name> <expected-scenarios...>
+    python3 - "$@" <<'EOF'
 import json
+import sys
 
-with open("build-check/BENCH_batching.json") as f:
+path, name, *expected = sys.argv[1:]
+with open(path) as f:
     doc = json.load(f)
-assert doc.get("bench") == "batching", doc.get("bench")
-assert doc.get("schema_version") == 1, doc.get("schema_version")
+assert doc.get("bench") == name, doc.get("bench")
+assert doc.get("schema_version") == 2, doc.get("schema_version")
+assert isinstance(doc.get("git_sha"), str) and doc["git_sha"], doc.get("git_sha")
+assert isinstance(doc.get("threads"), int) and doc["threads"] >= 1, doc
+assert isinstance(doc.get("timestamp"), str) and "T" in doc["timestamp"], doc
 results = doc["results"]
 assert results, "empty results"
 for r in results:
@@ -119,12 +123,23 @@ for r in results:
     assert isinstance(r["value"], (int, float)) and r["value"] >= 0, r
     assert isinstance(r["unit"], str) and r["unit"], r
 scenarios = {r["scenario"] for r in results}
-expected = {"mbox", "channel_enc", "transition", "pool"}
-assert expected <= scenarios, scenarios
-print(f"BENCH_batching.json ok: {len(results)} results")
+assert set(expected) <= scenarios, scenarios
+print(f"{path} ok: {len(results)} results")
 EOF
   }
-  leg "bench smoke (bench_batching + JSON schema)" run_bench_smoke
+  run_bench_smoke() {
+    EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
+      EA_BENCH_JSON=build-check/BENCH_batching.json \
+      ./build-check/bench/bench_batching >/dev/null || return 1
+    check_bench_json build-check/BENCH_batching.json batching \
+      mbox channel_enc transition pool || return 1
+    EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
+      EA_BENCH_JSON=build-check/BENCH_pos.json \
+      ./build-check/bench/bench_pos >/dev/null || return 1
+    check_bench_json build-check/BENCH_pos.json pos \
+      set get mixed cleaner
+  }
+  leg "bench smoke (bench_batching + bench_pos + JSON schema)" run_bench_smoke
 fi
 
 # --- 8. clang-tidy (optional tooling; never silently skipped) --------------

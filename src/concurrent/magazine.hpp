@@ -1,0 +1,181 @@
+// Per-thread magazines over a shared backing store (Bonwick-style).
+//
+// A magazine is a tiny LIFO cache owned by one (thread, store) pair so the
+// steady-state alloc/free path touches no shared lock. The pattern first
+// appeared fused into Pool (PR 2); it is extracted here so the POS free
+// lists (and any future allocator) can reuse the registry and the
+// thread-exit flush machinery without duplicating the lifetime reasoning.
+//
+// MagazineSet<Item, Capacity, MaxSlots> owns:
+//   - the per-thread slot table (static thread_local, one per template
+//     instantiation) and the claim/lookup scan,
+//   - the registry of magazines currently caching for this set, so the
+//     owner can account cached items and evict stragglers in its dtor,
+//   - the thread-exit flush: a thread that dies hands its cached items back
+//     through the return callback before its TLS is reclaimed.
+//
+// The *contents* of a magazine (items[], count) are only ever mutated by
+// the owning thread; owners implement their own refill/flush batching on
+// top (see Pool::refill / Pos::magazine_refill). `count` is atomic purely
+// so cross-thread accounting reads (cached(), size()) are not data races;
+// item ownership transfers between a magazine and the shared store only
+// under the store's lock, which provides the happens-before edge for the
+// item memory itself.
+//
+// Lifetime contract (inherited from Pool): the owner must outlive any
+// concurrent use. Thread exit flushes and deregisters that thread's
+// magazines; owner destruction evicts every remaining magazine (draining
+// through evict_all(), or dropping contents in ~MagazineSet). Eviction only
+// races with a thread that would be touching a destroyed owner anyway.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "concurrent/hle_lock.hpp"
+
+namespace ea::concurrent {
+
+template <typename Item, std::size_t Capacity, std::size_t MaxSlots>
+class MagazineSet {
+ public:
+  // Hands a dying thread's cached items back to the shared store. Plain
+  // function pointer + context (not std::function): no allocation, callable
+  // from a TLS destructor.
+  using ReturnFn = void (*)(void* ctx, Item* items, std::uint32_t count);
+
+  struct Magazine {
+    // Owning set; atomic only so the slot scan and eviction never
+    // constitute a data race. Relaxed everywhere: cross-thread agreement is
+    // provided by join/sequencing per the lifetime contract above.
+    std::atomic<MagazineSet*> owner{nullptr};
+    Magazine* next_registered = nullptr;  // registry list, registry_lock_
+    std::atomic<std::uint32_t> count{0};  // written by owner thread only
+    Item items[Capacity] = {};
+  };
+
+  MagazineSet() = default;
+  ~MagazineSet() {
+    // Late eviction drops contents: the arena/file that owns the item
+    // memory is being torn down alongside the owner. Owners that need the
+    // items back (e.g. POS splicing entries onto the persisted free lists)
+    // call evict_all() with a draining callback first.
+    evict_all([](Item*, std::uint32_t) {});
+  }
+  MagazineSet(const MagazineSet&) = delete;
+  MagazineSet& operator=(const MagazineSet&) = delete;
+
+  // Installs the thread-exit return path. Must be called before the first
+  // acquire() if cached items must survive thread death.
+  void set_return(void* ctx, ReturnFn fn) noexcept {
+    return_ctx_ = ctx;
+    return_fn_ = fn;
+  }
+
+  // Returns the calling thread's magazine for this set, claiming and
+  // registering a free slot on first use; nullptr when the thread already
+  // caches for MaxSlots other sets (callers fall back to the shared path —
+  // correct, just uncached).
+  Magazine* acquire() noexcept {
+    ThreadCache& tc = thread_cache();
+    Magazine* free_slot = nullptr;
+    for (Magazine& mag : tc.slots) {
+      MagazineSet* owner = mag.owner.load(std::memory_order_relaxed);
+      if (owner == this) return &mag;
+      if (owner == nullptr && free_slot == nullptr) free_slot = &mag;
+    }
+    if (free_slot == nullptr) return nullptr;
+    free_slot->count.store(0, std::memory_order_relaxed);
+    free_slot->owner.store(this, std::memory_order_relaxed);
+    register_magazine(free_slot);
+    return free_slot;
+  }
+
+  // Total items cached across every registered magazine (exact when
+  // quiescent). Never touches the items themselves.
+  std::size_t cached() const noexcept {
+    HleGuard guard(registry_lock_);
+    std::size_t total = 0;
+    for (Magazine* mag = magazines_; mag != nullptr;
+         mag = mag->next_registered) {
+      total += mag->count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Evicts every registered magazine: drain(items, count) receives the
+  // cached items, then the magazine is emptied and unlinked. Used by owner
+  // destructors; must not race live acquire()/mutation (lifetime contract).
+  template <typename Drain>
+  void evict_all(Drain&& drain) {
+    HleGuard guard(registry_lock_);
+    for (Magazine* mag = magazines_; mag != nullptr;) {
+      Magazine* next = mag->next_registered;
+      const std::uint32_t c = mag->count.load(std::memory_order_relaxed);
+      if (c != 0) drain(mag->items, c);
+      mag->count.store(0, std::memory_order_relaxed);
+      mag->next_registered = nullptr;
+      mag->owner.store(nullptr, std::memory_order_relaxed);
+      mag = next;
+    }
+    magazines_ = nullptr;
+  }
+
+ private:
+  struct ThreadCache {
+    Magazine slots[MaxSlots];
+
+    ~ThreadCache() {
+      // Thread exit: hand every cached item back to its store so
+      // conservation (store size == arena count when quiescent) holds
+      // after join(), and unlink the magazine from the registry — this
+      // storage is about to be freed with the rest of the thread's TLS.
+      for (Magazine& mag : slots) {
+        MagazineSet* set = mag.owner.load(std::memory_order_relaxed);
+        if (set != nullptr) set->thread_exit(mag);
+      }
+    }
+  };
+
+  static ThreadCache& thread_cache() noexcept {
+    static thread_local ThreadCache cache;
+    return cache;
+  }
+
+  void thread_exit(Magazine& mag) noexcept {
+    const std::uint32_t c = mag.count.load(std::memory_order_relaxed);
+    if (c != 0 && return_fn_ != nullptr) {
+      return_fn_(return_ctx_, mag.items, c);
+    }
+    mag.count.store(0, std::memory_order_relaxed);
+    deregister_magazine(&mag);
+    mag.owner.store(nullptr, std::memory_order_relaxed);
+  }
+
+  void register_magazine(Magazine* mag) noexcept {
+    HleGuard guard(registry_lock_);
+    mag->next_registered = magazines_;
+    magazines_ = mag;
+  }
+
+  void deregister_magazine(Magazine* mag) noexcept {
+    HleGuard guard(registry_lock_);
+    Magazine** link = &magazines_;
+    while (*link != nullptr) {
+      if (*link == mag) {
+        *link = mag->next_registered;
+        mag->next_registered = nullptr;
+        return;
+      }
+      link = &(*link)->next_registered;
+    }
+  }
+
+  void* return_ctx_ = nullptr;
+  ReturnFn return_fn_ = nullptr;
+  mutable HleSpinLock registry_lock_;
+  Magazine* magazines_ = nullptr;
+};
+
+}  // namespace ea::concurrent

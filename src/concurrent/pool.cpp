@@ -7,72 +7,35 @@ namespace ea::concurrent {
 
 // --- per-thread magazines ---------------------------------------------------
 //
-// A magazine is a tiny LIFO of free nodes owned by one (thread, pool) pair.
-// items[] and the count are only mutated by the owning thread; the count is
-// an atomic so Pool::size() on other threads can read a coherent snapshot.
-// Node ownership transfers between a magazine and the shared list only under
-// the pool's free-list lock, which provides the happens-before edge for the
-// node memory itself.
-//
-// Lifetime: magazines live in thread-local storage. A thread exiting flushes
-// its magazines back to their pools (PoolThreadCache destructor); a pool
-// being destroyed evicts every magazine still pointing at it (~Pool). The
-// pre-existing contract that a pool must outlive any concurrent get()/put()
-// covers the remaining interleavings: eviction only races with a thread that
-// would be using a destroyed pool anyway.
-
-struct Pool::Magazine {
-  // Owner pool; atomic only so eviction (~Pool) and the slot scan in
-  // Pool::magazine() never constitute a data race. Relaxed everywhere:
-  // cross-thread agreement is provided by join/sequencing per the lifetime
-  // contract above.
-  std::atomic<Pool*> owner{nullptr};
-  Magazine* next_registered = nullptr;  // pool registry list, registry_lock_
-  std::atomic<std::uint32_t> count{0};  // written by owner thread only
-  Node* items[kMagazineCapacity] = {};
-};
-
-struct PoolThreadCache {
-  Pool::Magazine slots[kMaxThreadMagazines];
-
-  ~PoolThreadCache() {
-    // Thread exit: hand every cached node back to its pool so conservation
-    // (pool.size() == arena.count() when quiescent) holds after join(), and
-    // unlink the magazine from the pool's registry — this storage is about
-    // to be freed with the rest of the thread's TLS.
-    for (Pool::Magazine& mag : slots) {
-      Pool* pool = mag.owner.load(std::memory_order_relaxed);
-      if (pool != nullptr) {
-        pool->flush(mag, 0);
-        pool->deregister_magazine(&mag);
-        mag.owner.store(nullptr, std::memory_order_relaxed);
-      }
-    }
-  }
-};
-
-namespace {
-thread_local PoolThreadCache t_pool_cache;
-}  // namespace
+// The registry / slot-claim / thread-exit-flush machinery lives in
+// concurrent/magazine.hpp (shared with the POS free lists); here only the
+// Node-specific batching remains: refill() detaches a batch from the shared
+// top, flush() splices the oldest cached nodes back as one chain, and
+// return_cached() is the thread-exit path handing a dying thread's nodes
+// back so conservation (pool.size() == arena.count() when quiescent) holds
+// after join().
 
 bool Pool::magazines_enabled() noexcept {
   static const bool enabled = util::env_int("EA_POOL_MAGAZINE", 1) != 0;
   return enabled;
 }
 
-Pool::~Pool() {
-  // Evict every magazine still caching for this pool. Cached nodes are
-  // simply dropped — the arena owns their memory, and it is being torn
-  // down alongside the pool.
-  HleGuard guard(registry_lock_);
-  for (Magazine* mag = magazines_; mag != nullptr;) {
-    Magazine* next = mag->next_registered;
-    mag->count.store(0, std::memory_order_relaxed);
-    mag->next_registered = nullptr;
-    mag->owner.store(nullptr, std::memory_order_relaxed);
-    mag = next;
+Pool::Pool(bool use_magazines) : use_magazines_(use_magazines) {
+  magazines_.set_return(
+      this, [](void* ctx, Node** items, std::uint32_t count) {
+        static_cast<Pool*>(ctx)->return_cached(items, count);
+      });
+}
+
+void Pool::return_cached(Node** items, std::uint32_t count) noexcept {
+  if (count == 0) return;
+  // Chain oldest-first so the shared top receives items[0], matching the
+  // order flush() would have produced.
+  for (std::uint32_t i = 0; i + 1 < count; ++i) {
+    items[i]->next = items[i + 1];
   }
-  magazines_ = nullptr;
+  items[count - 1]->next = nullptr;
+  shared_put_chain(items[0], items[count - 1], count);
 }
 
 void Pool::adopt(NodeArena& arena) {
@@ -129,37 +92,7 @@ void Pool::shared_put_chain(Node* head, Node* tail, std::size_t n) noexcept {
 
 Pool::Magazine* Pool::magazine() noexcept {
   if (!use_magazines_) return nullptr;
-  PoolThreadCache& tc = t_pool_cache;
-  Magazine* free_slot = nullptr;
-  for (Magazine& mag : tc.slots) {
-    Pool* owner = mag.owner.load(std::memory_order_relaxed);
-    if (owner == this) return &mag;
-    if (owner == nullptr && free_slot == nullptr) free_slot = &mag;
-  }
-  if (free_slot == nullptr) return nullptr;  // thread touches >8 pools: uncached
-  free_slot->count.store(0, std::memory_order_relaxed);
-  free_slot->owner.store(this, std::memory_order_relaxed);
-  register_magazine(free_slot);
-  return free_slot;
-}
-
-void Pool::register_magazine(Magazine* mag) noexcept {
-  HleGuard guard(registry_lock_);
-  mag->next_registered = magazines_;
-  magazines_ = mag;
-}
-
-void Pool::deregister_magazine(Magazine* mag) noexcept {
-  HleGuard guard(registry_lock_);
-  Magazine** link = &magazines_;
-  while (*link != nullptr) {
-    if (*link == mag) {
-      *link = mag->next_registered;
-      mag->next_registered = nullptr;
-      return;
-    }
-    link = &(*link)->next_registered;
-  }
+  return magazines_.acquire();
 }
 
 std::uint32_t Pool::refill(Magazine& mag) noexcept {
@@ -262,13 +195,7 @@ void Pool::put(Node* n) noexcept {
 }
 
 std::size_t Pool::size() const noexcept {
-  std::size_t total = shared_count_.load(std::memory_order_relaxed);
-  HleGuard guard(registry_lock_);
-  for (Magazine* mag = magazines_; mag != nullptr;
-       mag = mag->next_registered) {
-    total += mag->count.load(std::memory_order_relaxed);
-  }
-  return total;
+  return shared_count_.load(std::memory_order_relaxed) + magazines_.cached();
 }
 
 void NodeLease::reset() noexcept {

@@ -19,6 +19,7 @@
 
 #include "concurrent/arena.hpp"
 #include "concurrent/hle_lock.hpp"
+#include "concurrent/magazine.hpp"
 #include "concurrent/node.hpp"
 
 namespace ea::concurrent {
@@ -40,8 +41,11 @@ class alignas(64) Pool {
   // (on unless set to 0); benchmarks construct both variants explicitly to
   // quantify the magazines' contribution.
   Pool() : Pool(magazines_enabled()) {}
-  explicit Pool(bool use_magazines) : use_magazines_(use_magazines) {}
-  ~Pool();
+  explicit Pool(bool use_magazines);
+  // Destruction evicts every magazine still caching for this pool; the
+  // cached nodes are dropped (the arena owns their memory and is being
+  // torn down alongside the pool).
+  ~Pool() = default;
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
 
@@ -70,8 +74,12 @@ class alignas(64) Pool {
   static bool magazines_enabled() noexcept;
 
  private:
-  struct Magazine;
-  friend struct PoolThreadCache;
+  // The magazine registry / per-thread slot machinery is shared with the
+  // POS free lists (concurrent/magazine.hpp); the Node-chain refill and
+  // flush batching stays here.
+  using Magazines =
+      MagazineSet<Node*, kMagazineCapacity, kMaxThreadMagazines>;
+  using Magazine = Magazines::Magazine;
 
   // Shared-LIFO primitives; the critical section is a pointer swap plus a
   // counter update (the list is singly linked via Node::next — prev is
@@ -84,8 +92,9 @@ class alignas(64) Pool {
   Magazine* magazine() noexcept;
   std::uint32_t refill(Magazine& mag) noexcept;
   void flush(Magazine& mag, std::uint32_t keep) noexcept;
-  void register_magazine(Magazine* mag) noexcept;
-  void deregister_magazine(Magazine* mag) noexcept;
+  // Thread-exit return path: splices a dying thread's cached nodes back
+  // (MagazineSet::ReturnFn thunk target).
+  void return_cached(Node** items, std::uint32_t count) noexcept;
 
   const bool use_magazines_;
 
@@ -95,11 +104,7 @@ class alignas(64) Pool {
   // Lock-free probe mirror of size_ (relaxed; see Mbox::count_).
   alignas(64) std::atomic<std::size_t> shared_count_{0};
 
-  // Registry of per-thread magazines caching for this pool, so size() can
-  // account cached nodes and ~Pool can evict dangling references before
-  // thread-local storage outlives the pool.
-  mutable HleSpinLock registry_lock_;
-  Magazine* magazines_ = nullptr;
+  Magazines magazines_;
 };
 
 // RAII lease: returns the node to its pool on destruction unless released.

@@ -1,5 +1,7 @@
 #include "core/worker.hpp"
 
+#include <chrono>
+
 #include "sgxsim/transition.hpp"
 #include "util/affinity.hpp"
 #include "util/logging.hpp"
@@ -7,13 +9,19 @@
 namespace ea::core {
 namespace {
 
-// After this many consecutive idle rounds the worker yields its timeslice.
-// Real EActors workers spin (they own a hardware thread); on machines with
-// fewer cores than workers the yield stands in for the hardware thread the
-// paper's testbed would have provided. It does not touch the cost model.
-// Kept small: on an oversubscribed CPU, prompt yields approximate the
-// all-workers-runnable concurrency of the paper's testbed.
-constexpr int kIdleRoundsBeforeYield = 4;
+// Parks the thread per the backoff's verdict after an idle round (see
+// IdleBackoff in worker.hpp for the ramp rationale). The sleep only ever
+// runs on the all-idle path — never while any actor makes progress — so it
+// cannot stall the message path the enclave-safety rules protect.
+void park_idle(IdleBackoff& backoff) {
+  const std::uint32_t us = backoff.next_idle();
+  if (us == 0) {
+    std::this_thread::yield();
+  } else {
+    // ea-lint: allow-next-line(blocking-syscall) -- idle-only parking, bounded by kMaxSleepUs
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
 
 }  // namespace
 
@@ -74,19 +82,18 @@ void Worker::run() {
 void Worker::run_single_enclave(sgxsim::Enclave& enclave) {
   // Enter once, stay inside: the EActors fast path.
   sgxsim::EnclaveScope scope(enclave);
-  int idle_rounds = 0;
+  IdleBackoff backoff;
   while (!stop_.load(std::memory_order_relaxed)) {
     if (round()) {
-      idle_rounds = 0;
-    } else if (++idle_rounds >= kIdleRoundsBeforeYield) {
-      std::this_thread::yield();
-      idle_rounds = 0;
+      backoff.reset();
+    } else {
+      park_idle(backoff);
     }
   }
 }
 
 void Worker::run_mixed() {
-  int idle_rounds = 0;
+  IdleBackoff backoff;
   while (!stop_.load(std::memory_order_relaxed)) {
     bool progress = false;
     for (Actor* actor : actors_) {
@@ -105,10 +112,9 @@ void Worker::run_mixed() {
     }
     rounds_.fetch_add(1, std::memory_order_relaxed);
     if (progress) {
-      idle_rounds = 0;
-    } else if (++idle_rounds >= kIdleRoundsBeforeYield) {
-      std::this_thread::yield();
-      idle_rounds = 0;
+      backoff.reset();
+    } else {
+      park_idle(backoff);
     }
   }
 }

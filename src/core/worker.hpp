@@ -19,6 +19,48 @@
 
 namespace ea::core {
 
+// Idle pacing for a worker's scheduling loop. Real EActors workers spin
+// (they own a hardware thread); on machines with fewer cores than workers
+// the backoff stands in for the hardware thread the paper's testbed would
+// have provided. The ramp is: kYieldRounds consecutive idle rounds of
+// plain yields (cheap, keeps wake latency minimal for bursty traffic),
+// then exponentially growing sleeps from kMinSleepUs capped at kMaxSleepUs
+// so a fully idle worker stops burning an oversubscribed CPU while still
+// observing request_stop() within ~a millisecond. Any progress resets the
+// ramp. It does not touch the cost model.
+class IdleBackoff {
+ public:
+  // kYieldRounds yields before the first sleep; sleeps double from
+  // kMinSleepUs up to kMaxSleepUs (the cap bounds stop/wake latency).
+  static constexpr int kYieldRounds = 16;
+  static constexpr std::uint32_t kMinSleepUs = 16;
+  static constexpr std::uint32_t kMaxSleepUs = 1000;
+
+  // Called after an idle round: returns 0 while still in the yield phase,
+  // otherwise the number of microseconds the caller should sleep.
+  std::uint32_t next_idle() noexcept {
+    if (idle_rounds_ < kYieldRounds) {
+      ++idle_rounds_;
+      return 0;
+    }
+    const std::uint32_t us = sleep_us_;
+    if (sleep_us_ < kMaxSleepUs) {
+      sleep_us_ = sleep_us_ * 2 > kMaxSleepUs ? kMaxSleepUs : sleep_us_ * 2;
+    }
+    return us;
+  }
+
+  // Called after a productive round.
+  void reset() noexcept {
+    idle_rounds_ = 0;
+    sleep_us_ = kMinSleepUs;
+  }
+
+ private:
+  int idle_rounds_ = 0;
+  std::uint32_t sleep_us_ = kMinSleepUs;
+};
+
 class Worker {
  public:
   Worker(std::string name, std::vector<int> cpus);

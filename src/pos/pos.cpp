@@ -7,7 +7,9 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "util/env.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
@@ -36,6 +38,16 @@ constexpr std::size_t round_up(std::size_t v, std::size_t a) {
   return (v + a - 1) / a * a;
 }
 
+// Process-wide thread token: selects a home free shard and a counter
+// stripe. Tokens are dense, so up to free_shard_count concurrent threads
+// map to distinct shards.
+std::uint32_t thread_token() noexcept {
+  static std::atomic<std::uint32_t> seq{0};
+  static thread_local const std::uint32_t token =
+      seq.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
 }  // namespace
 
 struct Pos::Superblock {
@@ -44,11 +56,16 @@ struct Pos::Superblock {
   std::uint32_t bucket_count;
   std::uint32_t entry_count;
   std::uint32_t entry_payload;
+  // v2: the free list is sharded; the heads live in a persisted array at
+  // free_off so the shard count is part of the file geometry (a reopening
+  // process uses the file's shard count, not its own core count).
+  std::uint32_t free_shard_count;
+  std::uint32_t reserved;
   std::uint64_t entry_stride;
   std::uint64_t buckets_off;
   std::uint64_t grace_off;
+  std::uint64_t free_off;
   std::uint64_t entries_off;
-  std::atomic<std::uint64_t> free_head;
   std::atomic<std::uint64_t> epoch;
 };
 
@@ -72,11 +89,16 @@ struct Pos::Entry {
   }
 };
 
+bool Pos::magazines_enabled() noexcept {
+  static const bool enabled = util::env_int("EA_POS_MAGAZINE", 1) != 0;
+  return enabled;
+}
+
 Pos::Pos(PosOptions options) : options_(std::move(options)) {
   bool fresh = true;
 
-  // Reopening an existing file: the geometry comes from its superblock,
-  // not from the caller's options.
+  // Reopening an existing file: the geometry — including the free-shard
+  // count — comes from its superblock, not from the caller's options.
   if (!options_.path.empty()) {
     int probe = ::open(options_.path.c_str(), O_RDONLY);
     if (probe >= 0) {
@@ -84,12 +106,24 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
       ssize_t got = ::pread(probe, &sb, sizeof(sb), 0);
       ::close(probe);
       if (got == static_cast<ssize_t>(sizeof(sb)) && sb.magic == kPosMagic) {
+        if (sb.version != kPosVersion) {
+          throw std::runtime_error("POS: bad version");
+        }
         options_.bucket_count = sb.bucket_count;
         options_.entry_count = sb.entry_count;
         options_.entry_payload = sb.entry_payload;
+        options_.free_shards = sb.free_shard_count;
       }
     }
   }
+
+  std::uint32_t shards = options_.free_shards;
+  if (shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards = hw == 0 ? 1 : static_cast<std::uint32_t>(hw);
+  }
+  if (shards > kMaxFreeShards) shards = kMaxFreeShards;
+  options_.free_shards = shards;
 
   const std::size_t entry_stride =
       round_up(sizeof(Entry) + options_.entry_payload, 64);
@@ -98,8 +132,10 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
       round_up(kMaxReaders * sizeof(std::atomic<std::uint64_t>), 64);
   const std::size_t bucket_bytes = round_up(
       options_.bucket_count * sizeof(std::atomic<std::uint64_t>), 64);
+  const std::size_t free_bytes =
+      round_up(shards * sizeof(std::atomic<std::uint64_t>), 64);
   map_bytes_ = round_up(
-      sb_bytes + grace_bytes + bucket_bytes +
+      sb_bytes + grace_bytes + bucket_bytes + free_bytes +
           static_cast<std::size_t>(options_.entry_count) * entry_stride,
       4096);
 
@@ -153,10 +189,13 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
     sb_->bucket_count = options_.bucket_count;
     sb_->entry_count = options_.entry_count;
     sb_->entry_payload = options_.entry_payload;
+    sb_->free_shard_count = shards;
+    sb_->reserved = 0;
     sb_->entry_stride = entry_stride;
-    sb_->buckets_off = sb_bytes + grace_bytes;
     sb_->grace_off = sb_bytes;
-    sb_->entries_off = sb_bytes + grace_bytes + bucket_bytes;
+    sb_->buckets_off = sb_bytes + grace_bytes;
+    sb_->free_off = sb_bytes + grace_bytes + bucket_bytes;
+    sb_->entries_off = sb_bytes + grace_bytes + bucket_bytes + free_bytes;
     sb_->epoch.store(1, std::memory_order_relaxed);
     entries_base_ = static_cast<std::byte*>(map_) + sb_->entries_off;
     init_fresh();
@@ -167,33 +206,56 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
 
   bucket_locks_ =
       std::make_unique<concurrent::HleSpinLock[]>(sb_->bucket_count);
+  free_locks_ =
+      std::make_unique<concurrent::HleSpinLock[]>(sb_->free_shard_count);
+
+  use_magazines_ =
+      options_.magazines < 0 ? magazines_enabled() : options_.magazines != 0;
+  magazines_.set_return(
+      this, [](void* ctx, std::uint64_t* items, std::uint32_t count) {
+        static_cast<Pos*>(ctx)->magazine_return(items, count);
+      });
 }
 
 Pos::~Pos() {
+  // Splice every cached entry back onto the shard free lists so a cleanly
+  // closed file conserves all entries on persisted structure (a crash
+  // instead orphans the in-magazine entries, which recovery tolerates).
   if (map_ != nullptr && map_ != MAP_FAILED) {
+    magazines_.evict_all(
+        [this](std::uint64_t* items, std::uint32_t count) {
+          magazine_return(items, count);
+        });
     ::munmap(map_, map_bytes_);
   }
   if (fd_ >= 0) ::close(fd_);
 }
 
 void Pos::init_fresh() {
-  // Thread all entries onto the free list (a stack, like the pool
-  // abstraction it shares its implementation with).
+  // Thread all entries onto the shard free lists (stacks, like the pool
+  // abstraction they share their implementation with). Each shard owns a
+  // contiguous block of slots for locality.
   for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
     bucket_head(b).store(0, std::memory_order_relaxed);
   }
   for (std::size_t r = 0; r < kMaxReaders; ++r) {
     grace_counter(r).store(0, std::memory_order_relaxed);
   }
-  std::uint64_t prev = 0;
-  for (std::uint32_t i = 0; i < sb_->entry_count; ++i) {
-    std::uint64_t off = sb_->entries_off + i * sb_->entry_stride;
-    Entry* e = entry_at(off);
-    e->state.store(kStateFree, std::memory_order_relaxed);
-    e->next.store(prev, std::memory_order_relaxed);
-    prev = off;
+  const std::uint32_t shards = sb_->free_shard_count;
+  const std::uint64_t count = sb_->entry_count;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint64_t lo = count * s / shards;
+    const std::uint64_t hi = count * (s + 1) / shards;
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      std::uint64_t off = sb_->entries_off + i * sb_->entry_stride;
+      Entry* e = entry_at(off);
+      e->state.store(kStateFree, std::memory_order_relaxed);
+      e->next.store(prev, std::memory_order_relaxed);
+      prev = off;
+    }
+    free_head(s).store(prev, std::memory_order_relaxed);
   }
-  sb_->free_head.store(prev, std::memory_order_relaxed);
 }
 
 void Pos::validate_existing() {
@@ -202,9 +264,13 @@ void Pos::validate_existing() {
   if (sb_->bucket_count == 0 || sb_->entry_count == 0) {
     throw std::runtime_error("POS: corrupt superblock");
   }
+  if (sb_->free_shard_count == 0 || sb_->free_shard_count > kMaxFreeShards) {
+    throw std::runtime_error("POS: corrupt superblock (free shards)");
+  }
   options_.bucket_count = sb_->bucket_count;
   options_.entry_count = sb_->entry_count;
   options_.entry_payload = sb_->entry_payload;
+  options_.free_shards = sb_->free_shard_count;
 }
 
 Pos::Entry* Pos::entry_at(std::uint64_t offset) noexcept {
@@ -233,20 +299,161 @@ std::atomic<std::uint64_t>& Pos::grace_counter(std::size_t slot) noexcept {
   return base[slot];
 }
 
+std::atomic<std::uint64_t>& Pos::free_head(std::uint32_t shard)
+    const noexcept {
+  auto* base = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<std::byte*>(map_) + sb_->free_off);
+  return base[shard];
+}
+
 std::uint32_t Pos::bucket_of(std::span<const std::uint8_t> key) const noexcept {
   return static_cast<std::uint32_t>(fnv1a(key) % sb_->bucket_count);
 }
 
+std::uint32_t Pos::home_shard() const noexcept {
+  return thread_token() % sb_->free_shard_count;
+}
+
+// --- sharded free lists -----------------------------------------------------
+//
+// Shard lists are only ever mutated under their shard lock; the relaxed
+// atomics inside the critical sections mirror the original single-list
+// code (the lock provides the ordering). Detached entries — a popped batch,
+// a magazine's contents, the cleaner's private chain — are reachable from
+// no persisted root, so a crash while they are in flight orphans them,
+// which integrity_error() deliberately tolerates.
+
+std::uint32_t Pos::shard_pop(std::uint32_t s, std::uint64_t* out,
+                             std::uint32_t max) noexcept {
+  concurrent::HleGuard guard(free_locks_[s]);
+  std::uint32_t taken = 0;
+  std::uint64_t cur = free_head(s).load(std::memory_order_relaxed);
+  while (cur != 0 && taken < max) {
+    out[taken++] = cur;
+    cur = entry_at(cur)->next.load(std::memory_order_relaxed);
+  }
+  if (taken != 0) free_head(s).store(cur, std::memory_order_relaxed);
+  return taken;
+}
+
+void Pos::shard_push_chain(std::uint32_t s, std::uint64_t head,
+                           std::uint64_t tail) noexcept {
+  concurrent::HleGuard guard(free_locks_[s]);
+  entry_at(tail)->next.store(free_head(s).load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  free_head(s).store(head, std::memory_order_relaxed);
+}
+
+std::uint32_t Pos::pop_or_steal(std::uint64_t* out,
+                                std::uint32_t max) noexcept {
+  const std::uint32_t shards = sb_->free_shard_count;
+  const std::uint32_t home = home_shard();
+  std::uint32_t got = shard_pop(home, out, max);
+  if (got != 0) return got;
+  for (std::uint32_t i = 1; i < shards; ++i) {
+    got = shard_pop((home + i) % shards, out, max);
+    if (got != 0) {
+      // Kill-point: the stolen batch is reachable from neither its old
+      // shard nor anywhere else yet — a crash here orphans it.
+      EA_FAIL_POINT("pos.freeshard.steal");
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::uint32_t Pos::pop_striped(std::uint64_t* out, std::uint32_t max) noexcept {
+  const std::uint32_t shards = sb_->free_shard_count;
+  const std::uint32_t home = home_shard();
+  // Hint pass, no locks held: guess every shard's top and start its cache
+  // line loading. Popping a whole batch off one list chases dependent next
+  // pointers — each miss waits for the previous one — but the tops of
+  // *separate* shard lists are independent, so prefetching them all first
+  // lets the misses overlap. A stale guess (another thread popped first)
+  // merely wastes the prefetch; the pops below hold the shard locks.
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    const std::uint64_t guess =
+        free_head((home + i) % shards).load(std::memory_order_relaxed);
+    if (guess != 0) __builtin_prefetch(entry_at(guess));
+  }
+  // First sweep takes at most ceil(max/shards) per shard, home first, to
+  // stay on the prefetched tops; later sweeps (shards running dry) take
+  // whatever remains wherever it is.
+  const std::uint32_t quota = (max + shards - 1) / shards;
+  std::uint32_t got = 0;
+  for (std::uint32_t sweep = 0; got < max; ++sweep) {
+    std::uint32_t sweep_got = 0;
+    for (std::uint32_t i = 0; i < shards && got < max; ++i) {
+      const std::uint32_t s = (home + i) % shards;
+      const std::uint32_t want =
+          sweep == 0 ? std::min(quota, max - got) : max - got;
+      const std::uint32_t n = shard_pop(s, out + got, want);
+      got += n;
+      sweep_got += n;
+      if (n != 0 && s != home) {
+        // Kill-point: as in pop_or_steal — the cross-shard batch is
+        // reachable from nowhere until it lands in the magazine.
+        EA_FAIL_POINT("pos.freeshard.steal");
+      }
+    }
+    if (sweep_got == 0) break;
+  }
+  return got;
+}
+
+std::uint32_t Pos::magazine_refill(Magazine& mag) noexcept {
+  std::uint64_t batch[kPosMagazineBatch];
+  const std::uint32_t got = pop_striped(
+      batch, static_cast<std::uint32_t>(kPosMagazineBatch));
+  // batch[0] was a shard top (hottest); store it at the magazine top so
+  // alloc (which pops items[count-1]) keeps LIFO order.
+  for (std::uint32_t i = 0; i < got; ++i) {
+    mag.items[got - 1 - i] = batch[i];
+  }
+  mag.count.store(got, std::memory_order_relaxed);
+  return got;
+}
+
+void Pos::magazine_return(const std::uint64_t* items,
+                          std::uint32_t count) noexcept {
+  if (count == 0) return;
+  // Kill-point: the magazine's entries are about to rejoin a shard list;
+  // until the splice lands they are unreachable, so a crash here (thread
+  // exit or store teardown mid-flush) orphans them.
+  EA_FAIL_POINT("pos.magazine.flush");
+  // items[count-1] is the hottest entry — chain it first so it lands on
+  // the shard top.
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t off = items[i];
+    Entry* e = entry_at(off);
+    e->next.store(head, std::memory_order_relaxed);
+    if (head == 0) tail = off;
+    head = off;
+  }
+  shard_push_chain(home_shard(), head, tail);
+}
+
 std::uint64_t Pos::alloc_entry() noexcept {
-  concurrent::HleGuard guard(free_lock_);
-  std::uint64_t off = sb_->free_head.load(std::memory_order_relaxed);
-  if (off == 0) return 0;
-  Entry* e = entry_at(off);
-  sb_->free_head.store(e->next.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-  // Kill-point: the popped entry is now reachable from neither the free
-  // list nor any bucket — a crash here orphans the slot, which recovery
-  // must tolerate (integrity_error() ignores unreachable entries).
+  if (use_magazines_) {
+    Magazine* mag = magazines_.acquire();
+    if (mag != nullptr) {
+      std::uint32_t c = mag->count.load(std::memory_order_relaxed);
+      if (c == 0) c = magazine_refill(*mag);
+      if (c == 0) return 0;
+      const std::uint64_t off = mag->items[c - 1];
+      mag->count.store(c - 1, std::memory_order_relaxed);
+      // Kill-point: the popped entry is now reachable from neither a free
+      // shard nor any bucket — a crash here orphans the slot, which
+      // recovery must tolerate (integrity_error() ignores unreachable
+      // entries).
+      EA_FAIL_POINT("pos.alloc.pop");
+      return off;
+    }
+  }
+  std::uint64_t off = 0;
+  if (pop_or_steal(&off, 1) == 0) return 0;
   EA_FAIL_POINT("pos.alloc.pop");
   return off;
 }
@@ -269,37 +476,49 @@ bool Pos::set(std::span<const std::uint8_t> key,
   EA_FAIL_POINT("pos.set.fill");
   e->state.store(kStateLive, std::memory_order_release);
 
+  // Lock-free LIFO push: concurrent set()s race only on the head CAS, and
+  // readers starting after the release-CAS see the new version first. The
+  // release ordering also publishes the payload written above.
   const std::uint32_t bucket = bucket_of(key);
-  {
-    concurrent::HleGuard guard(bucket_locks_[bucket]);
-    // Push on top: readers starting after this see the new version first.
-    e->next.store(bucket_head(bucket).load(std::memory_order_relaxed),
-                  std::memory_order_relaxed);
-    bucket_head(bucket).store(off, std::memory_order_release);
-    // Kill-point: new version linked, old version not yet marked outdated.
-    EA_FAIL_POINT("pos.set.link");
+  std::atomic<std::uint64_t>& head = bucket_head(bucket);
+  std::uint64_t old_head = head.load(std::memory_order_acquire);
+  do {
+    e->next.store(old_head, std::memory_order_relaxed);
+    // Kill-point: filled and Live but the CAS has not landed — the slot is
+    // orphaned and the previous version stays current.
+    EA_FAIL_POINT("pos.bucket.cas");
+  } while (!head.compare_exchange_weak(old_head, off,
+                                       std::memory_order_release,
+                                       std::memory_order_acquire));
+  // Kill-point: new version linked, old version not yet marked outdated.
+  EA_FAIL_POINT("pos.set.link");
 
-    // Mark the superseded version (the next LIVE occurrence of this key)
-    // outdated right away "to ease cleaning" (§4.1).
-    std::uint64_t cur = e->next.load(std::memory_order_relaxed);
-    while (cur != 0) {
-      Entry* c = entry_at(cur);
-      if (c->state.load(std::memory_order_relaxed) == kStateLive &&
-          c->klen == key.size() &&
-          std::memcmp(c->data(), key.data(), key.size()) == 0) {
-        c->state.store(kStateOutdated, std::memory_order_release);
-        break;
-      }
-      cur = c->next.load(std::memory_order_relaxed);
+  // Mark the superseded version (the next LIVE occurrence of this key)
+  // outdated right away "to ease cleaning" (§4.1). The walk holds no lock:
+  // concurrent pushes only prepend above us, concurrent unlinks leave the
+  // removed entry's next intact (RCU discipline), and reclamation of
+  // anything we might stand on is deferred by the grace contract — set()
+  // callers, like get() callers, hold a Reader and tick between ops.
+  std::uint64_t cur = e->next.load(std::memory_order_relaxed);
+  while (cur != 0) {
+    Entry* c = entry_at(cur);
+    if (c->state.load(std::memory_order_acquire) == kStateLive &&
+        c->klen == key.size() &&
+        std::memcmp(c->data(), key.data(), key.size()) == 0) {
+      c->state.store(kStateOutdated, std::memory_order_release);
+      break;
     }
+    cur = c->next.load(std::memory_order_acquire);
   }
   EA_FAIL_POINT("pos.set.done");
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  sets_[thread_token() % kCounterStripes].v.fetch_add(
+      1, std::memory_order_relaxed);
   return true;
 }
 
 std::optional<util::Bytes> Pos::get(std::span<const std::uint8_t> key) {
-  gets_.fetch_add(1, std::memory_order_relaxed);
+  gets_[thread_token() % kCounterStripes].v.fetch_add(
+      1, std::memory_order_relaxed);
   const std::uint32_t bucket = bucket_of(key);
   std::uint64_t cur = bucket_head(bucket).load(std::memory_order_acquire);
   while (cur != 0) {
@@ -325,11 +544,14 @@ std::optional<util::Bytes> Pos::get(std::span<const std::uint8_t> key) {
 bool Pos::erase(std::span<const std::uint8_t> key) {
   const std::uint32_t bucket = bucket_of(key);
   bool found = false;
+  // The bucket lock serialises erase against the cleaner's unlink, but not
+  // against the lock-free pushers — hence the acquire loads. A set()
+  // pushing during the walk is simply linearised after this erase.
   concurrent::HleGuard guard(bucket_locks_[bucket]);
-  std::uint64_t cur = bucket_head(bucket).load(std::memory_order_relaxed);
+  std::uint64_t cur = bucket_head(bucket).load(std::memory_order_acquire);
   while (cur != 0) {
     Entry* e = entry_at(cur);
-    if (e->state.load(std::memory_order_relaxed) == kStateLive &&
+    if (e->state.load(std::memory_order_acquire) == kStateLive &&
         e->klen == key.size() &&
         std::memcmp(e->data(), key.data(), key.size()) == 0) {
       e->state.store(kStateErased, std::memory_order_release);
@@ -339,7 +561,7 @@ bool Pos::erase(std::span<const std::uint8_t> key) {
       EA_FAIL_POINT("pos.erase.mark");
       found = true;
     }
-    cur = e->next.load(std::memory_order_relaxed);
+    cur = e->next.load(std::memory_order_acquire);
   }
   return found;
 }
@@ -381,17 +603,27 @@ std::size_t Pos::clean_step() {
       }
     }
     if (grace_passed) {
-      concurrent::HleGuard free_guard(free_lock_);
+      // Build one private chain and splice it onto a single shard — one
+      // lock acquisition per grace round instead of per entry; rotating
+      // the target shard spreads the recycled capacity.
+      std::uint64_t chain_head = 0;
+      std::uint64_t chain_tail = 0;
       for (std::uint64_t off : limbo_) {
-        // Kill-point: placed before the push, so a crash mid-round leaves
-        // the not-yet-freed remainder orphaned (unreachable), never a
-        // half-linked free-list node.
+        // Kill-point: placed before each entry joins the private chain, so
+        // a crash mid-round leaves the not-yet-spliced remainder orphaned
+        // (unreachable), never a half-linked free-list node.
         EA_FAIL_POINT("pos.clean.free");
         Entry* e = entry_at(off);
         e->state.store(kStateFree, std::memory_order_relaxed);
-        e->next.store(sb_->free_head.load(std::memory_order_relaxed),
-                      std::memory_order_relaxed);
-        sb_->free_head.store(off, std::memory_order_relaxed);
+        e->next.store(chain_head, std::memory_order_relaxed);
+        if (chain_head == 0) chain_tail = off;
+        chain_head = off;
+      }
+      if (chain_head != 0) {
+        const std::uint32_t shard =
+            clean_rr_.fetch_add(1, std::memory_order_relaxed) %
+            sb_->free_shard_count;
+        shard_push_chain(shard, chain_head, chain_tail);
       }
       freed = limbo_.size();
       limbo_.clear();
@@ -404,14 +636,37 @@ std::size_t Pos::clean_step() {
   for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
     concurrent::HleGuard guard(bucket_locks_[b]);
     std::uint64_t prev = 0;
-    std::uint64_t cur = bucket_head(b).load(std::memory_order_relaxed);
+    std::uint64_t cur = bucket_head(b).load(std::memory_order_acquire);
     while (cur != 0) {
       Entry* e = entry_at(cur);
       std::uint64_t next = e->next.load(std::memory_order_relaxed);
       std::uint32_t state = e->state.load(std::memory_order_relaxed);
       if (state == kStateOutdated || state == kStateErased) {
         if (prev == 0) {
-          bucket_head(b).store(next, std::memory_order_release);
+          // Head removal races the lock-free pushers: CAS the head out,
+          // and on failure walk down from the new head to find cur's
+          // predecessor (pushers only ever prepend, so cur's position
+          // below the old head is stable while we hold the bucket lock).
+          std::uint64_t expected = cur;
+          if (!bucket_head(b).compare_exchange_strong(
+                  expected, next, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            std::uint64_t p = expected;
+            while (p != 0 &&
+                   entry_at(p)->next.load(std::memory_order_acquire) != cur) {
+              p = entry_at(p)->next.load(std::memory_order_acquire);
+            }
+            if (p == 0) {
+              // Lost track of cur (cannot happen while we hold the only
+              // unlink path, but stay defensive): leave it for the next
+              // round rather than corrupt the chain.
+              prev = cur;
+              cur = next;
+              continue;
+            }
+            entry_at(p)->next.store(next, std::memory_order_release);
+            prev = p;
+          }
         } else {
           entry_at(prev)->next.store(next, std::memory_order_release);
         }
@@ -453,6 +708,9 @@ std::optional<std::string> Pos::integrity_error() const {
   if (sb->magic != kPosMagic) return "bad magic";
   if (sb->version != kPosVersion) return "bad version";
   if (sb->bucket_count == 0 || sb->entry_count == 0) return "zero geometry";
+  if (sb->free_shard_count == 0 || sb->free_shard_count > kMaxFreeShards) {
+    return "free shard count out of range";
+  }
   if (sb->entry_stride < sizeof(Entry) + sb->entry_payload) {
     return "stride smaller than entry";
   }
@@ -462,13 +720,21 @@ std::optional<std::string> Pos::integrity_error() const {
   if (sb->entries_off >= map_bytes_ || entries_end > map_bytes_) {
     return "entry region out of bounds";
   }
+  if (sb->buckets_off + sb->bucket_count * sizeof(std::uint64_t) >
+      map_bytes_) {
+    return "bucket region out of bounds";
+  }
+  if (sb->free_off + sb->free_shard_count * sizeof(std::uint64_t) >
+      map_bytes_) {
+    return "free shard region out of bounds";
+  }
 
   auto slot_of = [&](std::uint64_t off) -> std::int64_t {
     if (off < sb->entries_off || off >= entries_end) return -1;
     if ((off - sb->entries_off) % stride != 0) return -1;
     return static_cast<std::int64_t>((off - sb->entries_off) / stride);
   };
-  // 0 = unseen, 1 = on a bucket chain, 2 = on the free list.
+  // 0 = unseen, 1 = on a bucket chain, 2 = on a free-shard list.
   std::vector<std::uint8_t> seen(sb->entry_count, 0);
 
   const auto* bucket_base = reinterpret_cast<const std::atomic<std::uint64_t>*>(
@@ -496,27 +762,31 @@ std::optional<std::string> Pos::integrity_error() const {
     }
   }
 
-  std::uint64_t cur = sb->free_head.load(std::memory_order_acquire);
-  while (cur != 0) {
-    const std::int64_t slot = slot_of(cur);
-    if (slot < 0) return "free list offset out of range or misaligned";
-    if (seen[static_cast<std::size_t>(slot)] != 0) {
-      return "entry on free list and elsewhere (cycle or cross-link)";
+  for (std::uint32_t s = 0; s < sb->free_shard_count; ++s) {
+    std::uint64_t cur = free_head(s).load(std::memory_order_acquire);
+    while (cur != 0) {
+      const std::int64_t slot = slot_of(cur);
+      if (slot < 0) return "free list offset out of range or misaligned";
+      if (seen[static_cast<std::size_t>(slot)] != 0) {
+        return "entry on free list and elsewhere (cycle or cross-link)";
+      }
+      seen[static_cast<std::size_t>(slot)] = 2;
+      const Entry* e = entry_at(cur);
+      if (e->state.load(std::memory_order_acquire) != kStateFree) {
+        return "non-free entry on the free list";
+      }
+      cur = e->next.load(std::memory_order_acquire);
     }
-    seen[static_cast<std::size_t>(slot)] = 2;
-    const Entry* e = entry_at(cur);
-    if (e->state.load(std::memory_order_acquire) != kStateFree) {
-      return "non-free entry on the free list";
-    }
-    cur = e->next.load(std::memory_order_acquire);
   }
   return std::nullopt;
 }
 
 PosStats Pos::stats() const {
   PosStats stats;
-  stats.sets = sets_.load(std::memory_order_relaxed);
-  stats.gets = gets_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kCounterStripes; ++i) {
+    stats.sets += sets_[i].v.load(std::memory_order_relaxed);
+    stats.gets += gets_[i].v.load(std::memory_order_relaxed);
+  }
   for (std::uint32_t i = 0; i < sb_->entry_count; ++i) {
     const Entry* e =
         entry_at(sb_->entries_off + i * sb_->entry_stride);
@@ -533,11 +803,29 @@ PosStats Pos::stats() const {
         break;
     }
   }
+  // Location decomposition of the Free population: walk each shard list
+  // under its lock (capped defensively — a concurrent writer cannot extend
+  // the walk past the entry count without a cycle, which integrity_error()
+  // owns detecting).
+  std::uint64_t walk_budget = sb_->entry_count;
+  for (std::uint32_t s = 0; s < sb_->free_shard_count; ++s) {
+    concurrent::HleGuard guard(free_locks_[s]);
+    std::uint64_t cur = free_head(s).load(std::memory_order_relaxed);
+    while (cur != 0 && walk_budget != 0) {
+      ++stats.free_listed;
+      --walk_budget;
+      cur = entry_at(cur)->next.load(std::memory_order_relaxed);
+    }
+  }
+  stats.in_magazine = magazines_.cached();
   stats.limbo = limbo_.size();
   return stats;
 }
 
 std::uint32_t Pos::bucket_count() const noexcept { return sb_->bucket_count; }
 std::uint32_t Pos::entry_payload() const noexcept { return sb_->entry_payload; }
+std::uint32_t Pos::free_shard_count() const noexcept {
+  return sb_->free_shard_count;
+}
 
 }  // namespace ea::pos

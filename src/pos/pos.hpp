@@ -5,13 +5,29 @@
 // path, only an explicit persist() (msync) when durability is demanded.
 //
 // Layout (cf. paper Fig. 4): superblock | grace counters | bucket heads |
-// entry slots. Entries are managed as stacks: set(k,v) pushes a *new*
-// version on the bucket stack of hash(k) and marks the previous version
-// outdated; get(k) scans from the top and returns the first match, so a get
-// racing a set returns the value current when the get began — the store is
-// linearisable (paper Fig. 5). Outdated versions accumulate until the
-// Cleaner removes them, which it may only do once every registered reader
-// has executed at least once since the invalidation (grace counters).
+// free-shard heads | entry slots. Entries are managed as stacks: set(k,v)
+// pushes a *new* version on the bucket stack of hash(k) and marks the
+// previous version outdated; get(k) scans from the top and returns the
+// first match, so a get racing a set returns the value current when the get
+// began — the store is linearisable (paper Fig. 5). Outdated versions
+// accumulate until the Cleaner removes them, which it may only do once
+// every registered reader has executed at least once since the invalidation
+// (grace counters).
+//
+// Write-path scaling (DESIGN.md §11): the free list is sharded into
+// free_shard_count per-lock LIFO stacks (geometry persisted in the
+// superblock), allocation pops from the caller's home shard and steals from
+// the others when it runs dry, and per-thread *entry magazines*
+// (concurrent/magazine.hpp) front the shards so the steady-state set()
+// allocates without any lock. The bucket push itself is a lock-free CAS on
+// the bucket head — a pure LIFO push; erase and the cleaner's unlink keep
+// the per-bucket lock. EA_POS_MAGAZINE=0 (or PosOptions::magazines=0)
+// disables the magazine layer for ablation.
+//
+// Grace contract extension: set()'s outdated-marking walk traverses the
+// bucket chain without the bucket lock, so — exactly like get() — any
+// thread that mutates the store concurrently with a cleaner must hold a
+// registered Reader and tick() between operations.
 //
 // Deviation from the paper: internal references are file *offsets*, not raw
 // virtual addresses, so the file needs no fixed mapping address. Behaviour
@@ -26,13 +42,25 @@
 #include <vector>
 
 #include "concurrent/hle_lock.hpp"
+#include "concurrent/magazine.hpp"
 #include "util/bytes.hpp"
 
 namespace ea::pos {
 
 inline constexpr std::uint64_t kPosMagic = 0x50'4f'53'31'45'41'43'54ull;
-inline constexpr std::uint32_t kPosVersion = 1;
+// v2: free_head replaced by a persisted shard-head array (free_shard_count,
+// free_off). v1 images predate any release and are rejected on open.
+inline constexpr std::uint32_t kPosVersion = 2;
 inline constexpr std::size_t kMaxReaders = 64;
+inline constexpr std::uint32_t kMaxFreeShards = 64;
+
+// Entries a thread may cache per store / refill-steal batch size; same
+// shape as the pool's node magazines.
+inline constexpr std::size_t kPosMagazineCapacity = 16;
+inline constexpr std::size_t kPosMagazineBatch = 8;
+inline constexpr std::size_t kMaxPosMagazines = 8;
+
+static_assert(kPosMagazineBatch <= kPosMagazineCapacity);
 
 struct PosOptions {
   // Backing file; empty uses an anonymous (non-persistent) mapping.
@@ -40,13 +68,26 @@ struct PosOptions {
   std::uint32_t bucket_count = 32;  // the paper's Fig. 4 draws B1..B32
   std::uint32_t entry_count = 4096;
   std::uint32_t entry_payload = 512;  // max combined key+value bytes
+  // Free-list shards; 0 = auto (hardware_concurrency, clamped to
+  // [1, kMaxFreeShards]). Ignored when reopening an existing file — the
+  // shard count is part of the persisted geometry.
+  std::uint32_t free_shards = 0;
+  // Per-thread entry magazines: -1 = EA_POS_MAGAZINE environment toggle
+  // (on unless "0"), 0 = off, 1 = on. Benchmarks set this explicitly to
+  // quantify the magazines' contribution.
+  int magazines = -1;
 };
 
 struct PosStats {
   std::uint64_t live = 0;
   std::uint64_t outdated = 0;
-  std::uint64_t free = 0;
+  std::uint64_t free = 0;  // entries in the Free state (state scan)
   std::uint64_t limbo = 0;
+  // Decomposition of `free` by location: reachable from a shard free list
+  // vs. cached in a per-thread magazine. When quiescent,
+  // free == free_listed + in_magazine.
+  std::uint64_t free_listed = 0;
+  std::uint64_t in_magazine = 0;
   std::uint64_t sets = 0;
   std::uint64_t gets = 0;
 };
@@ -93,8 +134,9 @@ class Pos {
   // --- housekeeping --------------------------------------------------------
 
   // One cleaner step: frees the previous round's limbo entries if the grace
-  // period has passed, then gathers newly outdated entries. Returns the
-  // number of entries freed. Typically driven by CleanerActor.
+  // period has passed (returning them to one free shard as a single batch),
+  // then gathers newly outdated entries. Returns the number of entries
+  // freed. Typically driven by CleanerActor.
   std::size_t clean_step();
 
   // Flushes the mapping to the backing file (no-op for anonymous mappings).
@@ -103,32 +145,62 @@ class Pos {
   bool persist();
 
   // Structural validation of the mapped image, for crash-recovery checks:
-  // walks the superblock geometry, every bucket chain, and the free list,
-  // rejecting out-of-range/misaligned offsets, cycles, entries linked
+  // walks the superblock geometry, every bucket chain, and every free-shard
+  // list, rejecting out-of-range/misaligned offsets, cycles, entries linked
   // twice, free-state entries reachable from a bucket, and length fields
   // exceeding the payload. Entries reachable from *nothing* are fine — a
-  // crash between alloc and link legitimately orphans slots; only linked
-  // structure must be consistent. Returns a description of the first
-  // problem, or nullopt when the image is sound.
+  // crash between alloc and link (or with entries in a magazine) orphans
+  // slots legitimately; only linked structure must be consistent. Returns a
+  // description of the first problem, or nullopt when the image is sound.
   std::optional<std::string> integrity_error() const;
 
   PosStats stats() const;
 
   std::uint32_t bucket_count() const noexcept;
   std::uint32_t entry_payload() const noexcept;
+  std::uint32_t free_shard_count() const noexcept;
+  bool magazines_active() const noexcept { return use_magazines_; }
+
+  // Process-wide default for the magazine layer (EA_POS_MAGAZINE != "0").
+  static bool magazines_enabled() noexcept;
 
  private:
   struct Superblock;
   struct Entry;
+  using Magazines = concurrent::MagazineSet<std::uint64_t,
+                                            kPosMagazineCapacity,
+                                            kMaxPosMagazines>;
+  using Magazine = Magazines::Magazine;
 
   Entry* entry_at(std::uint64_t offset) noexcept;
   const Entry* entry_at(std::uint64_t offset) const noexcept;
   std::uint64_t offset_of(const Entry* e) const noexcept;
   std::atomic<std::uint64_t>& bucket_head(std::uint32_t bucket) noexcept;
   std::atomic<std::uint64_t>& grace_counter(std::size_t slot) noexcept;
+  std::atomic<std::uint64_t>& free_head(std::uint32_t shard) const noexcept;
   std::uint32_t bucket_of(std::span<const std::uint8_t> key) const noexcept;
 
+  std::uint32_t home_shard() const noexcept;
+  // Pops up to `max` entries from shard `s` into out[]; out[0] is the
+  // shard's (hottest) top. Returns the number taken.
+  std::uint32_t shard_pop(std::uint32_t s, std::uint64_t* out,
+                          std::uint32_t max) noexcept;
+  // Splices a pre-linked chain (head..tail via Entry::next) onto shard `s`.
+  void shard_push_chain(std::uint32_t s, std::uint64_t head,
+                        std::uint64_t tail) noexcept;
+  // Pops from the home shard, stealing a batch from the other shards when
+  // it runs dry. Fills out[]; returns the number taken.
+  std::uint32_t pop_or_steal(std::uint64_t* out, std::uint32_t max) noexcept;
+  // Batch pop for magazine refills: spreads the pops across the shards
+  // (home first, prefetching each shard's guessed top before locking) so
+  // the chain-top misses of independent lists overlap instead of
+  // serialising down a single list.
+  std::uint32_t pop_striped(std::uint64_t* out, std::uint32_t max) noexcept;
+
   std::uint64_t alloc_entry() noexcept;  // 0 when exhausted
+  std::uint32_t magazine_refill(Magazine& mag) noexcept;
+  void magazine_return(const std::uint64_t* items,
+                       std::uint32_t count) noexcept;
   void init_fresh();
   void validate_existing();
 
@@ -139,21 +211,32 @@ class Pos {
 
   Superblock* sb_ = nullptr;
   std::byte* entries_base_ = nullptr;
+  bool use_magazines_ = false;
 
   // In-RAM (per-process) concurrency control; the on-file structures hold
   // only offsets and data.
   std::unique_ptr<concurrent::HleSpinLock[]> bucket_locks_;
-  concurrent::HleSpinLock free_lock_;
+  std::unique_ptr<concurrent::HleSpinLock[]> free_locks_;
   concurrent::HleSpinLock limbo_lock_;
+
+  Magazines magazines_;
 
   // Reclamation state (process-local; a crash simply leaves outdated
   // entries for the next incarnation's cleaner).
   std::vector<std::uint64_t> limbo_;
   std::vector<std::uint64_t> limbo_snapshot_;
   std::atomic<std::size_t> reader_slots_{0};
+  // Round-robin target shard for the cleaner's batched returns.
+  std::atomic<std::uint32_t> clean_rr_{0};
 
-  std::atomic<std::uint64_t> sets_{0};
-  std::atomic<std::uint64_t> gets_{0};
+  // Striped op counters: set()/get() bump one stripe keyed by the calling
+  // thread so the hot path never bounces a shared counter line.
+  struct alignas(64) CounterStripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static constexpr std::size_t kCounterStripes = 16;
+  CounterStripe sets_[kCounterStripes];
+  CounterStripe gets_[kCounterStripes];
 };
 
 }  // namespace ea::pos

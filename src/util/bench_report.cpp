@@ -1,6 +1,10 @@
 #include "util/bench_report.hpp"
 
 #include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "util/env.hpp"
 
 namespace ea::util {
 namespace {
@@ -23,6 +27,55 @@ std::string number(double v) {
   return buf;
 }
 
+// First whitespace-free token of `path`'s contents, or empty.
+std::string read_token(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::string s(buf, n);
+  const std::size_t end = s.find_first_of(" \t\r\n");
+  return end == std::string::npos ? s : s.substr(0, end);
+}
+
+// Commit provenance: EA_GIT_SHA wins (CI sets it); otherwise resolve
+// .git/HEAD relative to the working directory, walking a few levels up so
+// bench binaries run from build trees still find the repository.
+std::string resolve_git_sha() {
+  std::string sha = env_str("EA_GIT_SHA", "");
+  if (!sha.empty()) return sha;
+  for (const char* prefix : {"", "../", "../../", "../../../"}) {
+    const std::string git = std::string(prefix) + ".git/";
+    std::FILE* probe = std::fopen((git + "HEAD").c_str(), "r");
+    if (probe == nullptr) continue;
+    char buf[256] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, probe);
+    std::fclose(probe);
+    std::string head(buf, n);
+    if (head.rfind("ref: ", 0) == 0) {
+      const std::size_t end = head.find_first_of("\r\n");
+      const std::string ref =
+          head.substr(5, end == std::string::npos ? end : end - 5);
+      sha = read_token(git + ref);
+    } else {
+      const std::size_t end = head.find_first_of(" \t\r\n");
+      sha = end == std::string::npos ? head : head.substr(0, end);
+    }
+    if (!sha.empty()) return sha;
+  }
+  return "unknown";
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  ::gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 }  // namespace
 
 void BenchReport::add(const std::string& scenario, const std::string& mode,
@@ -34,7 +87,11 @@ std::string BenchReport::to_json() const {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escaped(name_) + "\",\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
+  out += "  \"git_sha\": \"" + escaped(resolve_git_sha()) + "\",\n";
+  out += "  \"threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "  \"timestamp\": \"" + escaped(utc_timestamp()) + "\",\n";
   out += "  \"results\": [\n";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];

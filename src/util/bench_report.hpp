@@ -5,16 +5,24 @@
 // trajectory of the message plane can be tracked mechanically across PRs
 // (scripts/check.sh validates the schema in its bench smoke leg).
 //
-// Schema (version 1):
+// Schema (version 2):
 //   {
 //     "bench": "<name>",
-//     "schema_version": 1,
+//     "schema_version": 2,
+//     "git_sha": "<hex or \"unknown\">",
+//     "threads": <hardware_concurrency>,
+//     "timestamp": "<ISO-8601 UTC>",
 //     "results": [
 //       {"scenario": "...", "mode": "...", "x": <number>,
 //        "value": <number>, "unit": "..."},
 //       ...
 //     ]
 //   }
+//
+// The header stamp (v2) records provenance: which commit produced the
+// numbers (EA_GIT_SHA overrides; falls back to reading .git/HEAD), how
+// much hardware concurrency the host reported, and when the run happened —
+// so committed BENCH_*.json artifacts are comparable across machines.
 #pragma once
 
 #include <cstddef>

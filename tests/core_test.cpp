@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "core/config.hpp"
 #include "core/runtime.hpp"
+#include "core/worker.hpp"
 #include "sgxsim/cost_model.hpp"
 #include "sgxsim/transition.hpp"
 #include "util/bytes.hpp"
@@ -314,6 +316,60 @@ TEST_F(CoreTest, MixedWorkerMigratesEveryRound) {
 
   // The migrating worker pays transitions proportional to its rounds.
   EXPECT_GT(sgxsim::transition_stats().ecalls, 20u);
+}
+
+// --- idle backoff -----------------------------------------------------------
+
+TEST(IdleBackoffTest, RampsYieldsThenExponentialSleepCapped) {
+  IdleBackoff b;
+  // First kYieldRounds idle rounds are plain yields (no sleeping).
+  for (int i = 0; i < IdleBackoff::kYieldRounds; ++i) {
+    EXPECT_EQ(b.next_idle(), 0u) << "round " << i;
+  }
+  // Then the sleep doubles from the minimum up to the cap and stays there.
+  std::uint32_t expected = IdleBackoff::kMinSleepUs;
+  std::uint32_t last = 0;
+  for (int i = 0; i < 12; ++i) {
+    last = b.next_idle();
+    EXPECT_EQ(last, expected) << "step " << i;
+    expected = std::min(expected * 2, IdleBackoff::kMaxSleepUs);
+  }
+  EXPECT_EQ(last, IdleBackoff::kMaxSleepUs);
+  EXPECT_EQ(b.next_idle(), IdleBackoff::kMaxSleepUs);
+}
+
+TEST(IdleBackoffTest, ProgressResetsTheRamp) {
+  IdleBackoff b;
+  for (int i = 0; i < IdleBackoff::kYieldRounds + 5; ++i) b.next_idle();
+  b.reset();
+  for (int i = 0; i < IdleBackoff::kYieldRounds; ++i) {
+    EXPECT_EQ(b.next_idle(), 0u) << "round " << i;
+  }
+  EXPECT_EQ(b.next_idle(), IdleBackoff::kMinSleepUs);
+}
+
+// An actor that never makes progress: its worker rides the backoff ramp
+// into the sleep phase.
+class IdleActor : public Actor {
+ public:
+  using Actor::Actor;
+  void construct(Runtime&) override {}
+  bool body() override { return false; }
+};
+
+TEST_F(CoreTest, AllIdleWorkerObservesStopPromptly) {
+  Runtime rt;
+  rt.add_actor(std::make_unique<IdleActor>("idle"));
+  rt.add_worker("w", {0}, {"idle"});
+  rt.start();
+  // Let the worker ramp all the way to the sleep cap.
+  std::this_thread::sleep_for(100ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The nap length is bounded by kMaxSleepUs (1 ms); the generous bound
+  // here only has to rule out unbounded sleeping, not measure latency.
+  EXPECT_LT(elapsed, 2s);
 }
 
 TEST_F(CoreTest, AddActorAfterStartThrows) {

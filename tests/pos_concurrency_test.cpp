@@ -1,0 +1,243 @@
+// Concurrency suite for the sharded POS write path (DESIGN.md §11): the
+// sharded free lists with work-stealing refill, the per-thread entry
+// magazines, and the lock-free bucket push, exercised together under
+// ThreadSanitizer (`ctest -L tsan`). The load-bearing invariant is
+// conservation: entry slots only ever move between the bucket chains, the
+// shard free lists, the cleaner's limbo, and the magazines — never
+// duplicated, never lost.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "pos/pos.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::pos {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+PosOptions sharded_options(int magazines) {
+  PosOptions options;
+  options.entry_count = 2048;
+  options.bucket_count = 64;
+  options.entry_payload = 64;
+  options.free_shards = 8;
+  options.magazines = magazines;
+  return options;
+}
+
+std::span<const std::uint8_t> key_bytes(std::uint64_t k,
+                                        std::uint8_t (&buf)[8]) {
+  std::memcpy(buf, &k, sizeof(k));
+  return {buf, sizeof(buf)};
+}
+
+// Quiescent conservation: every entry slot is accounted for exactly once.
+// The state scan partitions the slots (live + outdated + free ==
+// entry_count, with the cleaner's limbo a subset of outdated), and every
+// Free slot must be reachable — from a shard free list or from a magazine.
+void expect_conserved(const Pos& store, std::uint32_t entry_count) {
+  const PosStats stats = store.stats();
+  EXPECT_EQ(stats.live + stats.outdated + stats.free, entry_count);
+  EXPECT_EQ(stats.free, stats.free_listed + stats.in_magazine);
+  EXPECT_LE(stats.limbo, stats.outdated);
+}
+
+// --- cross-shard stealing ---------------------------------------------------
+
+// One thread's home shard holds only entry_count / free_shards entries;
+// allocating the whole store from a single thread therefore forces the
+// refill path to steal from every other shard.
+TEST(PosSharding, SingleThreadAllocatesAcrossAllShards) {
+  for (int magazines : {0, 1}) {
+    PosOptions options = sharded_options(magazines);
+    options.entry_count = 64;
+    Pos store(options);
+    ASSERT_EQ(store.free_shard_count(), 8u);
+    std::uint8_t buf[8];
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      EXPECT_TRUE(store.set(key_bytes(k, buf), to_bytes("v")))
+          << "magazines=" << magazines << " k=" << k;
+    }
+    // Entirely allocated: nothing free anywhere, and a further set fails.
+    EXPECT_FALSE(store.set(key_bytes(999, buf), to_bytes("v")));
+    const PosStats stats = store.stats();
+    EXPECT_EQ(stats.live, 64u);
+    EXPECT_EQ(stats.free, 0u);
+  }
+}
+
+// --- mode equivalence -------------------------------------------------------
+
+// The same deterministic op sequence must produce the same visible store
+// contents in all three ablation modes (and match a std::map model).
+TEST(PosSharding, ModesAreObservationallyEquivalent) {
+  struct ModeCfg {
+    std::uint32_t free_shards;
+    int magazines;
+  };
+  const ModeCfg cfgs[] = {{1, 0}, {8, 0}, {8, 1}};
+  std::map<std::uint64_t, std::string> model;
+  std::vector<std::unique_ptr<Pos>> stores;
+  for (const ModeCfg& cfg : cfgs) {
+    PosOptions options = sharded_options(cfg.magazines);
+    options.free_shards = cfg.free_shards;
+    stores.push_back(std::make_unique<Pos>(options));
+  }
+
+  crypto::FastRng rng(0xfeedface);
+  std::uint8_t buf[8];
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = rng.next_below(64);
+    const std::uint64_t op = rng.next_below(10);
+    if (op < 6) {
+      const std::string v = "v" + std::to_string(i);
+      model[k] = v;
+      for (auto& s : stores) ASSERT_TRUE(s->set(key_bytes(k, buf), to_bytes(v)));
+    } else if (op < 8) {
+      model.erase(k);
+      for (auto& s : stores) s->erase(key_bytes(k, buf));
+    } else {
+      for (auto& s : stores) {
+        auto got = s->get(key_bytes(k, buf));
+        auto want = model.find(k);
+        if (want == model.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(util::to_string(*got), want->second);
+        }
+      }
+    }
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    auto want = model.find(k);
+    for (auto& s : stores) {
+      auto got = s->get(key_bytes(k, buf));
+      if (want == model.end()) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(util::to_string(*got), want->second);
+      }
+    }
+  }
+}
+
+// --- concurrent stress ------------------------------------------------------
+
+// set/get/erase from several threads racing a cleaner across all shards.
+// Every worker holds a registered Reader and ticks between operations — the
+// grace contract that makes both get()'s and set()'s lock-free bucket walks
+// safe against reclamation. Conservation must hold once quiescent.
+void run_stress(int magazines) {
+  PosOptions options = sharded_options(magazines);
+  Pos store(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  constexpr std::uint64_t kKeysPerThread = 24;
+
+  std::atomic<bool> stop_cleaner{false};
+  std::thread cleaner([&] {
+    while (!stop_cleaner.load(std::memory_order_relaxed)) {
+      if (store.clean_step() == 0) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Pos::Reader reader = store.register_reader();
+      crypto::FastRng rng(0x5eed0000u + static_cast<std::uint64_t>(t));
+      std::uint8_t buf[8];
+      const std::uint64_t base = static_cast<std::uint64_t>(t + 1) << 32;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = base | rng.next_below(kKeysPerThread);
+        const std::uint64_t op = rng.next_below(10);
+        if (op < 5) {
+          // May fail transiently when the cleaner is behind; conservation
+          // below is what matters.
+          store.set(key_bytes(k, buf), to_bytes("x" + std::to_string(i)));
+        } else if (op < 8) {
+          auto got = store.get(key_bytes(k, buf));
+          if (got.has_value()) {
+            EXPECT_FALSE(got->empty());
+          }
+        } else {
+          store.erase(key_bytes(k, buf));
+        }
+        reader.tick();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop_cleaner.store(true, std::memory_order_relaxed);
+  cleaner.join();
+
+  // Workers have exited (magazines flushed back by the thread-exit hooks);
+  // whatever sits in limbo stays there — the exited readers' grace counters
+  // can no longer advance — but conservation must still account for it.
+  expect_conserved(store, options.entry_count);
+  ASSERT_EQ(store.integrity_error(), std::nullopt);
+}
+
+TEST(PosStress, ConcurrentMutationWithCleaner) { run_stress(1); }
+
+TEST(PosStress, ConcurrentMutationWithCleanerNoMagazines) { run_stress(0); }
+
+// Pure allocation race: all threads hammer distinct-key sets until the
+// store is exhausted. Every successful set consumes exactly one slot (a
+// double-allocation would corrupt a bucket chain, which integrity_error()
+// rejects), so live must equal the success count and live + free must equal
+// the capacity. Without magazines every slot is used; with magazines a
+// thread may run out of attempts while still holding stock, so a small
+// bounded remainder can flow back to the free lists at thread exit.
+TEST(PosStress, ExhaustionIsExact) {
+  for (int magazines : {0, 1}) {
+    PosOptions options = sharded_options(magazines);
+    options.entry_count = 512;
+    Pos store(options);
+
+    constexpr int kThreads = 4;
+    std::atomic<std::uint64_t> successes{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        std::uint8_t buf[8];
+        const std::uint64_t base = static_cast<std::uint64_t>(t + 1) << 32;
+        std::uint64_t mine = 0;
+        for (std::uint64_t i = 0; i < 512; ++i) {
+          if (store.set(key_bytes(base | i, buf), to_bytes("y"))) ++mine;
+        }
+        successes.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    const std::uint64_t won = successes.load();
+    const PosStats stats = store.stats();
+    EXPECT_EQ(stats.live, won) << "magazines=" << magazines;
+    EXPECT_EQ(stats.live + stats.free, 512u);
+    EXPECT_EQ(stats.free, stats.free_listed + stats.in_magazine);
+    if (magazines == 0) {
+      EXPECT_EQ(won, 512u);
+    } else {
+      EXPECT_GE(won, 512u - kThreads * kPosMagazineCapacity);
+    }
+    ASSERT_EQ(store.integrity_error(), std::nullopt);
+  }
+}
+
+}  // namespace
+}  // namespace ea::pos

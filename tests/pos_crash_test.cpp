@@ -49,8 +49,13 @@ PosOptions torture_options(const std::string& path) {
   PosOptions o;
   o.path = path;
   o.bucket_count = 8;
-  o.entry_count = 1024;
+  // Small enough that the single-threaded child drains its home shard and
+  // crosses into the others, so the striped-refill / steal and magazine
+  // machinery all run inside the tortured region.
+  o.entry_count = 256;
   o.entry_payload = 128;
+  o.free_shards = 4;
+  o.magazines = 1;  // pin rather than inherit EA_POS_MAGAZINE
   return o;
 }
 
@@ -293,6 +298,13 @@ void torture(bool encrypted) {
   const auto histogram = kill_sites(base.report);
   unlink_paths(base);
   ASSERT_FALSE(histogram.empty());
+  // The write-path scaling sites (DESIGN.md §11) must be part of the
+  // census, or the torture silently stops covering the sharded machinery.
+  for (const char* site :
+       {"pos.freeshard.steal", "pos.magazine.flush", "pos.bucket.cas"}) {
+    EXPECT_EQ(histogram.count(site), 1u)
+        << site << " missing from the " << mode << " torture census";
+  }
 
   std::vector<std::pair<std::string, std::uint64_t>> sites(histogram.begin(),
                                                            histogram.end());
@@ -362,6 +374,63 @@ TEST_F(PosFailpointTest, PersistIsTrivialForAnonymousStores) {
   Pos store{PosOptions{}};
   ASSERT_TRUE(fp::set("pos.msync", "return"));
   EXPECT_TRUE(store.persist());  // no backing file: nothing to msync
+}
+
+// --- write-path scaling sites (DESIGN.md §11) -------------------------------
+//
+// Each of the three sites added with the sharded free lists must fire
+// deterministically, so the torture's census-driven sampling (above) can
+// never silently lose them.
+
+TEST_F(PosFailpointTest, BucketCasSiteCountsEveryPush) {
+  PosOptions o;  // anonymous store
+  o.free_shards = 2;
+  Pos store(o);
+  const std::uint64_t before = fp::evals("pos.bucket.cas");
+  ASSERT_TRUE(store.set(to_bytes("k"), to_bytes("v")));
+  EXPECT_GT(fp::evals("pos.bucket.cas"), before);
+}
+
+TEST_F(PosFailpointTest, StealSiteFiresWhenHomeShardRunsDry) {
+  PosOptions o;
+  o.free_shards = 8;
+  o.entry_count = 64;
+  o.magazines = 0;  // single-pop path: pop_or_steal
+  Pos store(o);
+  const std::uint64_t before = fp::evals("pos.freeshard.steal");
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.set(to_bytes("k" + std::to_string(i)), to_bytes("v")));
+  }
+  // 64 allocations from one thread against a home shard of 8 entries: the
+  // other seven shards must have been raided.
+  EXPECT_GT(fp::evals("pos.freeshard.steal"), before);
+}
+
+TEST_F(PosFailpointTest, StealSiteFiresOnStripedMagazineRefill) {
+  PosOptions o;
+  o.free_shards = 8;
+  o.entry_count = 64;
+  o.magazines = 1;
+  Pos store(o);
+  const std::uint64_t before = fp::evals("pos.freeshard.steal");
+  // The very first refill stripes across the shards (one entry each, home
+  // first), so even a single set touches non-home shards.
+  ASSERT_TRUE(store.set(to_bytes("k"), to_bytes("v")));
+  EXPECT_GT(fp::evals("pos.freeshard.steal"), before);
+}
+
+TEST_F(PosFailpointTest, MagazineFlushSiteFiresOnTeardown) {
+  const std::uint64_t before = fp::evals("pos.magazine.flush");
+  {
+    PosOptions o;
+    o.free_shards = 2;
+    o.magazines = 1;
+    Pos store(o);
+    // One set refills a full magazine batch and consumes a single entry;
+    // the leftovers must flow back through magazine_return at teardown.
+    ASSERT_TRUE(store.set(to_bytes("k"), to_bytes("v")));
+  }
+  EXPECT_GT(fp::evals("pos.magazine.flush"), before);
 }
 
 // --- integrity checker sanity ----------------------------------------------
