@@ -82,6 +82,14 @@ if [[ $QUICK -eq 0 ]]; then
     build_and_test build-fault -L fault -- \
     -DEA_WERROR=ON -DEA_SANITIZE=address,undefined -DEA_FAILPOINTS=ON
 
+  # --- 5b. supervision: the containment/restart/reconnect unit suite plus
+  # the fault-storm soaks (1% injected body throws + socket resets while the
+  # XMPP echo and secure-sum ring must keep delivering). Reuses the fault
+  # tree, so the soaks also run under ASan+UBSan.
+  leg "supervise suite + soak (ASan+UBSan, failpoints)" \
+    build_and_test build-fault -L supervise -- \
+    -DEA_WERROR=ON -DEA_SANITIZE=address,undefined -DEA_FAILPOINTS=ON
+
   # --- 6. zero-overhead-when-off: the plain tree must contain no failpoint
   # machinery at all (uses the build-check tree from leg 2).
   check_no_failpoint_symbols() {

@@ -40,6 +40,7 @@ void Pool::return_cached(Node** items, std::uint32_t count) noexcept {
 
 void Pool::adopt(NodeArena& arena) {
   if (arena.count() == 0) return;
+  capacity_.fetch_add(arena.count(), std::memory_order_relaxed);
   // Build one private chain and splice it in a single lock acquisition.
   Node* head = nullptr;
   Node* tail = nullptr;
@@ -152,7 +153,10 @@ void Pool::flush(Magazine& mag, std::uint32_t keep) noexcept {
 Node* Pool::get() noexcept {
   // Injected exhaustion: every get() caller must already handle a full
   // pool returning nullptr, so fault tests can force that path at will.
-  if (EA_FAIL_TRIGGERED("pool.get.exhausted")) return nullptr;
+  if (EA_FAIL_TRIGGERED("pool.get.exhausted")) {
+    exhaustions_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   Node* n = nullptr;
   Magazine* mag = magazine();
   if (mag != nullptr) {
@@ -172,6 +176,8 @@ Node* Pool::get() noexcept {
     n->prev = nullptr;
     n->size = 0;
     n->tag = 0;
+  } else {
+    exhaustions_.fetch_add(1, std::memory_order_relaxed);
   }
   return n;
 }

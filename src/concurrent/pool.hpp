@@ -70,6 +70,17 @@ class alignas(64) Pool {
 
   bool empty() const noexcept { return size() == 0; }
 
+  // Nodes ever adopted into this pool (its conservation baseline).
+  std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  // get() calls that found the pool empty — the backpressure signal the
+  // health snapshot (core/health.hpp) surfaces as pool exhaustion.
+  std::uint64_t exhaustions() const noexcept {
+    return exhaustions_.load(std::memory_order_relaxed);
+  }
+
   // Process-wide default for the magazine layer (EA_POOL_MAGAZINE != "0").
   static bool magazines_enabled() noexcept;
 
@@ -103,6 +114,8 @@ class alignas(64) Pool {
   std::size_t size_ = 0;  // shared-list population, under lock_
   // Lock-free probe mirror of size_ (relaxed; see Mbox::count_).
   alignas(64) std::atomic<std::size_t> shared_count_{0};
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::uint64_t> exhaustions_{0};
 
   Magazines magazines_;
 };

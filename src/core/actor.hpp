@@ -1,10 +1,25 @@
-// The eactor abstraction (paper §3.1).
+// The eactor abstraction (paper §3.1) plus its failure-containment
+// lifecycle.
 //
 // An eactor is a self-contained computational entity with a constructor
 // (runs once at startup, inside the eactor's enclave, to connect channels
 // and initialise private state) and a body (run repeatedly, round-robin, by
 // the worker the eactor is assigned to). Bodies must not block: they poll
 // their mailboxes and return when there is nothing to do.
+//
+// Lifecycle (DESIGN.md §12): actor isolation only pays off when failures
+// are contained per-actor instead of killing the process (cf. CAF's
+// monitors/supervision). An exception escaping construct() or body() is
+// caught by the worker, recorded as a FailureInfo, and moves the actor
+//
+//     Runnable ──failure──▶ Failed ──supervisor──▶ Restarting ──▶ Runnable
+//                              │                        │
+//                              └──budget exhausted──────┴──▶ Quarantined
+//
+// Workers skip any actor that is not Runnable, so a Failed/Quarantined
+// actor consumes zero cycles while the rest of the deployment keeps
+// running. The SupervisorActor (core/supervisor.hpp) owns the
+// Failed → Restarting → Runnable | Quarantined transitions.
 #pragma once
 
 #include <atomic>
@@ -12,12 +27,33 @@
 #include <string>
 #include <vector>
 
+#include "concurrent/hle_lock.hpp"
 #include "sgxsim/enclave.hpp"
 
 namespace ea::core {
 
 class Runtime;
 class ChannelEnd;
+
+// Where an actor is in its failure-containment lifecycle.
+enum class ActorState : std::uint8_t {
+  kRunnable = 0,     // scheduled normally by its worker
+  kFailed = 1,       // body()/construct() threw; awaiting the supervisor
+  kRestarting = 2,   // supervisor is running on_restart()
+  kQuarantined = 3,  // restart budget exhausted; permanently parked
+};
+
+const char* to_string(ActorState state) noexcept;
+
+// Snapshot of an actor's most recent failure, recorded by the worker at
+// containment time and consumed by the supervisor / health reporting.
+struct FailureInfo {
+  std::string actor;                                // actor name
+  sgxsim::EnclaveId enclave = sgxsim::kUntrusted;   // its placement
+  std::string what;                                 // exception what()
+  std::uint64_t at_invocation = 0;                  // invocations() when it failed
+  std::uint64_t failure_count = 0;                  // total failures so far
+};
 
 class Actor {
  public:
@@ -43,6 +79,26 @@ class Actor {
   // off when a whole round was idle.
   virtual bool body() = 0;
 
+  // Restart hook: runs (inside the actor's enclave) when the supervisor
+  // moves the actor Failed → Restarting. Reset whatever private state the
+  // failure may have corrupted and re-arm subscriptions/channels; throwing
+  // here counts as a failed restart attempt (back to Failed, backoff
+  // doubles). The default keeps all state — pure message-pump actors are
+  // restartable as-is.
+  virtual void on_restart() {}
+
+  // Quarantine hook: runs when the supervisor gives up on this actor.
+  // Implementations MUST drain privately held nodes (mboxes, pending
+  // queues) back to their pools so node conservation holds for the rest of
+  // the deployment.
+  virtual void on_quarantine() {}
+
+  // Pending-work signal for the supervisor's stall watchdog: true when the
+  // actor has input queued (non-empty mboxes/channels) that body() should
+  // be consuming. Must be thread-safe and cheap (lock-free mbox counters);
+  // the default (no pending work) opts the actor out of stall detection.
+  virtual bool has_pending_work() const { return false; }
+
   // --- runtime plumbing ---------------------------------------------------
 
   // Connects this actor to a named channel (creating it on first use) and
@@ -57,14 +113,72 @@ class Actor {
     return invocations_.load(std::memory_order_relaxed);
   }
 
+  // --- lifecycle observation ---------------------------------------------
+
+  ActorState lifecycle() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  // Total contained failures (construct() + body() + on_restart() throws).
+  std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  // Successful supervisor restarts.
+  std::uint32_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  // Set by the supervisor's watchdog: invocations stopped moving while
+  // pending work was queued. Cleared when the actor progresses again.
+  bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+
+  // Copy of the most recent failure record (empty `what` if none).
+  FailureInfo last_failure() const;
+
  private:
   friend class Runtime;
   friend class Worker;
+  friend class SupervisorActor;
+  friend bool invoke_contained(Actor& actor);
+
+  // Containment bookkeeping: stores the failure record and moves the actor
+  // to Failed. Called by the worker (body), the runtime (construct) and the
+  // supervisor (on_restart); never throws into the caller.
+  void record_failure(const char* what) noexcept;
+
+  // Supervisor-side transitions (see the state machine above).
+  bool begin_restart() noexcept;     // Failed -> Restarting (CAS)
+  void complete_restart() noexcept;  // Restarting -> Runnable
+  void enter_quarantine() noexcept;  // Failed|Restarting -> Quarantined
 
   std::string name_;
   sgxsim::EnclaveId placement_ = sgxsim::kUntrusted;
   Runtime* runtime_ = nullptr;
   std::atomic<std::uint64_t> invocations_{0};
+
+  std::atomic<ActorState> state_{ActorState::kRunnable};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint32_t> restarts_{0};
+  std::atomic<bool> stalled_{false};
+  // Supervision infrastructure (the supervisor itself) opts out of
+  // injected body faults — the root of the supervision tree has no
+  // supervisor above it to heal it.
+  bool fault_exempt_ = false;
+
+  mutable concurrent::HleSpinLock failure_lock_;
+  std::string last_error_;                   // under failure_lock_
+  std::uint64_t last_failure_invocation_ = 0;  // under failure_lock_
 };
+
+// Runs one contained scheduling quantum of `actor`: skips it unless
+// Runnable, counts the invocation, executes body() and converts an escaping
+// exception (or an injected `actor.body.throw` failpoint fault) into a
+// Failed transition instead of crashing the process. Does NOT enter the
+// actor's enclave — callers (workers) manage placement. Returns body()'s
+// progress flag; false when skipped or failed.
+bool invoke_contained(Actor& actor);
 
 }  // namespace ea::core

@@ -1,0 +1,50 @@
+#include "core/health.hpp"
+
+namespace ea::core {
+
+const ActorHealth* HealthSnapshot::actor(std::string_view name) const noexcept {
+  for (const ActorHealth& a : actors) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::size_t HealthSnapshot::count_in_state(ActorState state) const noexcept {
+  std::size_t n = 0;
+  for (const ActorHealth& a : actors) {
+    if (a.state == state) ++n;
+  }
+  return n;
+}
+
+bool HealthSnapshot::any_stalled() const noexcept {
+  for (const ActorHealth& a : actors) {
+    if (a.stalled) return true;
+  }
+  return false;
+}
+
+std::string HealthSnapshot::to_string() const {
+  std::string out;
+  out += "health: pool " + std::to_string(pool.free) + "/" +
+         std::to_string(pool.capacity) + " free, " +
+         std::to_string(pool.exhaustions) + " exhaustions\n";
+  for (const ActorHealth& a : actors) {
+    out += "  actor " + a.name + ": " + ea::core::to_string(a.state) + ", " +
+           std::to_string(a.invocations) + " activations, " +
+           std::to_string(a.failures) + " failures, " +
+           std::to_string(a.restarts) + " restarts" +
+           (a.stalled ? ", STALLED" : "");
+    if (!a.last_error.empty()) out += " (last: " + a.last_error + ")";
+    out += '\n';
+  }
+  for (const ChannelHealth& c : channels) {
+    out += "  channel " + c.name + ": " +
+           (c.encrypted ? "encrypted" : "plain") + ", " +
+           std::to_string(c.auth_failures) + " auth failures, " +
+           std::to_string(c.frame_errors) + " frame errors\n";
+  }
+  return out;
+}
+
+}  // namespace ea::core

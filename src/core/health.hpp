@@ -1,0 +1,60 @@
+// Runtime health snapshot (DESIGN.md §12).
+//
+// A single structured view of the deployment's liveness — per-actor
+// lifecycle state and restart counters, channel integrity counters, pool
+// exhaustion — assembled by Runtime::health(). The supervisor's escalation
+// callbacks, operators and the test suite consume this instead of poking
+// runtime internals; everything here is computed from lock-free or
+// briefly-locked counters and is safe to read while workers run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/actor.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace ea::core {
+
+struct ActorHealth {
+  std::string name;
+  ActorState state = ActorState::kRunnable;
+  sgxsim::EnclaveId enclave = sgxsim::kUntrusted;
+  std::uint64_t invocations = 0;
+  std::uint64_t failures = 0;   // contained construct()/body()/restart throws
+  std::uint32_t restarts = 0;   // successful supervisor restarts
+  bool stalled = false;         // watchdog: queued work but no progress
+  std::string last_error;       // what() of the most recent failure
+};
+
+struct ChannelHealth {
+  std::string name;
+  bool encrypted = false;
+  std::uint64_t auth_failures = 0;  // dropped: AEAD authentication failed
+  std::uint64_t frame_errors = 0;   // dropped: malformed batch frame
+};
+
+struct PoolHealth {
+  std::size_t free = 0;           // approximate free nodes right now
+  std::size_t capacity = 0;       // nodes ever adopted
+  std::uint64_t exhaustions = 0;  // get() calls that found the pool empty
+};
+
+struct HealthSnapshot {
+  std::vector<ActorHealth> actors;
+  std::vector<ChannelHealth> channels;
+  PoolHealth pool;  // the runtime's public pool
+
+  // Lookup helper; nullptr when `name` is unknown.
+  const ActorHealth* actor(std::string_view name) const noexcept;
+
+  // Deployment-level predicates the soak tests assert on.
+  std::size_t count_in_state(ActorState state) const noexcept;
+  bool any_stalled() const noexcept;
+
+  std::string to_string() const;
+};
+
+}  // namespace ea::core

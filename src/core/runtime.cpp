@@ -81,15 +81,24 @@ void Runtime::start() {
   if (started_) return;
   started_ = true;
   // Constructor functions run inside their actor's enclave, as the
-  // generated EActors runtime does after creating the enclaves.
+  // generated EActors runtime does after creating the enclaves. A throwing
+  // constructor is contained like a throwing body (DESIGN.md §12): the
+  // actor starts out Failed and the rest of the deployment comes up — the
+  // supervisor may later restart it via on_restart().
   for (auto& actor : actors_) {
-    if (actor->placement() != sgxsim::kUntrusted) {
-      sgxsim::Enclave* e =
-          sgxsim::EnclaveManager::instance().find(actor->placement());
-      sgxsim::EnclaveScope scope(*e);
-      actor->construct(*this);
-    } else {
-      actor->construct(*this);
+    try {
+      if (actor->placement() != sgxsim::kUntrusted) {
+        sgxsim::Enclave* e =
+            sgxsim::EnclaveManager::instance().find(actor->placement());
+        sgxsim::EnclaveScope scope(*e);
+        actor->construct(*this);
+      } else {
+        actor->construct(*this);
+      }
+    } catch (const std::exception& e) {
+      actor->record_failure(e.what());
+    } catch (...) {
+      actor->record_failure("non-standard exception in construct()");
     }
   }
   for (auto& worker : workers_) worker->start();
@@ -125,6 +134,9 @@ std::string Runtime::stats_string() const {
            std::to_string(actor->invocations()) + " activations" +
            (actor->placement() != sgxsim::kUntrusted
                 ? " (enclave " + std::to_string(actor->placement()) + ")"
+                : "") +
+           (actor->lifecycle() != ActorState::kRunnable
+                ? std::string(" [") + to_string(actor->lifecycle()) + "]"
                 : ""));
   }
   for (const auto& [name, channel] : channels_) {
@@ -137,6 +149,36 @@ std::string Runtime::stats_string() const {
          std::to_string(stats.ocalls) + " ocalls, " +
          std::to_string(stats.paging_events) + " paging events");
   return out;
+}
+
+HealthSnapshot Runtime::health() const {
+  HealthSnapshot snap;
+  snap.actors.reserve(actors_.size());
+  for (const auto& actor : actors_) {
+    ActorHealth a;
+    a.name = actor->name();
+    a.state = actor->lifecycle();
+    a.enclave = actor->placement();
+    a.invocations = actor->invocations();
+    a.failures = actor->failures();
+    a.restarts = actor->restarts();
+    a.stalled = actor->stalled();
+    if (a.failures != 0) a.last_error = actor->last_failure().what;
+    snap.actors.push_back(std::move(a));
+  }
+  snap.channels.reserve(channels_.size());
+  for (const auto& [name, channel] : channels_) {
+    ChannelHealth c;
+    c.name = name;
+    c.encrypted = channel->encrypted();
+    c.auth_failures = channel->auth_failures();
+    c.frame_errors = channel->frame_errors();
+    snap.channels.push_back(std::move(c));
+  }
+  snap.pool.free = pool_.size();
+  snap.pool.capacity = pool_.capacity();
+  snap.pool.exhaustions = pool_.exhaustions();
+  return snap;
 }
 
 concurrent::Pool& Runtime::make_pool(std::size_t nodes,

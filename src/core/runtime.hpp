@@ -17,6 +17,7 @@
 #include "concurrent/pool.hpp"
 #include "core/actor.hpp"
 #include "core/channel.hpp"
+#include "core/health.hpp"
 #include "core/worker.hpp"
 #include "sgxsim/enclave.hpp"
 
@@ -80,9 +81,19 @@ class Runtime {
     return workers_;
   }
 
+  const std::vector<std::unique_ptr<Actor>>& actors() const noexcept {
+    return actors_;
+  }
+
   // Human-readable diagnostics: per-worker rounds, per-actor activations,
   // channel modes, enclave transition totals. Safe to call while running.
   std::string stats_string() const;
+
+  // Structured health snapshot (per-actor lifecycle state, restart counts,
+  // channel frame/auth errors, pool exhaustion) — the supervision layer and
+  // tests consume this instead of poking runtime internals. Safe to call
+  // while running.
+  HealthSnapshot health() const;
 
  private:
   friend class Actor;

@@ -45,8 +45,11 @@ void Worker::join() {
 bool Worker::round() {
   bool progress = false;
   for (Actor* actor : actors_) {
-    ++actor->invocations_;
-    progress |= actor->body();
+    // Containment (DESIGN.md §12): an exception escaping body() fails the
+    // actor, not the process. Non-Runnable actors are skipped — one
+    // relaxed-ish load per actor per round; the try/catch itself is free
+    // on the no-throw path.
+    progress |= invoke_contained(*actor);
   }
   rounds_.fetch_add(1, std::memory_order_relaxed);
   return progress;
@@ -97,18 +100,17 @@ void Worker::run_mixed() {
   while (!stop_.load(std::memory_order_relaxed)) {
     bool progress = false;
     for (Actor* actor : actors_) {
-      actor->invocations_.fetch_add(1, std::memory_order_relaxed);
       if (actor->placement() != sgxsim::kUntrusted) {
         sgxsim::Enclave* enclave =
             sgxsim::EnclaveManager::instance().find(actor->placement());
         if (enclave != nullptr) {
           // Migrate into the actor's enclave for this activation only.
           sgxsim::EnclaveScope scope(*enclave);
-          progress |= actor->body();
+          progress |= invoke_contained(*actor);
           continue;
         }
       }
-      progress |= actor->body();
+      progress |= invoke_contained(*actor);
     }
     rounds_.fetch_add(1, std::memory_order_relaxed);
     if (progress) {

@@ -8,6 +8,27 @@
 
 namespace ea::net {
 
+namespace {
+
+// Quarantine path: returns every node still queued in `mbox` to its pool so
+// conservation holds after the supervisor parks the actor.
+void drain_to_pools(concurrent::Mbox& mbox) noexcept {
+  concurrent::Node* burst[kWriteBurst];
+  std::size_t got;
+  while ((got = mbox.pop_burst(burst, kWriteBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease(burst[b]).reset();
+    }
+  }
+}
+
+}  // namespace
+
+void OpenerActor::on_quarantine() { drain_to_pools(requests_); }
+void AccepterActor::on_quarantine() { drain_to_pools(requests_); }
+void ReaderActor::on_quarantine() { drain_to_pools(requests_); }
+void CloserActor::on_quarantine() { drain_to_pools(input_); }
+
 bool OpenerActor::body() {
   bool progress = false;
   concurrent::Node* burst[kRequestBurst];
@@ -162,39 +183,64 @@ bool WriterActor::body() {
     progress = true;
   }
 
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    SocketId id = it->first;
-    auto& queue = it->second;
-    bool drop_socket = false;
-    while (!queue.empty()) {
-      Pending& p = queue.front();
-      long n = -1;
-      bool alive = table_->with(id, [&](Socket& socket) {
-        n = socket.write_nb(p.node->data().subspan(p.offset));
-      });
-      if (!alive || n < 0) {
-        drop_socket = true;
-        break;
+  // Rotate the drain starting point: resume after the id the previous round
+  // started at, wrapping around. Without this, iteration always began at the
+  // lowest socket id, and one slow socket whose kernel buffer kept filling
+  // (write_nb == 0 after partial progress) would be revisited first every
+  // round while high ids waited — unfair under many connections.
+  if (!pending_.empty()) {
+    auto it = pending_.upper_bound(drain_cursor_);
+    if (it == pending_.end()) it = pending_.begin();
+    drain_cursor_ = it->first;
+    std::size_t remaining = pending_.size();
+    while (remaining-- > 0) {
+      SocketId id = it->first;
+      auto& queue = it->second;
+      bool drop_socket = false;
+      while (!queue.empty()) {
+        Pending& p = queue.front();
+        long n = -1;
+        bool alive = table_->with(id, [&](Socket& socket) {
+          n = socket.write_nb(p.node->data().subspan(p.offset));
+        });
+        if (!alive || n < 0) {
+          drop_socket = true;
+          break;
+        }
+        if (n == 0) break;  // kernel buffer full; retry next round
+        p.offset += static_cast<std::size_t>(n);
+        progress = true;
+        if (p.offset >= p.node->size) {
+          concurrent::NodeLease(p.node).reset();  // return to its pool
+          queue.pop_front();
+        }
       }
-      if (n == 0) break;  // kernel buffer full; retry next round
-      p.offset += static_cast<std::size_t>(n);
-      progress = true;
-      if (p.offset >= p.node->size) {
-        concurrent::NodeLease(p.node).reset();  // return to its pool
-        queue.pop_front();
+      if (drop_socket) {
+        for (Pending& p : queue) concurrent::NodeLease(p.node).reset();
+        it = pending_.erase(it);
+      } else if (queue.empty()) {
+        it = pending_.erase(it);
+      } else {
+        ++it;
       }
-    }
-    if (drop_socket) {
-      for (Pending& p : queue) concurrent::NodeLease(p.node).reset();
-      it = pending_.erase(it);
-    } else if (queue.empty()) {
-      it = pending_.erase(it);
-    } else {
-      ++it;
+      if (pending_.empty()) break;
+      if (it == pending_.end()) it = pending_.begin();
     }
   }
   return progress;
 }
+
+void WriterActor::park_pending() noexcept {
+  drain_to_pools(input_);
+  for (auto& [id, queue] : pending_) {
+    for (Pending& p : queue) concurrent::NodeLease(p.node).reset();
+  }
+  pending_.clear();
+}
+
+WriterActor::~WriterActor() { park_pending(); }
+
+void WriterActor::on_quarantine() { park_pending(); }
 
 bool CloserActor::body() {
   bool progress = false;

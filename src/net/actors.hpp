@@ -91,6 +91,8 @@ class OpenerActor : public core::Actor {
 
   concurrent::Mbox& requests() noexcept { return requests_; }
   bool body() override;
+  bool has_pending_work() const override { return !requests_.empty(); }
+  void on_quarantine() override;
 
  private:
   std::shared_ptr<SocketTable> table_;
@@ -106,6 +108,8 @@ class AccepterActor : public core::Actor {
 
   concurrent::Mbox& requests() noexcept { return requests_; }
   bool body() override;
+  bool has_pending_work() const override { return !requests_.empty(); }
+  void on_quarantine() override;
 
  private:
   std::shared_ptr<SocketTable> table_;
@@ -124,6 +128,8 @@ class ReaderActor : public core::Actor {
 
   concurrent::Mbox& requests() noexcept { return requests_; }
   bool body() override;
+  bool has_pending_work() const override { return !requests_.empty(); }
+  void on_quarantine() override;
 
  private:
   std::shared_ptr<SocketTable> table_;
@@ -136,19 +142,30 @@ class WriterActor : public core::Actor {
  public:
   WriterActor(std::string name, std::shared_ptr<SocketTable> table)
       : core::Actor(std::move(name)), table_(std::move(table)) {}
+  // Parks every queued node back into its pool: whether the writer dies
+  // with the runtime or is quarantined by the supervisor, node
+  // conservation must hold for the surviving deployment.
+  ~WriterActor() override;
 
   // Push nodes with tag = socket id, payload = bytes to transmit.
   concurrent::Mbox& input() noexcept { return input_; }
   bool body() override;
+  bool has_pending_work() const override { return !input_.empty(); }
+  void on_quarantine() override;
 
  private:
   struct Pending {
     concurrent::Node* node;
     std::size_t offset;
   };
+  void park_pending() noexcept;
+
   std::shared_ptr<SocketTable> table_;
   concurrent::Mbox input_;
   std::map<SocketId, std::deque<Pending>> pending_;
+  // Fairness: the socket id the per-round drain loop resumes *after*, so a
+  // slow-draining early id cannot starve later ids round after round.
+  SocketId drain_cursor_ = -1;
 };
 
 class CloserActor : public core::Actor {
@@ -159,6 +176,8 @@ class CloserActor : public core::Actor {
   // Push nodes with tag = socket id.
   concurrent::Mbox& input() noexcept { return input_; }
   bool body() override;
+  bool has_pending_work() const override { return !input_.empty(); }
+  void on_quarantine() override;
 
   // Sockets actually closed (duplicate close requests for an id already
   // torn down do not count — SocketTable::close() is idempotent).

@@ -3,7 +3,9 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "crypto/rng.hpp"
 #include "util/logging.hpp"
@@ -41,6 +43,9 @@ Client::Client() : rng_(client_seed()) {}
 bool Client::connect(std::uint16_t port, const std::string& jid,
                      int timeout_ms) {
   auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  port_ = port;
+  stream_ = StanzaStream{};  // fresh parser state on every (re)dial; queued
+                             // messages already received are kept
   socket_ = net::Socket::connect_to("127.0.0.1", port);
   if (!socket_.valid()) return false;
   // Wait for the non-blocking connect to finish.
@@ -76,7 +81,13 @@ bool Client::join_room(const std::string& room, int timeout_ms) {
   while (Clock::now() < deadline) {
     auto msg = recv(remaining_ms(deadline));
     if (!msg.has_value()) return false;
-    if (msg->kind == "presence" && msg->from == room) return true;
+    if (msg->kind == "presence" && msg->from == room) {
+      // Remember the membership so an automatic reconnect can restore it.
+      if (std::find(rooms_.begin(), rooms_.end(), room) == rooms_.end()) {
+        rooms_.push_back(room);
+      }
+      return true;
+    }
     // Anything else (e.g. early chat traffic) goes back to the queue tail.
     queue_.push_back(std::move(*msg));
   }
@@ -127,6 +138,7 @@ void Client::enqueue_event(const StanzaStream::Event& event) {
   if (event.type == StanzaStream::EventType::kStreamOpen) return;
   if (event.type == StanzaStream::EventType::kStreamClose) {
     close();
+    try_reconnect();
     return;
   }
   const XmlNode& stanza = event.node;
@@ -166,6 +178,7 @@ bool Client::pump(int timeout_ms) {
       reinterpret_cast<std::uint8_t*>(buf), sizeof(buf)));
   if (n < 0) {
     close();
+    try_reconnect();
     return false;
   }
   if (n == 0) return false;
@@ -198,8 +211,11 @@ std::optional<Client::Message> Client::poll() {
                 reinterpret_cast<std::uint8_t*>(buf), sizeof(buf)))) > 0) {
       stream_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
     }
-    if (n < 0) close();
     while (auto event = stream_.next()) enqueue_event(*event);
+    if (n < 0) {
+      close();
+      try_reconnect();
+    }
   }
   if (queue_.empty()) return std::nullopt;
   Message msg = std::move(queue_.front());
@@ -208,6 +224,11 @@ std::optional<Client::Message> Client::poll() {
 }
 
 bool Client::send_all(std::string_view bytes, int timeout_ms) {
+  if (!socket_.valid() && !reconnecting_) {
+    // A previous failure may have been repaired already; if not, repair now
+    // so a fire-and-forget sender recovers without its own retry loop.
+    if (!try_reconnect()) return false;
+  }
   if (!socket_.valid()) return false;
   auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   std::size_t sent = 0;
@@ -217,6 +238,9 @@ bool Client::send_all(std::string_view bytes, int timeout_ms) {
         bytes.size() - sent));
     if (n < 0) {
       close();
+      // The stream restarts from scratch on reconnect, so the whole stanza
+      // is resent — never a partial suffix spliced into a fresh stream.
+      if (try_reconnect()) return send_all(bytes, timeout_ms);
       return false;
     }
     if (n == 0) {
@@ -227,6 +251,39 @@ bool Client::send_all(std::string_view bytes, int timeout_ms) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+void Client::enable_reconnect(ClientReconnectPolicy policy) {
+  policy.enabled = true;
+  reconnect_ = policy;
+}
+
+bool Client::try_reconnect() {
+  if (!reconnect_.enabled || reconnecting_ || port_ == 0 || jid_.empty()) {
+    return false;
+  }
+  reconnecting_ = true;
+  core::BackoffSchedule schedule(reconnect_.backoff, rng_.next());
+  bool ok = false;
+  for (std::uint32_t a = 0; a < reconnect_.max_attempts && !ok; ++a) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(schedule.next_delay_us()));
+    ok = connect(port_, jid_, reconnect_.attempt_timeout_ms);
+  }
+  if (ok) {
+    // Restore room memberships under the fresh session.
+    for (const std::string& room : rooms_) {
+      if (!join_room(room, reconnect_.attempt_timeout_ms)) {
+        EA_WARN("xmpp", "client %s: failed to re-join %s after reconnect",
+                jid_.c_str(), room.c_str());
+      }
+    }
+    ++reconnects_;
+    EA_INFO("xmpp", "client %s: reconnected (total %llu)", jid_.c_str(),
+            static_cast<unsigned long long>(reconnects_));
+  }
+  reconnecting_ = false;
+  return ok;
 }
 
 void Client::close() { socket_.close(); }

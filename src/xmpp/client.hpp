@@ -9,12 +9,28 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/backoff.hpp"
 #include "crypto/rng.hpp"
 #include "net/socket.hpp"
 #include "xmpp/stanza.hpp"
 
 namespace ea::xmpp {
+
+// Opt-in self-healing for the client: when the connection dies mid-use, the
+// client redials the remembered port with capped exponential backoff,
+// re-authenticates under the same jid and re-joins every room it had
+// joined. Messages in flight during the outage are lost (the service keeps
+// no per-client queue) — callers that need delivery resend until
+// acknowledged, as the soak tests do.
+struct ClientReconnectPolicy {
+  bool enabled = false;
+  core::BackoffPolicy backoff{/*initial_us=*/2000, /*max_us=*/200'000,
+                              /*multiplier=*/2, /*jitter_pct=*/20};
+  std::uint32_t max_attempts = 8;  // per outage
+  int attempt_timeout_ms = 2000;
+};
 
 class Client {
  public:
@@ -59,6 +75,13 @@ class Client {
   bool connected() const noexcept { return socket_.valid(); }
   const std::string& jid() const noexcept { return jid_; }
 
+  // Arms automatic reconnection (see ClientReconnectPolicy). May be called
+  // before or after connect().
+  void enable_reconnect(ClientReconnectPolicy policy = {});
+
+  // Completed automatic reconnections.
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+
   void close();
 
  private:
@@ -67,12 +90,21 @@ class Client {
   // byte) and converts stream events into queued messages.
   bool pump(int timeout_ms);
   void enqueue_event(const StanzaStream::Event& event);
+  // Redials/re-authenticates/re-joins after an observed disconnect.
+  // Returns true once the session is restored.
+  bool try_reconnect();
 
   net::Socket socket_;
   StanzaStream stream_;
   std::string jid_;
   crypto::FastRng rng_;
   std::deque<Message> queue_;
+
+  ClientReconnectPolicy reconnect_;
+  std::uint16_t port_ = 0;              // remembered dial target
+  std::vector<std::string> rooms_;      // re-joined after reconnect
+  bool reconnecting_ = false;           // guards recursion via connect()
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace ea::xmpp

@@ -8,6 +8,7 @@
 
 #include "core/runtime.hpp"
 #include "sgxsim/cost_model.hpp"
+#include "util/failpoint.hpp"
 #include "smc/party_actor.hpp"
 #include "smc/sdk_ring.hpp"
 #include "xmpp/client.hpp"
@@ -151,6 +152,48 @@ TEST_F(StressTest, ClientReconnectRestoresRouting) {
   EXPECT_EQ(msg->body, "second life");
   rt.stop();
 }
+
+#ifdef EA_FAILPOINTS
+// Same routing-restoration property, but the outage is an injected socket
+// reset and the healing is the client's own enable_reconnect() machinery
+// instead of a hand-rolled second client.
+TEST_F(StressTest, ClientAutoReconnectSurvivesInjectedReset) {
+  util::failpoint::clear_all();
+  core::Runtime rt(big_runtime());
+  xmpp::XmppServiceConfig config;
+  config.instances = 2;
+  xmpp::XmppService service = xmpp::install_xmpp_service(rt, config);
+  rt.start();
+
+  xmpp::Client alice, bob;
+  alice.enable_reconnect();
+  bob.enable_reconnect();
+  ASSERT_TRUE(alice.connect(service.port, "alice"));
+  ASSERT_TRUE(bob.connect(service.port, "bob"));
+
+  // The next read anywhere in the process fails with a connection reset;
+  // whoever absorbs it (a server READER or one of the clients) must heal
+  // without outside help. Resend until a post-reset message arrives.
+  util::failpoint::set("net.socket.read", "once(-1)");
+  bool delivered = false;
+  auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (!delivered && std::chrono::steady_clock::now() < deadline) {
+    alice.send_chat("bob", "after the reset");
+    auto resend_at = std::chrono::steady_clock::now() + 300ms;
+    while (!delivered && std::chrono::steady_clock::now() < resend_at) {
+      auto msg = bob.recv(50);
+      if (msg.has_value() && msg->kind == "chat" &&
+          msg->body == "after the reset") {
+        delivered = true;
+      }
+    }
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_GE(util::failpoint::hits("net.socket.read"), 1u);
+  util::failpoint::clear_all();
+  rt.stop();
+}
+#endif  // EA_FAILPOINTS
 
 TEST_F(StressTest, MessageConservationUnderConcurrentChatter) {
   // N senders fire a burst at one receiver; every message must arrive

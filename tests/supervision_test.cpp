@@ -1,0 +1,633 @@
+// Supervision and self-healing tests (ctest label: supervise).
+//
+// Covers the failure-containment lifecycle (DESIGN.md §12) without fault
+// injection: invoke_contained() converting throws into Failed transitions,
+// the SupervisorActor's restart/backoff/quarantine policy machine (driven
+// manually, one sweep at a time, so every schedule is deterministic), the
+// stall watchdog, node conservation across quarantine, the WRITER's drain
+// fairness rotation, the RECONNECTOR re-establishing a killed connection,
+// and the TCP secure-sum ring computing correct sums end to end.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "concurrent/arena.hpp"
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/backoff.hpp"
+#include "core/health.hpp"
+#include "core/runtime.hpp"
+#include "core/supervisor.hpp"
+#include "net/actors.hpp"
+#include "net/reconnector.hpp"
+#include "net/socket.hpp"
+#include "net/socket_table.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "smc/net_ring.hpp"
+#include "util/bytes.hpp"
+
+namespace ea {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- helpers ---------------------------------------------------------------
+
+// An actor whose failure behaviour is scripted from the test thread.
+struct FlakyActor : core::Actor {
+  using core::Actor::Actor;
+  std::atomic<bool> throw_next{false};
+  std::atomic<bool> restart_throws{false};
+  std::atomic<int> restarted{0};
+  std::atomic<int> quarantined{0};
+
+  bool body() override {
+    if (throw_next.load(std::memory_order_relaxed)) {
+      throw std::runtime_error("boom");
+    }
+    return true;
+  }
+  void on_restart() override {
+    if (restart_throws.load(std::memory_order_relaxed)) {
+      throw std::runtime_error("restart failed");
+    }
+    restarted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_quarantine() override {
+    quarantined.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+// Supervisor options for manual driving: every body() call sweeps, restart
+// delays are zero, and the budget is generous unless a test overrides it.
+core::SupervisorActor::Options fast_opts() {
+  core::SupervisorActor::Options opts;
+  opts.sweep_interval_us = 0;
+  opts.default_policy.backoff = core::BackoffPolicy{0, 0, 2, 0};
+  opts.default_policy.max_restarts = 100;
+  opts.default_policy.window_us = 60'000'000;
+  return opts;
+}
+
+concurrent::Node* pop_within(concurrent::Mbox& box,
+                             std::chrono::milliseconds budget) {
+  auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (concurrent::Node* n = box.pop()) return n;
+    std::this_thread::sleep_for(1ms);
+  }
+  return nullptr;
+}
+
+class SupervisionTest : public ::testing::Test {
+ protected:
+  SupervisionTest() {
+    sgxsim::cost_model().ecall_cycles = 10;
+    sgxsim::cost_model().ocall_cycles = 10;
+    sgxsim::cost_model().rng_cycles_per_byte = 0;
+  }
+  sgxsim::ScopedCostModel scoped_;
+};
+
+// --- backoff ---------------------------------------------------------------
+
+TEST(BackoffScheduleTest, DeterministicForPolicyAndSeed) {
+  core::BackoffPolicy policy{1000, 100000, 2, 20};
+  core::BackoffSchedule a(policy, 42), b(policy, 42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_delay_us(), b.next_delay_us()) << "attempt " << i;
+  }
+  // A different seed produces a different jitter stream (with overwhelming
+  // probability over 16 draws).
+  core::BackoffSchedule c(policy, 43);
+  bool any_diff = false;
+  core::BackoffSchedule a2(policy, 42);
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= a2.next_delay_us() != c.next_delay_us();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BackoffScheduleTest, ZeroJitterIsExactExponentialWithCap) {
+  core::BackoffSchedule s(core::BackoffPolicy{100, 750, 3, 0}, 1);
+  EXPECT_EQ(s.next_delay_us(), 100u);
+  EXPECT_EQ(s.next_delay_us(), 300u);
+  EXPECT_EQ(s.next_delay_us(), 750u);  // 900 clipped to the cap
+  EXPECT_EQ(s.next_delay_us(), 750u);
+  EXPECT_EQ(s.attempts(), 4u);
+}
+
+TEST(BackoffScheduleTest, ResetRewindsBaseButNotJitterStream) {
+  core::BackoffPolicy policy{100, 10000, 2, 0};
+  core::BackoffSchedule s(policy, 7);
+  (void)s.next_delay_us();
+  (void)s.next_delay_us();
+  s.reset();
+  EXPECT_EQ(s.attempts(), 0u);
+  EXPECT_EQ(s.next_delay_us(), 100u);  // back to the initial delay
+
+  // With jitter, the stream keeps advancing across reset(): the delays
+  // after a reset are not a replay of the first ones.
+  core::BackoffPolicy jittered{10000, 1000000, 2, 20};
+  core::BackoffSchedule j(jittered, 7);
+  std::uint64_t first = j.next_delay_us();
+  j.reset();
+  std::uint64_t again = j.next_delay_us();
+  core::BackoffSchedule j2(jittered, 7);
+  EXPECT_EQ(first, j2.next_delay_us());
+  EXPECT_NE(again, first);
+}
+
+// --- containment -----------------------------------------------------------
+
+TEST_F(SupervisionTest, InvokeContainedConvertsThrowIntoFailed) {
+  FlakyActor actor("flaky");
+  EXPECT_TRUE(core::invoke_contained(actor));
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kRunnable);
+
+  actor.throw_next = true;
+  EXPECT_FALSE(core::invoke_contained(actor));
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kFailed);
+  EXPECT_EQ(actor.failures(), 1u);
+  core::FailureInfo info = actor.last_failure();
+  EXPECT_EQ(info.actor, "flaky");
+  EXPECT_EQ(info.what, "boom");
+  EXPECT_EQ(info.at_invocation, 2u);
+
+  // Failed actors are skipped: no invocation, no further failures.
+  std::uint64_t inv = actor.invocations();
+  EXPECT_FALSE(core::invoke_contained(actor));
+  EXPECT_EQ(actor.invocations(), inv);
+  EXPECT_EQ(actor.failures(), 1u);
+}
+
+TEST_F(SupervisionTest, ConstructThrowIsContainedPerActor) {
+  struct BadConstruct : core::Actor {
+    using core::Actor::Actor;
+    void construct(core::Runtime&) override {
+      throw std::runtime_error("construct exploded");
+    }
+    bool body() override { return false; }
+  };
+
+  core::Runtime rt;
+  auto& bad = rt.add_actor(std::make_unique<BadConstruct>("bad"));
+  auto& good = rt.add_actor(std::make_unique<FlakyActor>("good"));
+  EXPECT_NO_THROW(rt.start());
+
+  EXPECT_EQ(bad.lifecycle(), core::ActorState::kFailed);
+  EXPECT_EQ(bad.last_failure().what, "construct exploded");
+  EXPECT_EQ(good.lifecycle(), core::ActorState::kRunnable);
+  rt.stop();
+}
+
+// --- supervisor restart / budget / quarantine -------------------------------
+
+TEST_F(SupervisionTest, SupervisorRestartsFailedActor) {
+  core::Runtime rt;
+  auto flaky = std::make_unique<FlakyActor>("flaky");
+  FlakyActor& actor = static_cast<FlakyActor&>(rt.add_actor(std::move(flaky)));
+  auto sup_owned = std::make_unique<core::SupervisorActor>("sup", fast_opts());
+  auto& sup =
+      static_cast<core::SupervisorActor&>(rt.add_actor(std::move(sup_owned)));
+  rt.start();
+
+  actor.throw_next = true;
+  EXPECT_FALSE(core::invoke_contained(actor));
+  ASSERT_EQ(actor.lifecycle(), core::ActorState::kFailed);
+  actor.throw_next = false;
+
+  sup.body();  // schedules the restart (zero backoff)
+  sup.body();  // performs it
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kRunnable);
+  EXPECT_EQ(actor.restarted.load(), 1);
+  EXPECT_EQ(actor.restarts(), 1u);
+  EXPECT_EQ(sup.restarts_performed(), 1u);
+  EXPECT_EQ(sup.quarantines(), 0u);
+
+  // The healed actor runs again.
+  EXPECT_TRUE(core::invoke_contained(actor));
+  rt.stop();
+}
+
+TEST_F(SupervisionTest, RestartBudgetExhaustionQuarantinesAndEscalates) {
+  core::Runtime rt;
+  auto& actor = static_cast<FlakyActor&>(
+      rt.add_actor(std::make_unique<FlakyActor>("crashloop")));
+  auto opts = fast_opts();
+  opts.default_policy.max_restarts = 2;
+  auto& sup = static_cast<core::SupervisorActor&>(
+      rt.add_actor(std::make_unique<core::SupervisorActor>("sup", opts)));
+  core::FailureInfo escalated;
+  int escalations = 0;
+  sup.set_escalation([&](const core::FailureInfo& info) {
+    escalated = info;
+    ++escalations;
+  });
+  rt.start();
+
+  actor.throw_next = true;  // fails on every scheduling quantum
+  for (int cycle = 0;
+       cycle < 10 && actor.lifecycle() != core::ActorState::kQuarantined;
+       ++cycle) {
+    core::invoke_contained(actor);
+    sup.body();  // schedule (or quarantine once the window is full)
+    sup.body();  // perform
+  }
+
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kQuarantined);
+  EXPECT_EQ(sup.restarts_performed(), 2u);
+  EXPECT_EQ(sup.quarantines(), 1u);
+  EXPECT_EQ(actor.quarantined.load(), 1);
+  EXPECT_EQ(escalations, 1);
+  EXPECT_EQ(escalated.actor, "crashloop");
+  EXPECT_EQ(escalated.what, "boom");
+
+  // Quarantine is terminal: no more invocations, no more restarts.
+  std::uint64_t inv = actor.invocations();
+  EXPECT_FALSE(core::invoke_contained(actor));
+  EXPECT_EQ(actor.invocations(), inv);
+  sup.body();
+  sup.body();
+  EXPECT_EQ(sup.restarts_performed(), 2u);
+  rt.stop();
+}
+
+TEST_F(SupervisionTest, ThrowingRestartHookCountsAsFailureAndRetries) {
+  core::Runtime rt;
+  auto& actor = static_cast<FlakyActor&>(
+      rt.add_actor(std::make_unique<FlakyActor>("flaky")));
+  auto& sup = static_cast<core::SupervisorActor&>(
+      rt.add_actor(std::make_unique<core::SupervisorActor>("sup", fast_opts())));
+  rt.start();
+
+  actor.throw_next = true;
+  core::invoke_contained(actor);
+  actor.throw_next = false;
+  actor.restart_throws = true;  // the first restart attempt itself fails
+
+  sup.body();  // schedule
+  sup.body();  // perform -> on_restart throws -> back to Failed
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kFailed);
+  EXPECT_EQ(sup.restart_failures(), 1u);
+  EXPECT_EQ(sup.restarts_performed(), 0u);
+  EXPECT_EQ(actor.last_failure().what, "restart failed");
+
+  actor.restart_throws = false;
+  sup.body();  // re-schedule
+  sup.body();  // perform, succeeds this time
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kRunnable);
+  EXPECT_EQ(sup.restarts_performed(), 1u);
+  EXPECT_EQ(actor.restarted.load(), 1);
+  rt.stop();
+}
+
+TEST_F(SupervisionTest, IgnoredActorIsNeverTouched) {
+  core::Runtime rt;
+  auto& actor = static_cast<FlakyActor&>(
+      rt.add_actor(std::make_unique<FlakyActor>("unmanaged")));
+  auto& sup = static_cast<core::SupervisorActor&>(
+      rt.add_actor(std::make_unique<core::SupervisorActor>("sup", fast_opts())));
+  sup.ignore("unmanaged");
+  rt.start();
+
+  actor.throw_next = true;
+  core::invoke_contained(actor);
+  for (int i = 0; i < 6; ++i) sup.body();
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kFailed);
+  EXPECT_EQ(sup.restarts_performed(), 0u);
+  EXPECT_EQ(sup.quarantines(), 0u);
+  rt.stop();
+}
+
+// --- stall watchdog ---------------------------------------------------------
+
+TEST_F(SupervisionTest, WatchdogFlagsOnlyActorsWithStuckPendingWork) {
+  struct Pending : core::Actor {
+    using core::Actor::Actor;
+    std::atomic<bool> pending{true};
+    bool body() override { return false; }
+    bool has_pending_work() const override {
+      return pending.load(std::memory_order_relaxed);
+    }
+  };
+
+  core::Runtime rt;
+  auto& stuck = static_cast<Pending&>(
+      rt.add_actor(std::make_unique<Pending>("stuck")));
+  auto& busy = static_cast<Pending&>(
+      rt.add_actor(std::make_unique<Pending>("busy")));
+  auto& idle = static_cast<Pending&>(
+      rt.add_actor(std::make_unique<Pending>("idle")));
+  idle.pending = false;
+  auto opts = fast_opts();
+  opts.default_policy.stall_rounds = 3;
+  auto& sup = static_cast<core::SupervisorActor&>(
+      rt.add_actor(std::make_unique<core::SupervisorActor>("sup", opts)));
+  rt.start();
+
+  // `busy` keeps progressing between sweeps; `stuck` never moves despite
+  // pending work; `idle` never moves but has an empty inbox.
+  for (int i = 0; i < 6; ++i) {
+    core::invoke_contained(busy);
+    sup.body();
+  }
+  EXPECT_TRUE(stuck.stalled());
+  EXPECT_FALSE(busy.stalled());
+  EXPECT_FALSE(idle.stalled());
+  EXPECT_EQ(sup.stalls_flagged(), 1u);
+
+  // One quantum of progress clears the flag on the next sweep.
+  core::invoke_contained(stuck);
+  sup.body();
+  EXPECT_FALSE(stuck.stalled());
+  rt.stop();
+}
+
+// --- node conservation across quarantine ------------------------------------
+
+TEST_F(SupervisionTest, QuarantineDrainsPrivatelyHeldNodesBackToPools) {
+  struct Hoarder : core::Actor {
+    using core::Actor::Actor;
+    concurrent::Mbox box;
+    bool body() override { throw std::runtime_error("boom"); }
+    bool has_pending_work() const override { return !box.empty(); }
+    void on_quarantine() override {
+      while (concurrent::Node* n = box.pop()) concurrent::NodeLease(n).reset();
+    }
+  };
+
+  core::Runtime rt;
+  auto& hoarder = static_cast<Hoarder&>(
+      rt.add_actor(std::make_unique<Hoarder>("hoarder")));
+  auto opts = fast_opts();
+  opts.default_policy.max_restarts = 0;  // quarantine on the first failure
+  auto& sup = static_cast<core::SupervisorActor&>(
+      rt.add_actor(std::make_unique<core::SupervisorActor>("sup", opts)));
+  rt.start();
+
+  concurrent::Pool& pool = rt.public_pool();
+  std::size_t before = pool.size();
+  for (int i = 0; i < 5; ++i) {
+    concurrent::Node* n = pool.get();
+    ASSERT_NE(n, nullptr);
+    hoarder.box.push(n);
+  }
+  ASSERT_EQ(pool.size(), before - 5);
+
+  core::invoke_contained(hoarder);  // fails
+  sup.body();                       // budget 0: immediate quarantine
+  EXPECT_EQ(hoarder.lifecycle(), core::ActorState::kQuarantined);
+  EXPECT_EQ(pool.size(), before) << "quarantine must return every node";
+  rt.stop();
+}
+
+TEST_F(SupervisionTest, WriterQuarantineParksQueuedNodes) {
+  concurrent::NodeArena arena(8, 512);
+  concurrent::Pool pool;
+  pool.adopt(arena);
+  auto table = std::make_shared<net::SocketTable>();
+  net::WriterActor writer("writer", table);
+
+  for (int i = 0; i < 3; ++i) {
+    concurrent::Node* n = pool.get();
+    ASSERT_NE(n, nullptr);
+    n->fill("queued");
+    n->tag = 7;  // no such socket; the nodes just sit in the input mbox
+    writer.input().push(n);
+  }
+  EXPECT_TRUE(writer.has_pending_work());
+  writer.on_quarantine();
+  EXPECT_EQ(pool.size(), arena.count());
+  EXPECT_FALSE(writer.has_pending_work());
+}
+
+// --- writer drain fairness ---------------------------------------------------
+
+TEST_F(SupervisionTest, WriterServicesLaterSocketsWhileEarlierOneIsBlocked) {
+  concurrent::NodeArena arena(8, 64 * 1024);
+  concurrent::Pool pool;
+  pool.adopt(arena);
+  auto table = std::make_shared<net::SocketTable>();
+  net::WriterActor writer("writer", table);
+
+  auto make_pair = [&](net::Socket& peer) {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+    peer = net::Socket(fds[1]);
+    return table->add(net::Socket(fds[0]));
+  };
+
+  net::Socket peer_a, peer_b;
+  net::SocketId a = make_pair(peer_a);
+  net::SocketId b = make_pair(peer_b);
+  ASSERT_LT(a, b);
+  // Socket `a` gets a tiny kernel send buffer and more data than fits, so
+  // its queue blocks mid-node with work still parked behind it.
+  table->with(a, [](net::Socket& s) {
+    int small = 4608;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  });
+
+  concurrent::Node* big = pool.get();
+  ASSERT_NE(big, nullptr);
+  big->fill(std::string(60 * 1024, 'A'));
+  big->tag = static_cast<std::uint64_t>(a);
+  writer.input().push(big);
+
+  concurrent::Node* small = pool.get();
+  ASSERT_NE(small, nullptr);
+  small->fill("b must not starve");
+  small->tag = static_cast<std::uint64_t>(b);
+  writer.input().push(small);
+
+  // One round: `a` fills its kernel buffer and parks; `b` must still be
+  // drained in the same round (the rotation may not stop at the first
+  // blocked socket).
+  writer.body();
+  util::Bytes buf(1024, 0);
+  long n = peer_b.read_nb(buf);
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf.data()),
+                        static_cast<std::size_t>(n)),
+            "b must not starve");
+  EXPECT_LT(pool.size(), arena.count()) << "expected a parked node on `a`";
+
+  // Once the peer drains, later rounds finish `a` too and return its node.
+  std::size_t drained = 0;
+  for (int round = 0; round < 300 && drained < 60 * 1024; ++round) {
+    writer.body();
+    long got;
+    while ((got = peer_a.read_nb(buf)) > 0) {
+      drained += static_cast<std::size_t>(got);
+    }
+  }
+  EXPECT_EQ(drained, 60u * 1024u);
+  writer.on_quarantine();
+  EXPECT_EQ(pool.size(), arena.count());
+}
+
+// --- health snapshot ---------------------------------------------------------
+
+TEST_F(SupervisionTest, HealthSnapshotReflectsLifecycleAndFailures) {
+  core::Runtime rt;
+  auto& actor = static_cast<FlakyActor&>(
+      rt.add_actor(std::make_unique<FlakyActor>("flaky")));
+  rt.add_actor(std::make_unique<FlakyActor>("healthy"));
+  rt.start();
+
+  actor.throw_next = true;
+  core::invoke_contained(actor);
+
+  core::HealthSnapshot snap = rt.health();
+  const core::ActorHealth* h = snap.actor("flaky");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->state, core::ActorState::kFailed);
+  EXPECT_EQ(h->failures, 1u);
+  EXPECT_EQ(h->last_error, "boom");
+  EXPECT_EQ(snap.count_in_state(core::ActorState::kFailed), 1u);
+  EXPECT_EQ(snap.count_in_state(core::ActorState::kQuarantined), 0u);
+  EXPECT_EQ(snap.pool.capacity, core::RuntimeOptions{}.pool_nodes);
+  EXPECT_FALSE(snap.to_string().empty());
+  EXPECT_EQ(snap.actor("no-such-actor"), nullptr);
+  rt.stop();
+}
+
+// --- reconnector -------------------------------------------------------------
+
+TEST_F(SupervisionTest, ReconnectorReestablishesAfterPeerCloses) {
+  core::RuntimeOptions options;
+  options.pool_nodes = 4096;
+  options.node_payload_bytes = 2048;
+  core::Runtime rt(options);
+  net::NetSubsystem net = net::install_networking(rt, "net.sys", {0});
+  net::ReconnectorActor& recon = net::install_reconnector(rt, net);
+
+  // A listener whose accepted sockets land in a test-owned mbox.
+  net::Socket listener = net::Socket::listen_on(0);
+  ASSERT_TRUE(listener.valid());
+  std::uint16_t port = listener.local_port();
+  net::SocketId lid = net.table->add(std::move(listener));
+  concurrent::Mbox accepts;
+  {
+    concurrent::Node* n = rt.public_pool().get();
+    ASSERT_NE(n, nullptr);
+    net::AcceptSubscribe sub;
+    sub.listener = lid;
+    sub.reply = &accepts;
+    net::write_struct(*n, sub);
+    net.accepter->requests().push(n);
+  }
+
+  concurrent::Mbox data, status;
+  net::ConnSpec spec;
+  std::memcpy(spec.host, "127.0.0.1", sizeof("127.0.0.1"));
+  spec.port = port;
+  spec.data = &data;
+  spec.status = &status;
+  spec.backoff = core::BackoffPolicy{1000, 20'000, 2, 0};
+  spec.max_attempts = 0;
+  std::uint64_t conn = recon.add_connection(spec);
+  rt.start();
+
+  // First open: status note with epoch 1, and the server side accepts.
+  net::ConnStatus st{};
+  {
+    concurrent::NodeLease lease(pop_within(status, 5000ms));
+    ASSERT_TRUE(lease);
+    ASSERT_TRUE(net::read_struct(*lease.get(), st));
+  }
+  EXPECT_EQ(st.conn_id, conn);
+  EXPECT_EQ(st.up, 1);
+  EXPECT_EQ(st.epoch, 1u);
+  net::SocketId server_side = -1;
+  {
+    concurrent::NodeLease lease(pop_within(accepts, 5000ms));
+    ASSERT_TRUE(lease);
+    server_side = static_cast<net::SocketId>(lease->tag);
+  }
+
+  // The peer dies: READER reports EOF (zero-size node) on the data mbox,
+  // and the owner — this test — turns it into a down note.
+  net.table->close(server_side);
+  {
+    concurrent::Node* note = pop_within(data, 5000ms);
+    ASSERT_NE(note, nullptr);
+    ASSERT_EQ(note->size, 0u);
+    note->tag = conn;
+    recon.control().push(note);
+  }
+
+  // The reconnector redials: fresh status with a bumped epoch, and the
+  // server accepts a second connection.
+  {
+    concurrent::NodeLease lease(pop_within(status, 5000ms));
+    ASSERT_TRUE(lease);
+    ASSERT_TRUE(net::read_struct(*lease.get(), st));
+  }
+  EXPECT_EQ(st.up, 1);
+  EXPECT_EQ(st.epoch, 2u);
+  {
+    concurrent::NodeLease lease(pop_within(accepts, 5000ms));
+    ASSERT_TRUE(lease);
+  }
+  EXPECT_EQ(recon.opens(), 2u);
+  EXPECT_EQ(recon.reconnects(), 1u);
+  rt.stop();
+}
+
+// --- TCP secure-sum ring ------------------------------------------------------
+
+TEST_F(SupervisionTest, NetRingComputesCorrectSumsOverTcp) {
+  core::RuntimeOptions options;
+  options.pool_nodes = 8192;
+  options.node_payload_bytes = 2048;
+  core::Runtime rt(options);
+  net::NetSubsystem net = net::install_networking(rt, "net.sys", {0});
+  net::ReconnectorActor& recon = net::install_reconnector(rt, net);
+  smc::SmcConfig config;
+  config.parties = 3;
+  config.dim = 8;
+  smc::NetRingDeployment dep = smc::install_net_ring(rt, config, net, recon);
+  rt.start();
+
+  smc::Vec expected = dep.parties[0]->secret();
+  for (std::size_t i = 1; i < dep.parties.size(); ++i) {
+    smc::add_in_place(expected, dep.parties[i]->secret());
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    concurrent::Node* req = rt.public_pool().get();
+    ASSERT_NE(req, nullptr);
+    req->size = 0;
+    dep.requests->push(req);
+
+    concurrent::NodeLease result(pop_within(*dep.results, 20'000ms));
+    ASSERT_TRUE(result) << "round " << round << " produced no result";
+    smc::Vec got = smc::deserialize(
+        std::span<const std::uint8_t>(result->payload(), result->size));
+    EXPECT_EQ(got, expected) << "round " << round;
+  }
+  EXPECT_EQ(dep.parties[0]->rounds_completed(), 3u);
+  rt.stop();
+}
+
+TEST_F(SupervisionTest, NetRingRejectsDynamicSecrets) {
+  core::Runtime rt;
+  net::NetSubsystem net = net::install_networking(rt, "net.sys", {0});
+  net::ReconnectorActor& recon = net::install_reconnector(rt, net);
+  smc::SmcConfig config;
+  config.dynamic = true;
+  EXPECT_THROW(smc::install_net_ring(rt, config, net, recon),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ea

@@ -1,0 +1,26 @@
+// Fixture: trusted code tearing down the whole process instead of throwing
+// (which the worker would contain and the supervisor would heal).
+#include <cstdlib>
+
+namespace fixture {
+
+void give_up() {
+  std::abort();  // EXPECT: process-exit
+}
+
+void bail(int code) {
+  exit(code);  // EXPECT: process-exit
+}
+
+void hard_stop(int code) {
+  std::_Exit(code);  // EXPECT: process-exit
+}
+
+// Identifiers merely *containing* the names must not fire.
+struct Shutdown {
+  int exit_code = 0;
+  void exit_scope() {}
+};
+int status(const Shutdown& s) { return s.exit_code; }
+
+}  // namespace fixture
