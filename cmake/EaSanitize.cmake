@@ -5,13 +5,31 @@
 #   -DEA_SANITIZE=address,undefined  ASan + UBSan (the check.sh default leg)
 #   -DEA_SANITIZE=thread             TSan (use with `ctest -L tsan`)
 #   -DEA_WERROR=ON                   promote warnings to errors (CI/check.sh)
+#   -DEA_THREAD_SAFETY=ON            Clang Thread Safety Analysis as errors
+#                                    (clang only; -Werror=thread-safety)
 #
 # ThreadSanitizer cannot be combined with AddressSanitizer; the combination
 # is rejected at configure time rather than failing obscurely at link time.
+# EA_THREAD_SAFETY requires clang: the capability attributes behind the
+# EA_* macros (src/concurrent/thread_safety.hpp) are a clang analysis; on
+# GCC they expand to nothing, so a GCC "thread-safety build" would silently
+# verify nothing — rejected at configure time instead.
 
 set(EA_SANITIZE "" CACHE STRING
     "Comma-separated sanitizer set: address, undefined, thread, leak")
 option(EA_WERROR "Treat compiler warnings as errors" OFF)
+option(EA_THREAD_SAFETY
+    "Clang Thread Safety Analysis, promoted to errors (clang only)" OFF)
+
+if(EA_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "EA_THREAD_SAFETY=ON requires clang (found ${CMAKE_CXX_COMPILER_ID}); "
+      "the EA_* capability macros are no-ops elsewhere, so the build would "
+      "check nothing. Configure with -DCMAKE_CXX_COMPILER=clang++.")
+  endif()
+  message(STATUS "EActors: Clang Thread Safety Analysis enabled (-Werror)")
+endif()
 
 set(EA_SANITIZE_COMPILE_FLAGS "")
 set(EA_SANITIZE_LINK_FLAGS "")
@@ -44,6 +62,10 @@ endif()
 function(ea_harden target)
   if(EA_WERROR)
     target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(EA_THREAD_SAFETY)
+    target_compile_options(${target} PRIVATE
+      -Wthread-safety -Werror=thread-safety)
   endif()
   if(EA_SANITIZE_COMPILE_FLAGS)
     target_compile_options(${target} PRIVATE ${EA_SANITIZE_COMPILE_FLAGS})

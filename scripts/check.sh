@@ -1,38 +1,83 @@
 #!/usr/bin/env bash
 # Full verification matrix for the EActors runtime:
 #
-#   1. plain build (+ -Werror) and the entire ctest suite (incl. the
-#      enclave-safety lint and its fixture self-test)
-#   2. ASan+UBSan build, entire ctest suite
-#   3. TSan build, concurrency suite (ctest -L tsan)
-#   4. fault build (ASan+UBSan + -DEA_FAILPOINTS=ON), fault-injection and
-#      crash-recovery suite (ctest -L fault), plus a check that the plain
-#      tree contains no failpoint symbols (zero-overhead-when-off)
-#   5. enclave-safety lint, standalone (fast feedback even if cmake fails)
-#   6. bench smoke: bench_batching + bench_pos with tiny iterations, JSON
-#      schema check (schema v2: git_sha / threads / timestamp headers)
-#   7. clang-tidy over src/ (skipped with a notice when unavailable)
+#   lint        enclave-safety lint over src/ (incl. lock-order-cycle) and
+#               the lint's own fixture self-test
+#   plain       plain build (+ -Werror) and the entire ctest suite
+#   asan        ASan+UBSan build, entire ctest suite
+#   tsan        TSan build, concurrency suite (ctest -L tsan)
+#   fault       fault build (ASan+UBSan + failpoints + lock-rank checker),
+#               fault-injection and crash-recovery suite (ctest -L fault)
+#   supervise   containment/restart/reconnect suite + fault-storm soaks on
+#               the fault tree
+#   lockrank    deadlock-order regression suite (ctest -L lockrank) on the
+#               fault tree, where EA_LOCK_RANK=ON makes the checker live
+#   nofailpoint zero-overhead-when-off symbol check on the plain tree
+#   bench       bench smoke: bench_batching + bench_pos, JSON schema check
+#   tsa         clang build with -DEA_THREAD_SAFETY=ON: the Clang Thread
+#               Safety Analysis over every annotated lock, warnings as
+#               errors (skipped with a notice when clang++ is absent)
+#   tidy        clang-tidy over src/ (skipped with a notice when absent)
 #
 # Any leg failing fails the script. Usage:
-#   scripts/check.sh [--quick]    # --quick: plain leg + lint only
+#   scripts/check.sh              # full matrix
+#   scripts/check.sh --quick      # lint + plain only
+#   scripts/check.sh --leg NAME   # one leg by the name in the list above
 #
-# Build trees are kept per-leg (build-check, build-asan, build-tsan) so
-# incremental re-runs stay cheap.
+# Build trees are kept per-leg (build-check, build-asan, build-tsan,
+# build-fault, build-clang-tsa) so incremental re-runs stay cheap.
 
 set -u
 cd "$(dirname "$0")/.."
 
 QUICK=0
-[[ "${1:-}" == "--quick" ]] && QUICK=1
+LEG_FILTER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --leg)
+      shift
+      LEG_FILTER="${1:-}"
+      if [[ -z "$LEG_FILTER" ]]; then
+        echo "usage: scripts/check.sh [--quick] [--leg NAME]" >&2
+        exit 2
+      fi
+      ;;
+    *)
+      echo "usage: scripts/check.sh [--quick] [--leg NAME]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
 
 JOBS=${JOBS:-$(nproc)}
 FAILED=()
+MATCHED=0
 
 note() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+
+want() {
+  # want <slug> — should this leg run under the current selection?
+  local slug=$1
+  if [[ -n "$LEG_FILTER" ]]; then
+    [[ "$slug" == "$LEG_FILTER" ]] || return 1
+    MATCHED=1
+    return 0
+  fi
+  if [[ $QUICK -eq 1 ]]; then
+    [[ "$slug" == "lint" || "$slug" == "plain" ]]
+    return
+  fi
+  return 0
+}
+
 leg() {
-  # leg <name> <cmd...> — runs a matrix leg, records failure, keeps going.
-  local name=$1
-  shift
+  # leg <slug> <display-name> <cmd...> — runs a matrix leg, records failure,
+  # keeps going.
+  local slug=$1 name=$2
+  shift 2
+  want "$slug" || return 0
   note "$name"
   if "$@"; then
     printf '\033[1;32mPASS\033[0m %s\n' "$name"
@@ -57,60 +102,70 @@ build_and_test() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "${ctest_args[@]}"
 }
 
-# --- 1. enclave lint first: cheapest signal --------------------------------
-leg "enclave-lint (src/)" python3 tools/enclave_lint.py
-leg "enclave-lint (fixture self-test)" python3 tools/enclave_lint.py --self-test
+# --- lint first: cheapest signal -------------------------------------------
+leg lint "enclave-lint (src/ + fixture self-test)" bash -c "
+  python3 tools/enclave_lint.py --jobs $JOBS &&
+  python3 tools/enclave_lint.py --self-test"
 
-# --- 2. plain build + full suite, warnings as errors -----------------------
-leg "plain build + ctest (-Werror)" \
+# --- plain build + full suite, warnings as errors --------------------------
+leg plain "plain build + ctest (-Werror)" \
   build_and_test build-check -- -DEA_WERROR=ON -DEA_SANITIZE=
 
-if [[ $QUICK -eq 0 ]]; then
-  # --- 3. ASan + UBSan, full suite -----------------------------------------
-  leg "ASan+UBSan build + ctest" \
-    build_and_test build-asan -- -DEA_WERROR=ON -DEA_SANITIZE=address,undefined
+# --- ASan + UBSan, full suite ----------------------------------------------
+leg asan "ASan+UBSan build + ctest" \
+  build_and_test build-asan -- -DEA_WERROR=ON -DEA_SANITIZE=address,undefined
 
-  # --- 4. TSan, concurrency suite ------------------------------------------
-  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
-  leg "TSan build + ctest -L tsan" \
-    build_and_test build-tsan -L tsan -- -DEA_WERROR=ON -DEA_SANITIZE=thread
+# --- TSan, concurrency suite -----------------------------------------------
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+leg tsan "TSan build + ctest -L tsan" \
+  build_and_test build-tsan -L tsan -- -DEA_WERROR=ON -DEA_SANITIZE=thread
 
-  # --- 5. fault injection: failpoints compiled in, ASan+UBSan, the fault ---
-  # suite (failpoint unit tests, channel/net protocol faults, POS cleaner
-  # faults, and the fork-based crash-recovery torture).
-  leg "fault build + ctest -L fault (ASan+UBSan)" \
-    build_and_test build-fault -L fault -- \
-    -DEA_WERROR=ON -DEA_SANITIZE=address,undefined -DEA_FAILPOINTS=ON
+# --- fault injection: failpoints + lock-rank checker compiled in, ----------
+# ASan+UBSan, the fault suite (failpoint unit tests, channel/net protocol
+# faults, POS cleaner faults, and the fork-based crash-recovery torture).
+# EA_LOCK_RANK=ON here means every ranked acquisition across the whole
+# fault matrix is order-checked — a rank-table error surfaces as a
+# contained LockRankError, not a hung test.
+FAULT_FLAGS=(-DEA_WERROR=ON -DEA_SANITIZE=address,undefined
+  -DEA_FAILPOINTS=ON -DEA_LOCK_RANK=ON)
 
-  # --- 5b. supervision: the containment/restart/reconnect unit suite plus
-  # the fault-storm soaks (1% injected body throws + socket resets while the
-  # XMPP echo and secure-sum ring must keep delivering). Reuses the fault
-  # tree, so the soaks also run under ASan+UBSan.
-  leg "supervise suite + soak (ASan+UBSan, failpoints)" \
-    build_and_test build-fault -L supervise -- \
-    -DEA_WERROR=ON -DEA_SANITIZE=address,undefined -DEA_FAILPOINTS=ON
+leg fault "fault build + ctest -L fault (ASan+UBSan, lock-rank)" \
+  build_and_test build-fault -L fault -- "${FAULT_FLAGS[@]}"
 
-  # --- 6. zero-overhead-when-off: the plain tree must contain no failpoint
-  # machinery at all (uses the build-check tree from leg 2).
-  check_no_failpoint_symbols() {
-    local objs
-    objs=$(find build-check -name 'libea_util.a' -o -name 'pos_test' |
-      head -4)
-    [[ -n "$objs" ]] || return 1
-    # shellcheck disable=SC2086
-    if nm -C $objs 2>/dev/null | grep -qi 'failpoint'; then
-      echo "failpoint symbols leaked into the EA_FAILPOINTS=OFF build" >&2
-      return 1
-    fi
-    echo "no failpoint symbols in plain build"
-  }
-  leg "no failpoint symbols in plain build" check_no_failpoint_symbols
+# --- supervision: the containment/restart/reconnect unit suite plus the
+# fault-storm soaks (1% injected body throws + socket resets while the XMPP
+# echo and secure-sum ring must keep delivering). Reuses the fault tree, so
+# the soaks also run under ASan+UBSan with the rank checker live.
+leg supervise "supervise suite + soak (ASan+UBSan, failpoints, lock-rank)" \
+  build_and_test build-fault -L supervise -- "${FAULT_FLAGS[@]}"
 
-  # --- 7. bench smoke: each bench runs end-to-end and its JSON report ------
-  # parses with the expected v2 schema (uses the plain tree from leg 2).
-  check_bench_json() {
-    # check_bench_json <path> <bench-name> <expected-scenarios...>
-    python3 - "$@" <<'EOF'
+# --- lock-rank deadlock regression: the two-thread inverted-order suite
+# needs EA_LOCK_RANK=ON to exercise the checker (in plain builds it skips).
+leg lockrank "lock-rank regression (ctest -L lockrank, checker on)" \
+  build_and_test build-fault -L lockrank -- "${FAULT_FLAGS[@]}"
+
+# --- zero-overhead-when-off: the plain tree must contain no failpoint
+# machinery at all (uses the build-check tree from the plain leg).
+check_no_failpoint_symbols() {
+  local objs
+  objs=$(find build-check -name 'libea_util.a' -o -name 'pos_test' |
+    head -4)
+  [[ -n "$objs" ]] || return 1
+  # shellcheck disable=SC2086
+  if nm -C $objs 2>/dev/null | grep -qi 'failpoint'; then
+    echo "failpoint symbols leaked into the EA_FAILPOINTS=OFF build" >&2
+    return 1
+  fi
+  echo "no failpoint symbols in plain build"
+}
+leg nofailpoint "no failpoint symbols in plain build" \
+  check_no_failpoint_symbols
+
+# --- bench smoke: each bench runs end-to-end and its JSON report parses ----
+# with the expected v2 schema (uses the plain tree from the plain leg).
+check_bench_json() {
+  # check_bench_json <path> <bench-name> <expected-scenarios...>
+  python3 - "$@" <<'EOF'
 import json
 import sys
 
@@ -134,36 +189,63 @@ scenarios = {r["scenario"] for r in results}
 assert set(expected) <= scenarios, scenarios
 print(f"{path} ok: {len(results)} results")
 EOF
-  }
-  run_bench_smoke() {
-    EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
-      EA_BENCH_JSON=build-check/BENCH_batching.json \
-      ./build-check/bench/bench_batching >/dev/null || return 1
-    check_bench_json build-check/BENCH_batching.json batching \
-      mbox channel_enc transition pool || return 1
-    EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
-      EA_BENCH_JSON=build-check/BENCH_pos.json \
-      ./build-check/bench/bench_pos >/dev/null || return 1
-    check_bench_json build-check/BENCH_pos.json pos \
-      set get mixed cleaner
-  }
-  leg "bench smoke (bench_batching + bench_pos + JSON schema)" run_bench_smoke
+}
+run_bench_smoke() {
+  EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
+    EA_BENCH_JSON=build-check/BENCH_batching.json \
+    ./build-check/bench/bench_batching >/dev/null || return 1
+  check_bench_json build-check/BENCH_batching.json batching \
+    mbox channel_enc transition pool || return 1
+  EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
+    EA_BENCH_JSON=build-check/BENCH_pos.json \
+    ./build-check/bench/bench_pos >/dev/null || return 1
+  check_bench_json build-check/BENCH_pos.json pos \
+    set get mixed cleaner
+}
+leg bench "bench smoke (bench_batching + bench_pos + JSON schema)" \
+  run_bench_smoke
+
+# --- clang thread-safety analysis: the whole annotation sweep is only ------
+# *checked* by clang; this leg compiles the tree with -Werror=thread-safety
+# so any unguarded access to an EA_GUARDED_BY member, missing EA_REQUIRES,
+# or unbalanced acquire/release fails the build. ctest is not run here —
+# the leg's product is the warning-clean compile.
+run_clang_tsa() {
+  cmake -B build-clang-tsa -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DEA_WERROR=ON -DEA_SANITIZE= -DEA_THREAD_SAFETY=ON || return 1
+  cmake --build build-clang-tsa -j "$JOBS"
+}
+if command -v clang++ >/dev/null 2>&1; then
+  leg tsa "clang -Werror=thread-safety build (EA_THREAD_SAFETY=ON)" \
+    run_clang_tsa
+else
+  if want tsa; then
+    note "clang++ not installed — thread-safety leg skipped (install clang to run the TSA sweep)"
+  fi
 fi
 
-# --- 8. clang-tidy (optional tooling; never silently skipped) --------------
+# --- clang-tidy (optional tooling; never silently skipped) -----------------
+run_tidy() {
+  # Reuse the plain tree's compile commands.
+  cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+    find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "$JOBS" clang-tidy -p build-check --quiet
+}
 if command -v clang-tidy >/dev/null 2>&1; then
-  run_tidy() {
-    # Reuse the plain tree's compile commands.
-    cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
-      find src -name '*.cpp' -print0 |
-      xargs -0 -n 8 -P "$JOBS" clang-tidy -p build-check --quiet
-  }
-  leg "clang-tidy (src/)" run_tidy
+  leg tidy "clang-tidy (src/)" run_tidy
 else
-  note "clang-tidy not installed — leg skipped (install clang-tidy to run it)"
+  if want tidy; then
+    note "clang-tidy not installed — leg skipped (install clang-tidy to run it)"
+  fi
 fi
 
 # --- summary ---------------------------------------------------------------
+if [[ -n "$LEG_FILTER" && $MATCHED -eq 0 ]]; then
+  echo "error: no leg named '$LEG_FILTER'" >&2
+  echo "legs: lint plain asan tsan fault supervise lockrank nofailpoint bench tsa tidy" >&2
+  exit 2
+fi
 note "matrix summary"
 if [[ ${#FAILED[@]} -gt 0 ]]; then
   printf '\033[1;31m%d leg(s) failed:\033[0m\n' "${#FAILED[@]}"

@@ -11,11 +11,23 @@
 // TTAS loop (same semantics, no elision) with explicit happens-before
 // annotations — see concurrent/tsan.hpp for why TSan cannot model the HLE
 // flag bits.
+//
+// Concurrency-correctness hooks (DESIGN.md §13):
+//   * the class is a Clang Thread Safety capability — members protected by
+//     a lock carry EA_GUARDED_BY(lock_) and the analysis proves every
+//     access happens under an HleGuard (-DEA_THREAD_SAFETY=ON);
+//   * each lock carries a LockRank; -DEA_LOCK_RANK=ON builds verify at
+//     runtime that every thread acquires ranks in strictly ascending order
+//     (lock_rank.hpp), throwing LockRankError — contained by the worker
+//     and handled by the supervisor like any other actor failure — on the
+//     first out-of-order acquisition.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "concurrent/lock_rank.hpp"
+#include "concurrent/thread_safety.hpp"
 #include "concurrent/tsan.hpp"
 
 #if defined(__x86_64__)
@@ -28,17 +40,45 @@ namespace ea::concurrent {
 #define EA_HLE_LOCK_PATH 1
 #endif
 
+// lock() is noexcept in production; under EA_LOCK_RANK the rank checker's
+// violation handler may throw (the default handler raises LockRankError so
+// the supervisor can restart the offending actor), so the specification is
+// relaxed only in checked builds.
+#if defined(EA_LOCK_RANK)
+#define EA_LOCK_NOEXCEPT
+#else
+#define EA_LOCK_NOEXCEPT noexcept
+#endif
+
 // Cache-line-aligned so a lock embedded in Mbox/Pool never shares a line
 // with the data it protects: the flag ping-pongs between producer and
 // consumer cores, and co-locating it with head/tail pointers would drag
 // them along on every acquisition (false sharing).
-class alignas(64) HleSpinLock {
+class alignas(64) EA_CAPABILITY("spinlock") HleSpinLock {
  public:
   HleSpinLock() = default;
+  explicit HleSpinLock(LockRank rank) noexcept { set_rank(rank); }
   HleSpinLock(const HleSpinLock&) = delete;
   HleSpinLock& operator=(const HleSpinLock&) = delete;
 
-  void lock() noexcept {
+  // Assigns the lock's place in the global acquisition order. For locks
+  // constructed in arrays (POS bucket/free shards) the constructor cannot
+  // take arguments, so ranking happens post-construction — always before
+  // the lock is visible to a second thread.
+  void set_rank(LockRank rank) noexcept {
+#if defined(EA_LOCK_RANK)
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+
+  void lock() EA_LOCK_NOEXCEPT EA_ACQUIRE() {
+#if defined(EA_LOCK_RANK)
+    // Checked before the first exchange: a violation throws out of here
+    // with the lock untouched and the thread's held-rank stack intact.
+    lock_rank::note_acquire(rank_);
+#endif
 #if defined(EA_HLE_LOCK_PATH)
     while (__atomic_exchange_n(&flag_, 1,
                                __ATOMIC_ACQUIRE | __ATOMIC_HLE_ACQUIRE) != 0) {
@@ -56,12 +96,15 @@ class alignas(64) HleSpinLock {
 #endif
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept EA_RELEASE() {
 #if defined(EA_HLE_LOCK_PATH)
     __atomic_store_n(&flag_, 0, __ATOMIC_RELEASE | __ATOMIC_HLE_RELEASE);
 #else
     EA_TSAN_RELEASE(this);
     flag_atomic().store(0, std::memory_order_release);
+#endif
+#if defined(EA_LOCK_RANK)
+    lock_rank::note_release(rank_);
 #endif
   }
 
@@ -80,13 +123,20 @@ class alignas(64) HleSpinLock {
   alignas(64) std::atomic<int> flag_{0};
   std::atomic<int>& flag_atomic() noexcept { return flag_; }
 #endif
+#if defined(EA_LOCK_RANK)
+  LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
-// RAII guard.
-class HleGuard {
+// RAII guard. A scoped capability: constructing one acquires the lock for
+// the enclosing scope in the eyes of the thread-safety analysis.
+class EA_SCOPED_CAPABILITY HleGuard {
  public:
-  explicit HleGuard(HleSpinLock& lock) noexcept : lock_(lock) { lock_.lock(); }
-  ~HleGuard() { lock_.unlock(); }
+  explicit HleGuard(HleSpinLock& lock) EA_LOCK_NOEXCEPT EA_ACQUIRE(lock)
+      : lock_(lock) {
+    lock_.lock();
+  }
+  ~HleGuard() EA_RELEASE() { lock_.unlock(); }
   HleGuard(const HleGuard&) = delete;
   HleGuard& operator=(const HleGuard&) = delete;
 

@@ -77,7 +77,7 @@ class MagazineSet {
   // registering a free slot on first use; nullptr when the thread already
   // caches for MaxSlots other sets (callers fall back to the shared path —
   // correct, just uncached).
-  Magazine* acquire() noexcept {
+  Magazine* acquire() EA_LOCK_NOEXCEPT {
     ThreadCache& tc = thread_cache();
     Magazine* free_slot = nullptr;
     for (Magazine& mag : tc.slots) {
@@ -94,7 +94,7 @@ class MagazineSet {
 
   // Total items cached across every registered magazine (exact when
   // quiescent). Never touches the items themselves.
-  std::size_t cached() const noexcept {
+  std::size_t cached() const EA_LOCK_NOEXCEPT EA_EXCLUDES(registry_lock_) {
     HleGuard guard(registry_lock_);
     std::size_t total = 0;
     for (Magazine* mag = magazines_; mag != nullptr;
@@ -107,8 +107,11 @@ class MagazineSet {
   // Evicts every registered magazine: drain(items, count) receives the
   // cached items, then the magazine is emptied and unlinked. Used by owner
   // destructors; must not race live acquire()/mutation (lifetime contract).
+  // Holds registry_lock_ (kMagazineRegistry) across the drain: a drain
+  // callback may only take locks of HIGHER rank (the POS drain pushes into
+  // free shards, kPosFree — ascending, checked under EA_LOCK_RANK).
   template <typename Drain>
-  void evict_all(Drain&& drain) {
+  void evict_all(Drain&& drain) EA_EXCLUDES(registry_lock_) {
     HleGuard guard(registry_lock_);
     for (Magazine* mag = magazines_; mag != nullptr;) {
       Magazine* next = mag->next_registered;
@@ -153,13 +156,15 @@ class MagazineSet {
     mag.owner.store(nullptr, std::memory_order_relaxed);
   }
 
-  void register_magazine(Magazine* mag) noexcept {
+  void register_magazine(Magazine* mag) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(registry_lock_) {
     HleGuard guard(registry_lock_);
     mag->next_registered = magazines_;
     magazines_ = mag;
   }
 
-  void deregister_magazine(Magazine* mag) noexcept {
+  void deregister_magazine(Magazine* mag) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(registry_lock_) {
     HleGuard guard(registry_lock_);
     Magazine** link = &magazines_;
     while (*link != nullptr) {
@@ -174,8 +179,8 @@ class MagazineSet {
 
   void* return_ctx_ = nullptr;
   ReturnFn return_fn_ = nullptr;
-  mutable HleSpinLock registry_lock_;
-  Magazine* magazines_ = nullptr;
+  mutable HleSpinLock registry_lock_{LockRank::kMagazineRegistry};
+  Magazine* magazines_ EA_GUARDED_BY(registry_lock_) = nullptr;
 };
 
 }  // namespace ea::concurrent

@@ -2,7 +2,7 @@
 
 namespace ea::concurrent {
 
-void Mbox::push(Node* n) noexcept {
+void Mbox::push(Node* n) EA_LOCK_NOEXCEPT {
   if (n == nullptr) return;
   n->next = nullptr;
   HleGuard guard(lock_);
@@ -17,7 +17,7 @@ void Mbox::push(Node* n) noexcept {
   count_.store(size_, std::memory_order_relaxed);
 }
 
-void Mbox::push_chain(Node* head, Node* tail, std::size_t n) noexcept {
+void Mbox::push_chain(Node* head, Node* tail, std::size_t n) EA_LOCK_NOEXCEPT {
   if (head == nullptr || tail == nullptr || n == 0) return;
   // The chain is still private here: fix up the links that don't depend on
   // the shared list outside the critical section.
@@ -35,7 +35,7 @@ void Mbox::push_chain(Node* head, Node* tail, std::size_t n) noexcept {
   count_.store(size_, std::memory_order_relaxed);
 }
 
-Node* Mbox::pop() noexcept {
+Node* Mbox::pop() EA_LOCK_NOEXCEPT {
   Node* n;
   {
     HleGuard guard(lock_);
@@ -55,7 +55,7 @@ Node* Mbox::pop() noexcept {
   return n;
 }
 
-std::size_t Mbox::pop_burst(Node** out, std::size_t max) noexcept {
+std::size_t Mbox::pop_burst(Node** out, std::size_t max) EA_LOCK_NOEXCEPT {
   if (out == nullptr || max == 0) return 0;
   Node* burst_head;
   std::size_t taken;

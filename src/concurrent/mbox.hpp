@@ -31,25 +31,27 @@ class alignas(64) Mbox {
   Mbox& operator=(const Mbox&) = delete;
 
   // Enqueues at the tail.
-  void push(Node* n) noexcept;
+  void push(Node* n) EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
 
   // Enqueues a chain of `n` nodes, linked head->...->tail via Node::next,
   // under one lock acquisition. The chain must be private to the caller
   // (no other thread may observe it) until push_chain returns; prev links
   // are fixed up here, outside the critical section. FIFO order of the
   // chain is preserved: head is dequeued first.
-  void push_chain(Node* head, Node* tail, std::size_t n) noexcept;
+  void push_chain(Node* head, Node* tail, std::size_t n) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(lock_);
 
   // Dequeues from the head; nullptr when empty (actors poll, they never
   // block — blocking would stall a worker and, inside an enclave, force an
   // expensive exit).
-  Node* pop() noexcept;
+  Node* pop() EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
 
   // Dequeues up to `max` nodes into `out` under one lock acquisition and
   // returns how many were dequeued (0 when empty). Order in `out` is the
   // FIFO dequeue order. When the burst drains the whole mailbox the list
   // head is detached in O(1); partial bursts walk the detached prefix.
-  std::size_t pop_burst(Node** out, std::size_t max) noexcept;
+  std::size_t pop_burst(Node** out, std::size_t max) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(lock_);
 
   // Non-destructive emptiness probe. Lock-free: reads a relaxed atomic
   // counter maintained by push/pop, so the hot poll loop of every actor
@@ -68,10 +70,12 @@ class alignas(64) Mbox {
   // head/tail/size share the next line (only touched under the lock); the
   // probe counter gets a third line so lock-free pollers never contend
   // with the list mutation traffic (no false sharing producer<->poller).
-  mutable HleSpinLock lock_;
-  Node* head_ = nullptr;
-  Node* tail_ = nullptr;
-  std::size_t size_ = 0;
+  // count_ is deliberately NOT guarded: it is the lock-free probe mirror
+  // (an atomic, so the thread-safety analysis permits unguarded access).
+  mutable HleSpinLock lock_{LockRank::kMbox};
+  Node* head_ EA_GUARDED_BY(lock_) = nullptr;
+  Node* tail_ EA_GUARDED_BY(lock_) = nullptr;
+  std::size_t size_ EA_GUARDED_BY(lock_) = 0;
   alignas(64) std::atomic<std::size_t> count_{0};
 };
 

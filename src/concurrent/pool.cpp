@@ -27,7 +27,7 @@ Pool::Pool(bool use_magazines) : use_magazines_(use_magazines) {
       });
 }
 
-void Pool::return_cached(Node** items, std::uint32_t count) noexcept {
+void Pool::return_cached(Node** items, std::uint32_t count) EA_LOCK_NOEXCEPT {
   if (count == 0) return;
   // Chain oldest-first so the shared top receives items[0], matching the
   // order flush() would have produced.
@@ -57,7 +57,7 @@ void Pool::adopt(NodeArena& arena) {
 
 // --- shared LIFO ------------------------------------------------------------
 
-Node* Pool::shared_get() noexcept {
+Node* Pool::shared_get() EA_LOCK_NOEXCEPT {
   Node* n;
   {
     HleGuard guard(lock_);
@@ -72,7 +72,7 @@ Node* Pool::shared_get() noexcept {
   return n;
 }
 
-void Pool::shared_put(Node* n) noexcept {
+void Pool::shared_put(Node* n) EA_LOCK_NOEXCEPT {
   HleGuard guard(lock_);
   n->next = top_;
   top_ = n;
@@ -80,7 +80,8 @@ void Pool::shared_put(Node* n) noexcept {
   shared_count_.store(size_, std::memory_order_relaxed);
 }
 
-void Pool::shared_put_chain(Node* head, Node* tail, std::size_t n) noexcept {
+void Pool::shared_put_chain(Node* head, Node* tail,
+                            std::size_t n) EA_LOCK_NOEXCEPT {
   if (head == nullptr || n == 0) return;
   HleGuard guard(lock_);
   tail->next = top_;
@@ -91,12 +92,12 @@ void Pool::shared_put_chain(Node* head, Node* tail, std::size_t n) noexcept {
 
 // --- magazine plumbing ------------------------------------------------------
 
-Pool::Magazine* Pool::magazine() noexcept {
+Pool::Magazine* Pool::magazine() EA_LOCK_NOEXCEPT {
   if (!use_magazines_) return nullptr;
   return magazines_.acquire();
 }
 
-std::uint32_t Pool::refill(Magazine& mag) noexcept {
+std::uint32_t Pool::refill(Magazine& mag) EA_LOCK_NOEXCEPT {
   // Detach up to kMagazineBatch nodes from the shared top under one lock
   // acquisition.
   Node* head;
@@ -129,7 +130,7 @@ std::uint32_t Pool::refill(Magazine& mag) noexcept {
   return taken;
 }
 
-void Pool::flush(Magazine& mag, std::uint32_t keep) noexcept {
+void Pool::flush(Magazine& mag, std::uint32_t keep) EA_LOCK_NOEXCEPT {
   std::uint32_t c = mag.count.load(std::memory_order_relaxed);
   if (c <= keep) return;
   std::uint32_t drop = c - keep;
@@ -150,7 +151,7 @@ void Pool::flush(Magazine& mag, std::uint32_t keep) noexcept {
 
 // --- public get/put ---------------------------------------------------------
 
-Node* Pool::get() noexcept {
+Node* Pool::get() EA_LOCK_NOEXCEPT {
   // Injected exhaustion: every get() caller must already handle a full
   // pool returning nullptr, so fault tests can force that path at will.
   if (EA_FAIL_TRIGGERED("pool.get.exhausted")) {
@@ -182,7 +183,7 @@ Node* Pool::get() noexcept {
   return n;
 }
 
-void Pool::put(Node* n) noexcept {
+void Pool::put(Node* n) EA_LOCK_NOEXCEPT {
   if (n == nullptr) return;
   Magazine* mag = magazine();
   if (mag != nullptr) {

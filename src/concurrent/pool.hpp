@@ -51,18 +51,18 @@ class alignas(64) Pool {
 
   // Adopts all nodes of `arena` into the pool and marks them as homed here.
   // Bypasses the magazines: one splice into the shared list.
-  void adopt(NodeArena& arena);
+  void adopt(NodeArena& arena) EA_EXCLUDES(lock_);
 
   // Pops a free node, or nullptr if the pool is exhausted. The node's size
   // is reset to 0 and its tag cleared (outside any lock). Steady state hits
   // the calling thread's magazine; misses refill kMagazineBatch nodes under
   // a single lock acquisition.
-  Node* get() noexcept;
+  Node* get() EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
 
   // Pushes a node back. The node must not be linked in any mbox. Steady
   // state hits the magazine; a full magazine flushes kMagazineBatch nodes
   // under a single lock acquisition.
-  void put(Node* n) noexcept;
+  void put(Node* n) EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
 
   // Approximate number of free nodes — shared list plus every registered
   // magazine (exact when quiescent). Never takes the free-list lock.
@@ -95,23 +95,26 @@ class alignas(64) Pool {
   // Shared-LIFO primitives; the critical section is a pointer swap plus a
   // counter update (the list is singly linked via Node::next — prev is
   // only maintained by mboxes).
-  Node* shared_get() noexcept;
-  void shared_put(Node* n) noexcept;
+  Node* shared_get() EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
+  void shared_put(Node* n) EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
   // Splices a private chain (linked via next) of `n` nodes; one lock op.
-  void shared_put_chain(Node* head, Node* tail, std::size_t n) noexcept;
+  void shared_put_chain(Node* head, Node* tail, std::size_t n)
+      EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
 
-  Magazine* magazine() noexcept;
-  std::uint32_t refill(Magazine& mag) noexcept;
-  void flush(Magazine& mag, std::uint32_t keep) noexcept;
+  Magazine* magazine() EA_LOCK_NOEXCEPT;
+  std::uint32_t refill(Magazine& mag) EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
+  void flush(Magazine& mag, std::uint32_t keep) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(lock_);
   // Thread-exit return path: splices a dying thread's cached nodes back
   // (MagazineSet::ReturnFn thunk target).
-  void return_cached(Node** items, std::uint32_t count) noexcept;
+  void return_cached(Node** items, std::uint32_t count) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(lock_);
 
   const bool use_magazines_;
 
-  mutable HleSpinLock lock_;
-  Node* top_ = nullptr;
-  std::size_t size_ = 0;  // shared-list population, under lock_
+  mutable HleSpinLock lock_{LockRank::kPoolShared};
+  Node* top_ EA_GUARDED_BY(lock_) = nullptr;
+  std::size_t size_ EA_GUARDED_BY(lock_) = 0;  // shared-list population
   // Lock-free probe mirror of size_ (relaxed; see Mbox::count_).
   alignas(64) std::atomic<std::size_t> shared_count_{0};
   std::atomic<std::size_t> capacity_{0};

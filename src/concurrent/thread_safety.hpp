@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis capability macros.
+//
+// Every hand-rolled HleSpinLock protocol in the runtime (mbox chains, pool
+// magazines, sharded POS free lists, socket tables, supervisor state) is a
+// correctness contract that, before this header existed, was only checked
+// when a TSan run happened to interleave the offending pair. These macros
+// move the contract to compile time: locks are *capabilities*, guarded
+// members are tagged with the capability that protects them, and functions
+// declare what they acquire, release or require. Build with
+// -DEA_THREAD_SAFETY=ON (clang only, see cmake/EaSanitize.cmake) and the
+// analysis runs under -Werror=thread-safety.
+//
+// On GCC (and any compiler without the attributes) every macro expands to
+// nothing — tests/thread_safety_test.cpp asserts the expansion is literally
+// empty so the annotations can never change codegen or layout.
+//
+// Conventions (DESIGN.md §13):
+//   * every HleSpinLock/HostMutex member is a named capability;
+//   * every member written under a lock carries EA_GUARDED_BY(lock);
+//   * functions with a "caller must hold X" contract carry EA_REQUIRES(X);
+//   * deliberately lock-free paths (probe counters, RCU-style walks under
+//     the POS grace contract) are marked EA_NO_THREAD_SAFETY_ANALYSIS and
+//     MUST carry an inline `// tsa: <why this is safe>` justification on
+//     the same or the preceding line — enclave-lint v2 fails the build
+//     otherwise (rule `tsa-unjustified`).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define EA_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef EA_THREAD_ANNOTATION__
+#define EA_THREAD_ANNOTATION__(x)
+#endif
+
+// Type-level: the class is a capability (a lock). The string names the
+// capability kind in diagnostics ("spinlock", "mutex").
+#define EA_CAPABILITY(x) EA_THREAD_ANNOTATION__(capability(x))
+
+// Type-level: RAII guard that acquires in its constructor and releases in
+// its destructor (HleGuard, HostMutexGuard).
+#define EA_SCOPED_CAPABILITY EA_THREAD_ANNOTATION__(scoped_lockable)
+
+// Member-level: reads/writes require holding the given capability.
+#define EA_GUARDED_BY(x) EA_THREAD_ANNOTATION__(guarded_by(x))
+
+// Member-level: the *pointee* is protected by the capability (the pointer
+// itself may be read freely, e.g. a null check before taking the lock).
+#define EA_PT_GUARDED_BY(x) EA_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Function-level: caller must already hold the capabilities.
+#define EA_REQUIRES(...) \
+  EA_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+// Function-level: acquires the capabilities (no args = `this`).
+#define EA_ACQUIRE(...) \
+  EA_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+// Function-level: releases the capabilities (no args = `this`).
+#define EA_RELEASE(...) \
+  EA_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+// Function-level: acquires iff the return value equals the first argument.
+#define EA_TRY_ACQUIRE(...) \
+  EA_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Function-level: caller must NOT hold the capabilities (deadlock guard for
+// non-reentrant locks — every HleSpinLock is non-reentrant).
+#define EA_EXCLUDES(...) EA_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Function-level: asserts the capability is held without acquiring it.
+#define EA_ASSERT_CAPABILITY(x) \
+  EA_THREAD_ANNOTATION__(assert_capability(x))
+
+// Function-level: the function returns a reference to the capability.
+#define EA_RETURN_CAPABILITY(x) EA_THREAD_ANNOTATION__(lock_returned(x))
+
+// Function-level opt-out. Reserved for protocols the analysis cannot
+// express (lock-free probes, grace-contract walks); enclave-lint v2
+// requires an adjacent `// tsa:` justification for every use.
+#define EA_NO_THREAD_SAFETY_ANALYSIS \
+  EA_THREAD_ANNOTATION__(no_thread_safety_analysis)

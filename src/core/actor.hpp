@@ -136,7 +136,7 @@ class Actor {
   }
 
   // Copy of the most recent failure record (empty `what` if none).
-  FailureInfo last_failure() const;
+  FailureInfo last_failure() const EA_EXCLUDES(failure_lock_);
 
  private:
   friend class Runtime;
@@ -147,7 +147,7 @@ class Actor {
   // Containment bookkeeping: stores the failure record and moves the actor
   // to Failed. Called by the worker (body), the runtime (construct) and the
   // supervisor (on_restart); never throws into the caller.
-  void record_failure(const char* what) noexcept;
+  void record_failure(const char* what) noexcept EA_EXCLUDES(failure_lock_);
 
   // Supervisor-side transitions (see the state machine above).
   bool begin_restart() noexcept;     // Failed -> Restarting (CAS)
@@ -168,9 +168,10 @@ class Actor {
   // supervisor above it to heal it.
   bool fault_exempt_ = false;
 
-  mutable concurrent::HleSpinLock failure_lock_;
-  std::string last_error_;                   // under failure_lock_
-  std::uint64_t last_failure_invocation_ = 0;  // under failure_lock_
+  mutable concurrent::HleSpinLock failure_lock_{
+      concurrent::LockRank::kActorFailure};
+  std::string last_error_ EA_GUARDED_BY(failure_lock_);
+  std::uint64_t last_failure_invocation_ EA_GUARDED_BY(failure_lock_) = 0;
 };
 
 // Runs one contained scheduling quantum of `actor`: skips it unless

@@ -133,7 +133,11 @@ class Channel {
   friend class ChannelEnd;
 
   // A batch frame being handed out message-by-message at one side. Owned by
-  // the receiving actor's thread (channel ends are point-to-point).
+  // the receiving actor's thread (channel ends are point-to-point), i.e.
+  // protected by thread affinity rather than a lock — a protocol the
+  // thread-safety analysis cannot express (DESIGN.md §13), so it stays
+  // unannotated and relies on the TSan matrix leg instead. The underlying
+  // mboxes carry their own capability annotations.
   struct PendingBatch {
     concurrent::NodeLease frame;
     std::uint32_t remaining = 0;

@@ -106,6 +106,12 @@ class SupervisorActor : public Actor {
   void watchdog(Watch& w);
   void prune_window(Watch& w, Clock::time_point now) const;
 
+  // All supervisor state below is single-threaded by construction: it is
+  // built during construct() (pre-start) and then touched only from body()
+  // on the supervisor's own worker — thread affinity, not a lock, so no
+  // capability annotations apply (DESIGN.md §13). Cross-thread reads of
+  // watched actors go through the atomics in core/actor.hpp; the actors'
+  // failure records are behind Actor::failure_lock_ (kActorFailure).
   Options options_;
   std::map<std::string, RestartPolicy> policies_;
   std::vector<std::string> ignored_;

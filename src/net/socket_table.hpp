@@ -19,15 +19,17 @@ using SocketId = std::int64_t;
 class SocketTable {
  public:
   // Registers a socket, returning its id.
-  SocketId add(Socket socket);
+  SocketId add(Socket socket) EA_EXCLUDES(lock_);
 
   // Looks up the raw fd for an id (shared across actors within the
   // process); -1 if closed/unknown.
-  int fd(SocketId id) const;
+  int fd(SocketId id) const EA_EXCLUDES(lock_);
 
-  // Runs `fn(socket&)` under the table lock if the socket exists.
+  // Runs `fn(socket&)` under the table lock if the socket exists. The
+  // callback runs with kSocketTable held: it may only take locks of
+  // HIGHER rank (in practice it performs raw socket ops and takes none).
   template <typename Fn>
-  bool with(SocketId id, Fn&& fn) {
+  bool with(SocketId id, Fn&& fn) EA_EXCLUDES(lock_) {
     concurrent::HleGuard guard(lock_);
     auto it = sockets_.find(id);
     if (it == sockets_.end()) return false;
@@ -36,14 +38,14 @@ class SocketTable {
   }
 
   // Closes and removes.
-  bool close(SocketId id);
+  bool close(SocketId id) EA_EXCLUDES(lock_);
 
-  std::size_t size() const;
+  std::size_t size() const EA_EXCLUDES(lock_);
 
  private:
-  mutable concurrent::HleSpinLock lock_;
-  std::map<SocketId, Socket> sockets_;
-  SocketId next_id_ = 1;
+  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kSocketTable};
+  std::map<SocketId, Socket> sockets_ EA_GUARDED_BY(lock_);
+  SocketId next_id_ EA_GUARDED_BY(lock_) = 1;
 };
 
 }  // namespace ea::net

@@ -208,6 +208,17 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
       std::make_unique<concurrent::HleSpinLock[]>(sb_->bucket_count);
   free_locks_ =
       std::make_unique<concurrent::HleSpinLock[]>(sb_->free_shard_count);
+  // Array construction cannot pass constructor arguments, so the locks are
+  // ranked post-construction — before the store is visible to any other
+  // thread. All buckets share kPosBucket and all shards share kPosFree:
+  // the runtime never nests two locks of the same family (each walk locks
+  // one bucket/shard at a time), so same-rank nesting stays forbidden.
+  for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
+    bucket_locks_[b].set_rank(concurrent::LockRank::kPosBucket);
+  }
+  for (std::uint32_t s = 0; s < sb_->free_shard_count; ++s) {
+    free_locks_[s].set_rank(concurrent::LockRank::kPosFree);
+  }
 
   use_magazines_ =
       options_.magazines < 0 ? magazines_enabled() : options_.magazines != 0;
@@ -324,7 +335,7 @@ std::uint32_t Pos::home_shard() const noexcept {
 // which integrity_error() deliberately tolerates.
 
 std::uint32_t Pos::shard_pop(std::uint32_t s, std::uint64_t* out,
-                             std::uint32_t max) noexcept {
+                             std::uint32_t max) EA_LOCK_NOEXCEPT {
   concurrent::HleGuard guard(free_locks_[s]);
   std::uint32_t taken = 0;
   std::uint64_t cur = free_head(s).load(std::memory_order_relaxed);
@@ -337,7 +348,7 @@ std::uint32_t Pos::shard_pop(std::uint32_t s, std::uint64_t* out,
 }
 
 void Pos::shard_push_chain(std::uint32_t s, std::uint64_t head,
-                           std::uint64_t tail) noexcept {
+                           std::uint64_t tail) EA_LOCK_NOEXCEPT {
   concurrent::HleGuard guard(free_locks_[s]);
   entry_at(tail)->next.store(free_head(s).load(std::memory_order_relaxed),
                              std::memory_order_relaxed);
@@ -345,7 +356,7 @@ void Pos::shard_push_chain(std::uint32_t s, std::uint64_t head,
 }
 
 std::uint32_t Pos::pop_or_steal(std::uint64_t* out,
-                                std::uint32_t max) noexcept {
+                                std::uint32_t max) EA_LOCK_NOEXCEPT {
   const std::uint32_t shards = sb_->free_shard_count;
   const std::uint32_t home = home_shard();
   std::uint32_t got = shard_pop(home, out, max);
@@ -362,7 +373,8 @@ std::uint32_t Pos::pop_or_steal(std::uint64_t* out,
   return 0;
 }
 
-std::uint32_t Pos::pop_striped(std::uint64_t* out, std::uint32_t max) noexcept {
+std::uint32_t Pos::pop_striped(std::uint64_t* out,
+                               std::uint32_t max) EA_LOCK_NOEXCEPT {
   const std::uint32_t shards = sb_->free_shard_count;
   const std::uint32_t home = home_shard();
   // Hint pass, no locks held: guess every shard's top and start its cache
@@ -401,7 +413,7 @@ std::uint32_t Pos::pop_striped(std::uint64_t* out, std::uint32_t max) noexcept {
   return got;
 }
 
-std::uint32_t Pos::magazine_refill(Magazine& mag) noexcept {
+std::uint32_t Pos::magazine_refill(Magazine& mag) EA_LOCK_NOEXCEPT {
   std::uint64_t batch[kPosMagazineBatch];
   const std::uint32_t got = pop_striped(
       batch, static_cast<std::uint32_t>(kPosMagazineBatch));
@@ -415,7 +427,7 @@ std::uint32_t Pos::magazine_refill(Magazine& mag) noexcept {
 }
 
 void Pos::magazine_return(const std::uint64_t* items,
-                          std::uint32_t count) noexcept {
+                          std::uint32_t count) EA_LOCK_NOEXCEPT {
   if (count == 0) return;
   // Kill-point: the magazine's entries are about to rejoin a shard list;
   // until the splice lands they are unreachable, so a crash here (thread
@@ -435,7 +447,7 @@ void Pos::magazine_return(const std::uint64_t* items,
   shard_push_chain(home_shard(), head, tail);
 }
 
-std::uint64_t Pos::alloc_entry() noexcept {
+std::uint64_t Pos::alloc_entry() EA_LOCK_NOEXCEPT {
   if (use_magazines_) {
     Magazine* mag = magazines_.acquire();
     if (mag != nullptr) {
@@ -818,7 +830,12 @@ PosStats Pos::stats() const {
     }
   }
   stats.in_magazine = magazines_.cached();
-  stats.limbo = limbo_.size();
+  {
+    // limbo_ is guarded by limbo_lock_ (kPosLimbo); the snapshot read must
+    // hold it like every other access so the capability annotation holds.
+    concurrent::HleGuard limbo_guard(limbo_lock_);
+    stats.limbo = limbo_.size();
+  }
   return stats;
 }
 

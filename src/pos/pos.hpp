@@ -136,8 +136,11 @@ class Pos {
   // One cleaner step: frees the previous round's limbo entries if the grace
   // period has passed (returning them to one free shard as a single batch),
   // then gathers newly outdated entries. Returns the number of entries
-  // freed. Typically driven by CleanerActor.
-  std::size_t clean_step();
+  // freed. Typically driven by CleanerActor. Holds limbo_lock_ (kPosLimbo)
+  // for the whole step, nesting bucket locks (kPosBucket) during the
+  // gather and free-shard locks (kPosFree) during the batched return —
+  // the canonical ascending chain of the lock-rank table.
+  std::size_t clean_step() EA_EXCLUDES(limbo_lock_);
 
   // Flushes the mapping to the backing file (no-op for anonymous mappings).
   // Bumps the superblock epoch first, so a flushed image is distinguishable
@@ -184,23 +187,25 @@ class Pos {
   // Pops up to `max` entries from shard `s` into out[]; out[0] is the
   // shard's (hottest) top. Returns the number taken.
   std::uint32_t shard_pop(std::uint32_t s, std::uint64_t* out,
-                          std::uint32_t max) noexcept;
+                          std::uint32_t max) EA_LOCK_NOEXCEPT;
   // Splices a pre-linked chain (head..tail via Entry::next) onto shard `s`.
   void shard_push_chain(std::uint32_t s, std::uint64_t head,
-                        std::uint64_t tail) noexcept;
+                        std::uint64_t tail) EA_LOCK_NOEXCEPT;
   // Pops from the home shard, stealing a batch from the other shards when
   // it runs dry. Fills out[]; returns the number taken.
-  std::uint32_t pop_or_steal(std::uint64_t* out, std::uint32_t max) noexcept;
+  std::uint32_t pop_or_steal(std::uint64_t* out,
+                             std::uint32_t max) EA_LOCK_NOEXCEPT;
   // Batch pop for magazine refills: spreads the pops across the shards
   // (home first, prefetching each shard's guessed top before locking) so
   // the chain-top misses of independent lists overlap instead of
   // serialising down a single list.
-  std::uint32_t pop_striped(std::uint64_t* out, std::uint32_t max) noexcept;
+  std::uint32_t pop_striped(std::uint64_t* out,
+                            std::uint32_t max) EA_LOCK_NOEXCEPT;
 
-  std::uint64_t alloc_entry() noexcept;  // 0 when exhausted
-  std::uint32_t magazine_refill(Magazine& mag) noexcept;
+  std::uint64_t alloc_entry() EA_LOCK_NOEXCEPT;  // 0 when exhausted
+  std::uint32_t magazine_refill(Magazine& mag) EA_LOCK_NOEXCEPT;
   void magazine_return(const std::uint64_t* items,
-                       std::uint32_t count) noexcept;
+                       std::uint32_t count) EA_LOCK_NOEXCEPT;
   void init_fresh();
   void validate_existing();
 
@@ -214,17 +219,20 @@ class Pos {
   bool use_magazines_ = false;
 
   // In-RAM (per-process) concurrency control; the on-file structures hold
-  // only offsets and data.
+  // only offsets and data. The lock arrays are ranked kPosBucket/kPosFree
+  // post-construction (the thread-safety analysis cannot express
+  // per-element array guarding, so the bucket/free-list structures rely on
+  // the runtime rank checker plus TSan rather than EA_GUARDED_BY).
   std::unique_ptr<concurrent::HleSpinLock[]> bucket_locks_;
   std::unique_ptr<concurrent::HleSpinLock[]> free_locks_;
-  concurrent::HleSpinLock limbo_lock_;
+  mutable concurrent::HleSpinLock limbo_lock_{concurrent::LockRank::kPosLimbo};
 
   Magazines magazines_;
 
   // Reclamation state (process-local; a crash simply leaves outdated
   // entries for the next incarnation's cleaner).
-  std::vector<std::uint64_t> limbo_;
-  std::vector<std::uint64_t> limbo_snapshot_;
+  std::vector<std::uint64_t> limbo_ EA_GUARDED_BY(limbo_lock_);
+  std::vector<std::uint64_t> limbo_snapshot_ EA_GUARDED_BY(limbo_lock_);
   std::atomic<std::size_t> reader_slots_{0};
   // Round-robin target shard for the cleaner's batched returns.
   std::atomic<std::uint32_t> clean_rr_{0};

@@ -32,7 +32,7 @@ Enclave& EnclaveManager::create(std::string name, std::uint64_t base_bytes) {
   enclave->add_committed(base_bytes);
   Enclave& ref = *enclave;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    HostMutexGuard lock(mu_);
     by_id_.emplace(id, enclave.get());
     enclaves_.push_back(std::move(enclave));
   }
@@ -43,7 +43,7 @@ Enclave& EnclaveManager::create(std::string name, std::uint64_t base_bytes) {
 
 Enclave* EnclaveManager::find(EnclaveId id) noexcept {
   if (id == kUntrusted) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   auto it = by_id_.find(id);
   return it == by_id_.end() ? nullptr : it->second;
 }
@@ -55,7 +55,7 @@ std::uint64_t EnclaveManager::total_committed_locked() const noexcept {
 }
 
 std::uint64_t EnclaveManager::total_committed() const noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   return total_committed_locked();
 }
 
@@ -64,7 +64,7 @@ std::uint64_t EnclaveManager::overflow_pages() const noexcept {
   // section keeps the answer consistent with the enclave set it saw.
   std::uint64_t total;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    HostMutexGuard lock(mu_);
     total = total_committed_locked();
   }
   std::uint64_t usable = cost_model().epc_usable_bytes;
@@ -73,12 +73,12 @@ std::uint64_t EnclaveManager::overflow_pages() const noexcept {
 }
 
 std::size_t EnclaveManager::enclave_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   return enclaves_.size();
 }
 
 void EnclaveManager::reset_for_testing() {
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   by_id_.clear();
   enclaves_.clear();
   next_id_.store(1, std::memory_order_relaxed);

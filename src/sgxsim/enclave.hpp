@@ -9,12 +9,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "sgxsim/host_mutex.hpp"
 
 namespace ea::sgxsim {
 
@@ -92,14 +92,15 @@ class EnclaveManager {
  private:
   EnclaveManager();
 
-  // Sums committed bytes across enclaves; caller must hold mu_.
-  std::uint64_t total_committed_locked() const noexcept;
+  // Sums committed bytes across enclaves; caller must hold mu_ — the
+  // thread-safety analysis enforces exactly that contract.
+  std::uint64_t total_committed_locked() const noexcept EA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Enclave>> enclaves_;
+  mutable HostMutex mu_{concurrent::LockRank::kEnclaveManager};
+  std::vector<std::unique_ptr<Enclave>> enclaves_ EA_GUARDED_BY(mu_);
   // id -> enclave index for O(1) find(); entries live exactly as long as
   // the owning unique_ptr in enclaves_.
-  std::unordered_map<EnclaveId, Enclave*> by_id_;
+  std::unordered_map<EnclaveId, Enclave*> by_id_ EA_GUARDED_BY(mu_);
   std::atomic<EnclaveId> next_id_{1};
   std::array<std::uint8_t, 32> device_root_key_{};
 };

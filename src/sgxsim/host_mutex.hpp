@@ -1,0 +1,62 @@
+// Annotated host-side mutex.
+//
+// The sgxsim management services (EnclaveManager, MonotonicCounterService)
+// run on the untrusted host, where a sleeping OS mutex is the right tool —
+// but libstdc++'s std::mutex carries no Clang Thread Safety attributes, so
+// members it protects could not be EA_GUARDED_BY. HostMutex wraps
+// std::mutex as a proper capability and feeds the same lock-rank checker
+// as HleSpinLock (concurrent/lock_rank.hpp), so host-side acquisitions
+// participate in the global acquisition order under -DEA_LOCK_RANK=ON.
+//
+// Never use this in trusted-capable modules: blocking in the kernel forces
+// an enclave exit (enclave-lint rule `mutex-blocking-sync`). Hence the
+// placement in sgxsim/, an untrusted module.
+#pragma once
+
+#include <mutex>
+
+#include "concurrent/lock_rank.hpp"
+#include "concurrent/thread_safety.hpp"
+
+namespace ea::sgxsim {
+
+class EA_CAPABILITY("mutex") HostMutex {
+ public:
+  HostMutex() = default;
+  explicit HostMutex(concurrent::LockRank rank) noexcept : rank_(rank) {}
+  HostMutex(const HostMutex&) = delete;
+  HostMutex& operator=(const HostMutex&) = delete;
+
+  void lock() EA_ACQUIRE() {
+    // Rank check first (throws on violation, leaving the mutex untouched);
+    // compiles to nothing outside EA_LOCK_RANK builds.
+    concurrent::lock_rank::note_acquire(rank_);
+    mu_.lock();
+  }
+
+  void unlock() noexcept EA_RELEASE() {
+    mu_.unlock();
+    concurrent::lock_rank::note_release(rank_);
+  }
+
+ private:
+  std::mutex mu_;
+  concurrent::LockRank rank_ = concurrent::LockRank::kUnranked;
+};
+
+// RAII guard, the std::lock_guard of HostMutex; a scoped capability like
+// concurrent::HleGuard.
+class EA_SCOPED_CAPABILITY HostMutexGuard {
+ public:
+  explicit HostMutexGuard(HostMutex& mu) EA_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~HostMutexGuard() EA_RELEASE() { mu_.unlock(); }
+  HostMutexGuard(const HostMutexGuard&) = delete;
+  HostMutexGuard& operator=(const HostMutexGuard&) = delete;
+
+ private:
+  HostMutex& mu_;
+};
+
+}  // namespace ea::sgxsim

@@ -11,19 +11,19 @@ MonotonicCounterService& MonotonicCounterService::instance() {
 
 std::uint64_t MonotonicCounterService::read(const Enclave& enclave,
                                             std::uint32_t slot) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   auto it = counters_.find({enclave.measurement(), slot});
   return it == counters_.end() ? 0 : it->second;
 }
 
 std::uint64_t MonotonicCounterService::increment(const Enclave& enclave,
                                                  std::uint32_t slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   return ++counters_[{enclave.measurement(), slot}];
 }
 
 void MonotonicCounterService::reset_for_testing() {
-  std::lock_guard<std::mutex> lock(mu_);
+  HostMutexGuard lock(mu_);
   counters_.clear();
 }
 

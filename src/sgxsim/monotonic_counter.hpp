@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <span>
 
 #include "sgxsim/enclave.hpp"
+#include "sgxsim/host_mutex.hpp"
 #include "util/bytes.hpp"
 
 namespace ea::sgxsim {
@@ -27,17 +27,19 @@ class MonotonicCounterService {
   // Creates (or returns) counter `slot` for the enclave. Counters are
   // namespaced by enclave *measurement*, so a different enclave identity
   // cannot touch them.
-  std::uint64_t read(const Enclave& enclave, std::uint32_t slot) const;
+  std::uint64_t read(const Enclave& enclave, std::uint32_t slot) const
+      EA_EXCLUDES(mu_);
 
   // Increments and returns the new value.
-  std::uint64_t increment(const Enclave& enclave, std::uint32_t slot);
+  std::uint64_t increment(const Enclave& enclave, std::uint32_t slot)
+      EA_EXCLUDES(mu_);
 
-  void reset_for_testing();
+  void reset_for_testing() EA_EXCLUDES(mu_);
 
  private:
   using Key = std::pair<crypto::Sha256Digest, std::uint32_t>;
-  mutable std::mutex mu_;
-  std::map<Key, std::uint64_t> counters_;
+  mutable HostMutex mu_{concurrent::LockRank::kMonotonicCounter};
+  std::map<Key, std::uint64_t> counters_ EA_GUARDED_BY(mu_);
 };
 
 // Seals `plaintext` bound to the *next* value of counter `slot` (the

@@ -10,6 +10,9 @@
 namespace ea::sgxsim {
 
 void SgxMutex::lock() {
+  // Participates in the global lock-rank order like the runtime's own
+  // locks (no-op outside EA_LOCK_RANK builds).
+  concurrent::lock_rank::note_acquire(concurrent::LockRank::kSgxMutex);
   // Fast path + bounded spin, exactly what sgx_thread_mutex_lock does
   // before giving up and performing the sleep OCall.
   const std::uint64_t spin_budget = cost_model().mutex_spin_iterations;
@@ -41,6 +44,7 @@ void SgxMutex::lock() {
 }
 
 void SgxMutex::unlock() {
+  concurrent::lock_rank::note_release(concurrent::LockRank::kSgxMutex);
   int prev = state_.exchange(0, std::memory_order_release);
   if (prev == 2) {
     // There may be sleepers; waking them is again an OCall from inside.

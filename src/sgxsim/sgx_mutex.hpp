@@ -14,16 +14,19 @@
 #include <cstdint>
 #include <mutex>
 
+#include "concurrent/lock_rank.hpp"
+#include "concurrent/thread_safety.hpp"
+
 namespace ea::sgxsim {
 
-class SgxMutex {
+class EA_CAPABILITY("mutex") SgxMutex {
  public:
   SgxMutex() = default;
   SgxMutex(const SgxMutex&) = delete;
   SgxMutex& operator=(const SgxMutex&) = delete;
 
-  void lock();
-  void unlock();
+  void lock() EA_ACQUIRE();
+  void unlock() EA_RELEASE();
 
   // Diagnostics: how many times lock() had to leave the enclave to sleep.
   std::uint64_t enclave_exits() const noexcept {
@@ -33,6 +36,8 @@ class SgxMutex {
  private:
   std::atomic<int> state_{0};  // 0 free, 1 locked, 2 locked with waiters
   std::atomic<std::uint64_t> exits_{0};
+  // Internal sleep rendezvous, only ever taken while *acquiring* this
+  // mutex; unranked because it is invisible outside the class.
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
 };

@@ -47,26 +47,28 @@ struct Route {
 
 class Directory {
  public:
-  void put(const std::string& jid, Route route);
-  std::optional<Route> get(const std::string& jid) const;
-  void remove(const std::string& jid);
-  std::size_t size() const;
+  void put(const std::string& jid, Route route) EA_EXCLUDES(lock_);
+  std::optional<Route> get(const std::string& jid) const EA_EXCLUDES(lock_);
+  void remove(const std::string& jid) EA_EXCLUDES(lock_);
+  std::size_t size() const EA_EXCLUDES(lock_);
 
  private:
-  mutable concurrent::HleSpinLock lock_;
-  std::map<std::string, Route> users_;
+  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kXmppDirectory};
+  std::map<std::string, Route> users_ EA_GUARDED_BY(lock_);
 };
 
 class RoomTable {
  public:
   // Adds a member (idempotent).
-  void join(const std::string& room, const std::string& jid);
-  void leave_all(const std::string& jid);
-  std::vector<std::string> members(const std::string& room) const;
+  void join(const std::string& room, const std::string& jid)
+      EA_EXCLUDES(lock_);
+  void leave_all(const std::string& jid) EA_EXCLUDES(lock_);
+  std::vector<std::string> members(const std::string& room) const
+      EA_EXCLUDES(lock_);
 
  private:
-  mutable concurrent::HleSpinLock lock_;
-  std::map<std::string, std::vector<std::string>> rooms_;
+  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kXmppRooms};
+  std::map<std::string, std::vector<std::string>> rooms_ EA_GUARDED_BY(lock_);
 };
 
 // Contact lists: who wants presence updates about whom. A watcher adds a
@@ -74,15 +76,20 @@ class RoomTable {
 // (dis)connects, every online watcher receives a presence stanza.
 class RosterTable {
  public:
-  void add(const std::string& watcher, const std::string& contact);
+  void add(const std::string& watcher, const std::string& contact)
+      EA_EXCLUDES(lock_);
   // Watchers interested in `contact`.
-  std::vector<std::string> watchers_of(const std::string& contact) const;
-  std::vector<std::string> contacts_of(const std::string& watcher) const;
+  std::vector<std::string> watchers_of(const std::string& contact) const
+      EA_EXCLUDES(lock_);
+  std::vector<std::string> contacts_of(const std::string& watcher) const
+      EA_EXCLUDES(lock_);
 
  private:
-  mutable concurrent::HleSpinLock lock_;
-  std::map<std::string, std::vector<std::string>> watchers_by_contact_;
-  std::map<std::string, std::vector<std::string>> contacts_by_watcher_;
+  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kXmppRoster};
+  std::map<std::string, std::vector<std::string>> watchers_by_contact_
+      EA_GUARDED_BY(lock_);
+  std::map<std::string, std::vector<std::string>> contacts_by_watcher_
+      EA_GUARDED_BY(lock_);
 };
 
 struct XmppShared {
@@ -112,15 +119,23 @@ struct XmppShared {
   // instances (the application-data role the paper gives the POS in §4.1).
   // Messages to users that are not connected are stored and delivered when
   // the user authenticates.
+  // offline_lock (kXmppOffline) serialises spool/drain and is held ACROSS
+  // the EncryptedPos calls, which take the POS bucket/free locks — an
+  // intentional outer→inner nesting that the lock-rank table orders
+  // (kXmppOffline < kPosBucket/kPosFree). The pointee is guarded; the
+  // pointer itself may be null-checked lock-free.
   std::unique_ptr<pos::Pos> offline_pos;
-  std::unique_ptr<pos::EncryptedPos> offline_store;
-  concurrent::HleSpinLock offline_lock;
+  std::unique_ptr<pos::EncryptedPos> offline_store
+      EA_PT_GUARDED_BY(offline_lock);
+  concurrent::HleSpinLock offline_lock{concurrent::LockRank::kXmppOffline};
   static constexpr std::uint32_t kMaxOfflinePerUser = 64;
 
   // Spools `wire` for `jid`; false when the store is absent or full.
-  bool spool_offline(const std::string& jid, std::string_view wire);
+  bool spool_offline(const std::string& jid, std::string_view wire)
+      EA_EXCLUDES(offline_lock);
   // Pops every spooled message for `jid` in arrival order.
-  std::vector<std::string> drain_offline(const std::string& jid);
+  std::vector<std::string> drain_offline(const std::string& jid)
+      EA_EXCLUDES(offline_lock);
 
   int room_owner(const std::string& room) const;
 

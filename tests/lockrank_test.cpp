@@ -1,0 +1,243 @@
+// Lock-rank runtime checker tests (ctest label: lockrank).
+//
+// The deadlock regression at the heart of the suite: two threads acquiring
+// two locks in opposite orders. Without the checker that schedule deadlocks
+// only when the interleaving is unlucky; with EA_LOCK_RANK=ON the inverted
+// acquisition is caught DETERMINISTICALLY — note_acquire() compares ranks
+// before the lock ever spins, so the violation fires on every run of every
+// schedule, not just the ones that interleave badly.
+//
+// In tier-1 builds (EA_LOCK_RANK off) the checker compiles away; the suite
+// then only asserts the no-op stubs and skips the rest.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "concurrent/hle_lock.hpp"
+#include "concurrent/lock_rank.hpp"
+#include "core/actor.hpp"
+#include "core/runtime.hpp"
+#include "core/supervisor.hpp"
+
+namespace ea {
+namespace {
+
+using concurrent::HleGuard;
+using concurrent::HleSpinLock;
+using concurrent::LockRank;
+using concurrent::LockRankError;
+
+#if !defined(EA_LOCK_RANK)
+
+TEST(LockRank, CheckerCompiledOut) {
+  // Release builds: the stubs must exist, do nothing, and cost nothing to
+  // call — lock() keeps its noexcept in this configuration.
+  concurrent::lock_rank::note_acquire(LockRank::kMbox);
+  EXPECT_EQ(concurrent::lock_rank::violations(), 0u);
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 0);
+  HleSpinLock lock(LockRank::kMbox);
+  static_assert(noexcept(lock.lock()));
+  GTEST_SKIP() << "EA_LOCK_RANK is off; checker behaviour not testable";
+}
+
+#else  // EA_LOCK_RANK
+
+// Counts violations instead of throwing, so a test can let the acquisition
+// proceed and inspect what was reported.
+std::atomic<int> g_counted{0};
+concurrent::LockRankViolation g_last{LockRank::kUnranked, LockRank::kUnranked};
+
+void counting_handler(const concurrent::LockRankViolation& v) {
+  g_last = v;
+  g_counted.fetch_add(1, std::memory_order_relaxed);
+}
+
+class ScopedHandler {
+ public:
+  explicit ScopedHandler(concurrent::lock_rank::Handler h)
+      : prev_(concurrent::lock_rank::set_violation_handler(h)) {}
+  ~ScopedHandler() { concurrent::lock_rank::set_violation_handler(prev_); }
+
+ private:
+  concurrent::lock_rank::Handler prev_;
+};
+
+TEST(LockRank, AscendingOrderIsClean) {
+  const auto before = concurrent::lock_rank::violations();
+  HleSpinLock low(LockRank::kMbox);
+  HleSpinLock high(LockRank::kPosFree);
+  {
+    HleGuard a(low);
+    HleGuard b(high);
+    EXPECT_EQ(concurrent::lock_rank::held_count(), 2);
+  }
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 0);
+  EXPECT_EQ(concurrent::lock_rank::violations(), before);
+}
+
+TEST(LockRank, InvertedOrderThrowsDeterministically) {
+  HleSpinLock low(LockRank::kMbox);
+  HleSpinLock high(LockRank::kPosFree);
+  const auto before = concurrent::lock_rank::violations();
+  high.lock();
+  EXPECT_THROW({ HleGuard inner(low); }, LockRankError);
+  // The throw happened before the inner lock was touched: the outer lock is
+  // still held (and tracked), the inner one is free.
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 1);
+  high.unlock();
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 0);
+  EXPECT_EQ(concurrent::lock_rank::violations(), before + 1);
+  // The inner lock was left untouched by the contained violation.
+  { HleGuard reacquire(low); }
+}
+
+TEST(LockRank, SameRankNestingIsForbidden) {
+  // Two POS bucket locks: the runtime locks one bucket at a time, so
+  // holding two is a protocol break even though no rank descends.
+  HleSpinLock a(LockRank::kPosBucket);
+  HleSpinLock b(LockRank::kPosBucket);
+  HleGuard outer(a);
+  EXPECT_THROW({ HleGuard inner(b); }, LockRankError);
+}
+
+TEST(LockRank, UnrankedLocksAreExemptAndUntracked) {
+  HleSpinLock ranked(LockRank::kPosFree);
+  HleSpinLock unranked;  // kUnranked by default
+  HleGuard outer(ranked);
+  // Acquiring an unranked lock under a high rank is permitted (opt-out),
+  // and it never enters the held stack.
+  HleGuard inner(unranked);
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 1);
+}
+
+TEST(LockRank, ReleaseRestoresHeadroom) {
+  HleSpinLock low(LockRank::kMbox);
+  HleSpinLock high(LockRank::kPosFree);
+  {
+    HleGuard a(low);
+    { HleGuard b(high); }
+    // high released: its rank must be popped, so re-acquiring it (or any
+    // rank above kMbox) is legal again.
+    HleGuard b2(high);
+    EXPECT_EQ(concurrent::lock_rank::held_count(), 2);
+  }
+}
+
+// The two-thread deadlock regression. Thread A takes low→high (legal),
+// thread B takes high→low (the inversion that could deadlock against A).
+// B's violation fires on its first inverted acquisition in EVERY
+// interleaving: detection needs no unlucky schedule, because the check is
+// against B's own held stack, not against what A happens to hold.
+TEST(LockRank, TwoThreadInversionCaughtInEveryInterleaving) {
+  HleSpinLock low(LockRank::kMbox);
+  HleSpinLock high(LockRank::kPosFree);
+  std::atomic<int> caught{0};
+  std::atomic<int> clean_passes{0};
+
+  std::thread legal([&] {
+    for (int i = 0; i < 1000; ++i) {
+      HleGuard a(low);
+      HleGuard b(high);
+      clean_passes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread inverted([&] {
+    for (int i = 0; i < 1000; ++i) {
+      high.lock();
+      try {
+        HleGuard inner(low);  // would deadlock against `legal` eventually
+      } catch (const LockRankError&) {
+        caught.fetch_add(1, std::memory_order_relaxed);
+      }
+      high.unlock();
+    }
+  });
+  legal.join();
+  inverted.join();
+
+  // Deterministic: every single inverted attempt was caught, and the legal
+  // thread was never flagged.
+  EXPECT_EQ(caught.load(), 1000);
+  EXPECT_EQ(clean_passes.load(), 1000);
+}
+
+TEST(LockRank, CountingHandlerObservesRanks) {
+  ScopedHandler guard(&counting_handler);
+  g_counted.store(0);
+  HleSpinLock low(LockRank::kMbox);
+  HleSpinLock high(LockRank::kPosFree);
+  {
+    HleGuard outer(high);
+    // With a returning handler the acquisition proceeds (and is tracked),
+    // letting tests observe the reported pair.
+    HleGuard inner(low);
+    EXPECT_EQ(concurrent::lock_rank::held_count(), 2);
+  }
+  EXPECT_EQ(g_counted.load(), 1);
+  EXPECT_EQ(g_last.held, LockRank::kPosFree);
+  EXPECT_EQ(g_last.acquiring, LockRank::kMbox);
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 0);
+}
+
+TEST(LockRank, RankNamesCoverTable) {
+  EXPECT_STREQ(lock_rank_name(LockRank::kPosBucket), "kPosBucket");
+  EXPECT_STREQ(lock_rank_name(LockRank::kMagazineRegistry),
+               "kMagazineRegistry");
+  EXPECT_STREQ(lock_rank_name(static_cast<LockRank>(255)), "kUnknown");
+}
+
+// The violation "aborts via supervisor": an actor whose body performs an
+// inverted acquisition fails like any other throwing body — the worker
+// contains LockRankError, the supervisor restarts the actor, the process
+// never dies. This is the contract that makes running the checker inside
+// the full fault matrix safe.
+struct InvertedLockActor : core::Actor {
+  using core::Actor::Actor;
+  std::atomic<bool> invert{false};
+  HleSpinLock low{LockRank::kMbox};
+  HleSpinLock high{LockRank::kPosFree};
+
+  bool body() override {
+    if (invert.load(std::memory_order_relaxed)) {
+      invert.store(false, std::memory_order_relaxed);
+      HleGuard outer(high);
+      HleGuard inner(low);  // throws LockRankError
+    }
+    return true;
+  }
+};
+
+TEST(LockRank, ViolationIsContainedAndActorRestarts) {
+  core::Runtime rt;
+  auto& actor = static_cast<InvertedLockActor&>(
+      rt.add_actor(std::make_unique<InvertedLockActor>("inverter")));
+  core::SupervisorActor::Options opts;
+  opts.sweep_interval_us = 0;
+  opts.default_policy.backoff = core::BackoffPolicy{0, 0, 2, 0};
+  auto& sup = static_cast<core::SupervisorActor&>(
+      rt.add_actor(std::make_unique<core::SupervisorActor>("sup", opts)));
+  rt.start();
+
+  actor.invert.store(true);
+  EXPECT_FALSE(core::invoke_contained(actor));
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kFailed);
+  // The guard unwound: no ranks stay held on this thread, and the failure
+  // record names the rank pair.
+  EXPECT_EQ(concurrent::lock_rank::held_count(), 0);
+  EXPECT_NE(actor.last_failure().what.find("lock-rank violation"),
+            std::string::npos);
+
+  sup.body();  // schedules the restart (zero backoff)
+  sup.body();  // performs it
+  EXPECT_EQ(actor.lifecycle(), core::ActorState::kRunnable);
+  EXPECT_TRUE(core::invoke_contained(actor));
+  rt.stop();
+}
+
+#endif  // EA_LOCK_RANK
+
+}  // namespace
+}  // namespace ea

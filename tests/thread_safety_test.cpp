@@ -1,0 +1,135 @@
+// Thread-safety annotation no-op proof.
+//
+// The EA_* capability macros (concurrent/thread_safety.hpp) carry the Clang
+// Thread Safety Analysis in -DEA_THREAD_SAFETY=ON builds; everywhere else
+// they MUST vanish without a trace — no tokens, no codegen, no layout
+// change — or annotating the hot-path locks would not be free. This suite
+// proves the "vanish" half on GCC (and any non-clang compiler) by
+// stringifying the macro expansions and asserting they are empty, and
+// proves on every compiler that annotated code compiles and behaves.
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "concurrent/hle_lock.hpp"
+#include "concurrent/thread_safety.hpp"
+
+namespace ea {
+namespace {
+
+// Double indirection so the macro argument is macro-expanded BEFORE being
+// stringified: EA_TS_STR(EA_GUARDED_BY(x)) sees the post-expansion tokens.
+#define EA_TS_STR_IMPL(...) #__VA_ARGS__
+#define EA_TS_STR(...) EA_TS_STR_IMPL(__VA_ARGS__)
+
+#if !defined(__clang__)
+// On GCC every annotation macro must expand to zero tokens: the stringified
+// expansion is the empty string (sizeof 1 == just the NUL terminator).
+static_assert(sizeof(EA_TS_STR(EA_CAPABILITY("spinlock"))) == 1,
+              "EA_CAPABILITY must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_SCOPED_CAPABILITY)) == 1,
+              "EA_SCOPED_CAPABILITY must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_GUARDED_BY(lock_))) == 1,
+              "EA_GUARDED_BY must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_PT_GUARDED_BY(lock_))) == 1,
+              "EA_PT_GUARDED_BY must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_REQUIRES(lock_))) == 1,
+              "EA_REQUIRES must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_REQUIRES(a_, b_))) == 1,
+              "variadic EA_REQUIRES must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_ACQUIRE())) == 1,
+              "EA_ACQUIRE must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_RELEASE())) == 1,
+              "EA_RELEASE must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_TRY_ACQUIRE(true, lock_))) == 1,
+              "EA_TRY_ACQUIRE must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_EXCLUDES(lock_))) == 1,
+              "EA_EXCLUDES must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_ASSERT_CAPABILITY(lock_))) == 1,
+              "EA_ASSERT_CAPABILITY must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_RETURN_CAPABILITY(lock_))) == 1,
+              "EA_RETURN_CAPABILITY must vanish off clang");
+static_assert(sizeof(EA_TS_STR(EA_NO_THREAD_SAFETY_ANALYSIS)) == 1,
+              "EA_NO_THREAD_SAFETY_ANALYSIS must vanish off clang");
+#endif  // !__clang__
+
+// Layout proof: annotating HleSpinLock as a capability must not change its
+// size or alignment. 64 bytes = exactly the isolated cache line the lock
+// has always occupied (128 under EA_LOCK_RANK, where the rank byte lands
+// on a second line — a debug-build-only cost).
+#if !defined(EA_LOCK_RANK)
+static_assert(sizeof(concurrent::HleSpinLock) == 64,
+              "capability annotation changed HleSpinLock layout");
+#endif
+static_assert(alignof(concurrent::HleSpinLock) == 64,
+              "capability annotation changed HleSpinLock alignment");
+
+// Behaviour proof: a fully annotated class compiles on every compiler and
+// works. Under clang -Wthread-safety this class is also *analysed*, so it
+// doubles as a fixture keeping the macros honest.
+class EA_CAPABILITY("mutex") AnnotatedLock {
+ public:
+  void lock() EA_ACQUIRE() { locked_ = true; }
+  void unlock() EA_RELEASE() { locked_ = false; }
+  bool locked() const { return locked_; }
+
+ private:
+  bool locked_ = false;
+};
+
+class Counter {
+ public:
+  void increment() EA_EXCLUDES(lock_) {
+    lock_.lock();
+    increment_locked();
+    lock_.unlock();
+  }
+
+  // Caller must hold lock_ — EA_REQUIRES makes the contract checkable.
+  void increment_locked() EA_REQUIRES(lock_) { ++value_; }
+
+  int value() EA_EXCLUDES(lock_) {
+    lock_.lock();
+    int v = value_;
+    lock_.unlock();
+    return v;
+  }
+
+  // tsa: test fixture modelling the runtime's lock-free probe pattern —
+  // approximate reads tolerated by contract.
+  int racy_probe() const EA_NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  AnnotatedLock lock_;
+  int value_ EA_GUARDED_BY(lock_) = 0;
+};
+
+TEST(ThreadSafetyMacros, AnnotatedCodeCompilesAndRuns) {
+  Counter c;
+  c.increment();
+  c.increment();
+  EXPECT_EQ(c.value(), 2);
+  EXPECT_EQ(c.racy_probe(), 2);
+}
+
+TEST(ThreadSafetyMacros, ScopedGuardStillRaii) {
+  concurrent::HleSpinLock lock;
+  {
+    concurrent::HleGuard guard(lock);
+    // Annotated HleGuard still holds the lock for exactly this scope.
+  }
+  // Re-acquirable: the guard released on scope exit.
+  { concurrent::HleGuard guard(lock); }
+  SUCCEED();
+}
+
+TEST(ThreadSafetyMacros, SetRankIsANoopWithoutChecker) {
+  concurrent::HleSpinLock lock;
+  lock.set_rank(concurrent::LockRank::kMbox);
+  { concurrent::HleGuard guard(lock); }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ea

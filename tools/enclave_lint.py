@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Enclave-safety lint for the EActors runtime.
+"""Enclave-safety lint for the EActors runtime (v2).
 
 Enforces the framework invariants from the paper (EActors, Middleware '18):
 actors running inside an enclave must never block or exit the enclave on the
@@ -8,12 +8,29 @@ blocking syscalls, dynamic heap allocation (outside designated construction
 paths), or iostream; and POD structs copied into node payloads (which cross
 the enclave boundary through Channels) must not smuggle raw pointers.
 
+v2 adds the concurrency-correctness passes (DESIGN.md §13):
+
+  * lock-order-cycle — extracts guard-nesting pairs (HleGuard /
+    HostMutexGuard, both lexical nesting and one level of calls into
+    lock-taking functions) across the WHOLE tree, builds the lock graph,
+    and fails on any cycle: a cycle is a deadlock two threads can reach
+    even though every individual function looks locally reasonable.
+  * tsa-unjustified — every EA_NO_THREAD_SAFETY_ANALYSIS opt-out must
+    carry an inline `// tsa: <reason>` on the same or preceding line;
+    silencing the thread-safety analysis without saying why is how
+    lock-free "fast paths" rot into races.
+
 The per-module policy lives in tools/enclave_policy.toml. Files can carry
 inline waivers:
 
     ... offending code ...        // ea-lint: allow(rule-name) -- reason
     // ea-lint: allow-next-line(rule-name) -- reason
     // ea-lint: allow-file(rule-name) -- reason   (within the first 15 lines)
+
+Scan performance: `--jobs N` fans the per-file scan out over a process
+pool, and an mtime/size cache under build/ skips re-scanning files that
+have not changed since the previous run (`--no-cache` disables it; the
+self-test never uses it).
 
 Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
 
@@ -26,6 +43,9 @@ from __future__ import annotations
 
 import argparse
 import fnmatch
+import json
+import multiprocessing
+import os
 import re
 import sys
 import tomllib
@@ -48,6 +68,41 @@ POINTER_MEMBER = re.compile(
 )
 FUNC_DECL_HINT = re.compile(r"\(|\boperator\b")
 
+# --- lock-graph extraction (rule: lock-order-cycle) -------------------------
+
+# `HleGuard g(expr);` / `HostMutexGuard g(expr);` — optionally qualified.
+GUARD_DECL = re.compile(
+    r"\b(?:[\w:]+::)?(?:HleGuard|HostMutexGuard)\s+\w+\s*[({]\s*"
+    r"([^(){};]+?)\s*[)}]"
+)
+# Candidate function-definition name: last identifier before a '(' on a
+# line that later opens a brace without terminating in ';'.
+CALL_OR_DEF = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+NTSA_TOKEN = re.compile(r"\bEA_NO_THREAD_SAFETY_ANALYSIS\b")
+TSA_JUSTIFY = re.compile(r"//.*\btsa:\s*\S")
+
+# Control keywords that look like calls but are not.
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "catch", "throw", "new", "delete", "static_assert",
+    "decltype", "noexcept", "defined", "assert", "static_cast",
+    "reinterpret_cast", "const_cast", "dynamic_cast",
+}
+# Names too generic to resolve to a unique definition: calls to these are
+# never used for interprocedural lock-edge propagation (a `push` holding a
+# mbox lock must not inherit the locks of every `push` in the tree).
+GENERIC_NAMES = {
+    "push", "pop", "get", "set", "put", "add", "size", "empty", "with",
+    "lock", "unlock", "body", "find", "close", "open", "begin", "end",
+    "count", "data", "next", "reset", "clear", "insert", "erase",
+    "emplace", "load", "store", "read", "write", "send", "recv", "tick",
+    "run", "stop", "start", "join", "main", "name", "wait", "post",
+    "push_back", "pop_back", "emplace_back", "append", "assign", "swap",
+    "front", "back", "test", "value", "fetch_add", "fetch_sub", "exchange",
+    "compare_exchange_weak", "compare_exchange_strong", "c_str", "str",
+}
+MIN_CALLEE_LEN = 4
+
 
 @dataclass
 class Rule:
@@ -69,6 +124,36 @@ class Violation:
         except ValueError:
             rel = self.path
         return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class LockExtract:
+    """Per-file facts feeding the global lock-order-cycle pass.
+
+    Lock identity is `<module>/<filestem>:<member>` with array indexes
+    stripped, so `free_locks_[s]` and `free_locks_[t]` are one lock family
+    (matching the rank table, where same-rank nesting is forbidden anyway).
+    """
+
+    # function name -> sorted list of lock ids it acquires directly
+    func_locks: dict[str, list[str]] = field(default_factory=dict)
+    # (outer lock id, inner lock id, line of the inner acquisition)
+    lexical_edges: list[tuple[str, str, int]] = field(default_factory=list)
+    # (callee name, line, held lock ids at the call site)
+    guarded_calls: list[tuple[str, int, list[str]]] = field(
+        default_factory=list
+    )
+    # function name -> callee names invoked anywhere inside it
+    func_calls: dict[str, list[str]] = field(default_factory=dict)
+
+
+@dataclass
+class FileScan:
+    """Everything lint_file() learns about one file (cacheable)."""
+
+    violations: list[Violation] = field(default_factory=list)
+    waiver_count: int = 0
+    extract: LockExtract = field(default_factory=LockExtract)
 
 
 @dataclass
@@ -220,6 +305,271 @@ def check_payload_structs(
     return violations
 
 
+def lock_id(rel: str, expr: str) -> str:
+    """Normalises a guard-constructor expression to a lock identity.
+
+    `free_locks_[s]` -> `pos/pos:free_locks_`; `shared.offline_lock` ->
+    `<file>:offline_lock`. Member locks are keyed by the file declaring the
+    guard use — the runtime has no two same-named locks in one file.
+    """
+    expr = re.sub(r"\[[^\]]*\]", "", expr)  # strip array indexes
+    expr = expr.strip().rstrip("*&")
+    # Last component of a member access chain.
+    for sep in ("->", "."):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    expr = expr.strip().lstrip(":")
+    stem = rel.rsplit(".", 1)[0]
+    return f"{stem}:{expr}"
+
+
+def check_tsa_justifications(
+    path: Path, rel: str, raw_lines: list[str], stripped: list[str]
+) -> list[Violation]:
+    """Rule `tsa-unjustified`: every EA_NO_THREAD_SAFETY_ANALYSIS use needs
+    an inline `// tsa: <reason>` on the same or the preceding line."""
+    violations = []
+    for idx, code in enumerate(stripped):
+        if not NTSA_TOKEN.search(code):
+            continue
+        if code.lstrip().startswith("#"):  # the macro's own definition
+            continue
+        here = TSA_JUSTIFY.search(raw_lines[idx])
+        above = idx > 0 and TSA_JUSTIFY.search(raw_lines[idx - 1])
+        if not here and not above:
+            violations.append(
+                Violation(
+                    path,
+                    idx + 1,
+                    "tsa-unjustified",
+                    "EA_NO_THREAD_SAFETY_ANALYSIS without an inline "
+                    "`// tsa: <reason>` justification (same or previous "
+                    "line); opting out of the thread-safety analysis "
+                    "silently is forbidden (DESIGN.md §13)",
+                )
+            )
+    return violations
+
+
+def extract_lock_facts(rel: str, stripped: list[str]) -> LockExtract:
+    """Single lexical pass: guard scopes, function contexts, call sites.
+
+    Deliberately heuristic (this is a lint, not a compiler): function
+    bodies are recognised by `name(...) ... {`, guard lifetimes by brace
+    depth, and calls by `identifier(`. The heuristics are tuned so false
+    *edges* (which could fabricate a cycle) are far less likely than false
+    negatives: interprocedural propagation only follows calls to uniquely
+    named, non-generic functions that demonstrably take guards.
+    """
+    ex = LockExtract()
+    depth = 0
+    # (lock id, depth at declaration); active at the current point.
+    guard_stack: list[tuple[str, int]] = []
+    # (function name, depth before its opening brace)
+    func_stack: list[tuple[str, int]] = []
+    pending_func: str | None = None
+
+    for idx, code in enumerate(stripped):
+        lineno = idx + 1
+        if code.lstrip().startswith("#"):
+            continue
+
+        # New guards on this line first: record nesting edges against the
+        # guards already active.
+        line_guards: list[str] = []
+        for m in GUARD_DECL.finditer(code):
+            lid = lock_id(rel, m.group(1))
+            for outer, _d in guard_stack:
+                if outer != lid:
+                    ex.lexical_edges.append((outer, lid, lineno))
+            if func_stack:
+                fname = func_stack[-1][0]
+                locks = ex.func_locks.setdefault(fname, [])
+                if lid not in locks:
+                    locks.append(lid)
+            line_guards.append(lid)
+
+        # Call sites / function-definition candidates.
+        for m in CALL_OR_DEF.finditer(code):
+            name = m.group(1)
+            if name in CPP_KEYWORDS or len(name) < MIN_CALLEE_LEN:
+                continue
+            if name in GENERIC_NAMES:
+                continue
+            if GUARD_DECL.search(code) and name in ("HleGuard",
+                                                    "HostMutexGuard"):
+                continue
+            held = [g for g, _d in guard_stack]
+            if held:
+                ex.guarded_calls.append((name, lineno, held))
+            if func_stack:
+                fname = func_stack[-1][0]
+                calls = ex.func_calls.setdefault(fname, [])
+                if name not in calls:
+                    calls.append(name)
+            pending_func = name  # definition candidate if a '{' follows
+
+        # Brace accounting; pop scopes as they close.
+        opens = code.count("{")
+        closes = code.count("}")
+        if opens and pending_func is not None and ";" not in code.split("{")[0]:
+            func_stack.append((pending_func, depth))
+            pending_func = None
+        depth += opens - closes
+        if ";" in code and opens == 0:
+            pending_func = None
+        while guard_stack and guard_stack[-1][1] > depth:
+            guard_stack.pop()
+        while func_stack and func_stack[-1][1] >= depth and closes:
+            func_stack.pop()
+        # Guards declared on this line live at the *current* depth.
+        for lid in line_guards:
+            guard_stack.append((lid, depth))
+
+    for locks in ex.func_locks.values():
+        locks.sort()
+    return ex
+
+
+def detect_lock_cycles(
+    scans: dict[str, FileScan], policy: Policy
+) -> list[Violation]:
+    """Builds the global lock graph and reports every edge inside a cycle.
+
+    Edges come from (a) lexical guard nesting and (b) calls made while a
+    guard is held into functions that (transitively, via same-kind calls)
+    take guards — one conservative level of indirection, enough to see
+    clean_step()'s limbo→free edge through shard_push_chain().
+    """
+    # Unique, lock-taking function table across the tree.
+    defs: dict[str, list[str]] = {}
+    ambiguous: set[str] = set()
+    for scan in scans.values():
+        for fname, locks in scan.extract.func_locks.items():
+            if fname in defs and defs[fname] != locks:
+                ambiguous.add(fname)
+            else:
+                defs.setdefault(fname, locks)
+    calls: dict[str, list[str]] = {}
+    for scan in scans.values():
+        for fname, callees in scan.extract.func_calls.items():
+            calls.setdefault(fname, []).extend(callees)
+
+    # Transitive closure of acquired locks over the call graph (bounded
+    # fixpoint; the graph is tiny).
+    closure: dict[str, set[str]] = {
+        f: set(locks) for f, locks in defs.items() if f not in ambiguous
+    }
+    for _ in range(8):
+        changed = False
+        for fname in list(closure):
+            for callee in calls.get(fname, []):
+                extra = closure.get(callee)
+                if extra and not extra <= closure[fname]:
+                    closure[fname] |= extra
+                    changed = True
+        if not changed:
+            break
+
+    # Edge set: (outer, inner) -> first (rel, line) witnessing it.
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def add_edge(outer: str, inner: str, rel: str, line: int) -> None:
+        if outer == inner:
+            return
+        edges.setdefault((outer, inner), (rel, line))
+
+    for rel, scan in sorted(scans.items()):
+        for outer, inner, line in scan.extract.lexical_edges:
+            add_edge(outer, inner, rel, line)
+        for callee, line, held in scan.extract.guarded_calls:
+            inner_locks = closure.get(callee)
+            if not inner_locks:
+                continue
+            for outer in held:
+                for inner in sorted(inner_locks):
+                    add_edge(outer, inner, rel, line)
+
+    # Cycle detection: iterative DFS over the edge graph.
+    graph: dict[str, list[str]] = {}
+    for (outer, inner) in edges:
+        graph.setdefault(outer, []).append(inner)
+        graph.setdefault(inner, [])
+    for succs in graph.values():
+        succs.sort()
+
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.add(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+
+    violations: list[Violation] = []
+    for scc in sccs:
+        if len(scc) < 2:
+            continue
+        cycle = " ↔ ".join(sorted(scc))
+        for (outer, inner), (rel, line) in sorted(edges.items()):
+            if outer in scc and inner in scc:
+                if policy.exempt(rel, "lock-order-cycle"):
+                    continue
+                violations.append(
+                    Violation(
+                        Path(rel),
+                        line,
+                        "lock-order-cycle",
+                        f"acquiring `{inner.split(':')[1]}` while holding "
+                        f"`{outer.split(':')[1]}` closes a cycle in the "
+                        f"lock graph [{cycle}]; two threads taking these "
+                        f"locks in opposite orders can deadlock — fix the "
+                        f"acquisition order (see the LockRank table, "
+                        f"concurrent/lock_rank.hpp)",
+                    )
+                )
+    return violations
+
+
 def waived_rules(line: str) -> set[str]:
     m = WAIVER_LINE.search(line)
     if not m:
@@ -229,12 +579,13 @@ def waived_rules(line: str) -> set[str]:
 
 def lint_file(
     path: Path, rel: str, policy: Policy, payload_types: set[str]
-) -> tuple[list[Violation], int]:
+) -> FileScan:
+    scan = FileScan()
     try:
         raw_lines = path.read_text(errors="replace").splitlines()
     except OSError as e:
         print(f"warning: cannot read {path}: {e}", file=sys.stderr)
-        return [], 0
+        return scan
     stripped = strip_comments_and_strings(raw_lines)
 
     file_waivers: set[str] = set()
@@ -243,12 +594,13 @@ def lint_file(
         if m:
             file_waivers |= {r.strip() for r in m.group(1).split(",")}
 
-    violations: list[Violation] = []
-    waiver_count = 0
+    violations = scan.violations
     pending_next: set[str] = set()
+    line_waiver_map: dict[int, set[str]] = {}
     for idx, (raw, code) in enumerate(zip(raw_lines, stripped)):
         lineno = idx + 1
         line_waivers = waived_rules(raw) | pending_next | file_waivers
+        line_waiver_map[lineno] = line_waivers
         pending_next = set()
         m = WAIVER_NEXT.search(raw)
         if m:
@@ -262,7 +614,7 @@ def lint_file(
                 if not pm:
                     continue
                 if rule.name in line_waivers:
-                    waiver_count += 1
+                    scan.waiver_count += 1
                     break
                 violations.append(
                     Violation(
@@ -279,31 +631,225 @@ def lint_file(
             if "payload-raw-pointer" in file_waivers or "payload-raw-pointer" in waived_rules(
                 raw_lines[v.line - 1]
             ):
-                waiver_count += 1
+                scan.waiver_count += 1
                 continue
             violations.append(v)
-    return violations, waiver_count
+
+    if not policy.exempt(rel, "tsa-unjustified"):
+        for v in check_tsa_justifications(path, rel, raw_lines, stripped):
+            if "tsa-unjustified" in line_waiver_map.get(v.line, set()):
+                scan.waiver_count += 1
+                continue
+            violations.append(v)
+
+    # Lock facts are extracted for EVERY scanned file (trusted or not):
+    # a deadlock between an untrusted guard and a trusted one is still a
+    # deadlock.
+    scan.extract = extract_lock_facts(rel, stripped)
+    return scan
 
 
-def run_lint(root: Path, policy: Policy) -> tuple[list[Violation], int]:
+# --- scan cache (satellite: skip unchanged files) ---------------------------
+
+CACHE_VERSION = 2
+
+
+def scan_to_jsonable(scan: FileScan) -> dict:
+    return {
+        "violations": [
+            [str(v.path), v.line, v.rule, v.message] for v in scan.violations
+        ],
+        "waivers": scan.waiver_count,
+        "extract": {
+            "func_locks": scan.extract.func_locks,
+            "lexical_edges": scan.extract.lexical_edges,
+            "guarded_calls": scan.extract.guarded_calls,
+            "func_calls": scan.extract.func_calls,
+        },
+    }
+
+
+def scan_from_jsonable(raw: dict) -> FileScan:
+    scan = FileScan()
+    scan.violations = [
+        Violation(Path(p), line, rule, msg)
+        for p, line, rule, msg in raw["violations"]
+    ]
+    scan.waiver_count = raw["waivers"]
+    ex = raw["extract"]
+    scan.extract = LockExtract(
+        func_locks={k: list(v) for k, v in ex["func_locks"].items()},
+        lexical_edges=[tuple(e) for e in ex["lexical_edges"]],
+        guarded_calls=[
+            (name, line, list(held)) for name, line, held in ex["guarded_calls"]
+        ],
+        func_calls={k: list(v) for k, v in ex["func_calls"].items()},
+    )
+    return scan
+
+
+def load_cache(path: Path, policy_stamp: tuple[float, int]) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            raw = json.load(f)
+        if raw.get("version") != CACHE_VERSION:
+            return {}
+        if raw.get("policy_stamp") != list(policy_stamp):
+            return {}
+        return raw.get("files", {})
+    except (OSError, ValueError):
+        return {}
+
+
+def save_cache(
+    path: Path, policy_stamp: tuple[float, int], files: dict
+) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(
+                {
+                    "version": CACHE_VERSION,
+                    "policy_stamp": list(policy_stamp),
+                    "files": files,
+                },
+                f,
+            )
+        os.replace(tmp, path)
+    except OSError as e:
+        print(f"warning: cannot write lint cache {path}: {e}", file=sys.stderr)
+
+
+# --- driving ----------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(policy_path: str, payload_types: set[str]) -> None:
+    _WORKER_STATE["policy"] = Policy.load(Path(policy_path))
+    _WORKER_STATE["payload_types"] = payload_types
+
+
+def _worker_scan(item: tuple[str, str]) -> tuple[str, dict]:
+    path_s, rel = item
+    scan = lint_file(
+        Path(path_s),
+        rel,
+        _WORKER_STATE["policy"],
+        _WORKER_STATE["payload_types"],
+    )
+    return rel, scan_to_jsonable(scan)
+
+
+def run_lint(
+    root: Path,
+    policy: Policy,
+    policy_path: Path | None = None,
+    jobs: int = 1,
+    cache_path: Path | None = None,
+) -> tuple[list[Violation], int]:
     files = sorted(
         p
         for p in root.rglob("*")
         if p.suffix in SOURCE_SUFFIXES and p.is_file()
     )
     payload_types = collect_payload_types(files)
-    all_violations: list[Violation] = []
-    total_waivers = 0
+
+    # Per-file scans, module-filtered like v1 for the regex rules — but the
+    # lock pass needs every file, so untrusted modules are scanned too and
+    # their regex rules suppressed via the module filter inside the loop.
+    wanted: list[tuple[Path, str]] = []
     for path in files:
         rel = path.relative_to(root).as_posix()
         module = rel.split("/", 1)[0]
         if module in policy.untrusted_modules:
+            # Untrusted modules: lock facts + tsa discipline only. Regex
+            # rules don't apply there (blocking on the host is fine).
+            wanted.append((path, rel))
             continue
         if policy.trusted_modules and module not in policy.trusted_modules:
             continue
-        vs, waivers = lint_file(path, rel, policy, payload_types)
-        all_violations.extend(vs)
-        total_waivers += waivers
+        wanted.append((path, rel))
+
+    untrusted = set(policy.untrusted_modules)
+
+    if cache_path is not None and policy_path is not None:
+        try:
+            st = policy_path.stat()
+            policy_stamp = (st.st_mtime, st.st_size)
+        except OSError:
+            policy_stamp = (0.0, 0)
+        cached = load_cache(cache_path, policy_stamp)
+    else:
+        policy_stamp = (0.0, 0)
+        cached = {}
+
+    fresh: dict[str, dict] = {}
+    to_scan: list[tuple[str, str]] = []
+    for path, rel in wanted:
+        try:
+            st = path.stat()
+            stamp = [st.st_mtime, st.st_size]
+        except OSError:
+            stamp = [0.0, 0]
+        entry = cached.get(rel)
+        if entry is not None and entry.get("stamp") == stamp:
+            fresh[rel] = entry
+        else:
+            to_scan.append((str(path), rel))
+
+    scanned: dict[str, dict] = {}
+    if to_scan:
+        jobs = max(1, min(jobs, len(to_scan)))
+        if jobs > 1 and policy_path is not None:
+            with multiprocessing.Pool(
+                jobs, _worker_init, (str(policy_path), payload_types)
+            ) as pool:
+                for rel, raw in pool.imap_unordered(_worker_scan, to_scan):
+                    scanned[rel] = {"scan": raw}
+        else:
+            for path_s, rel in to_scan:
+                scan = lint_file(Path(path_s), rel, policy, payload_types)
+                scanned[rel] = {"scan": scan_to_jsonable(scan)}
+        for path_s, rel in to_scan:
+            try:
+                st = Path(path_s).stat()
+                scanned[rel]["stamp"] = [st.st_mtime, st.st_size]
+            except OSError:
+                scanned[rel]["stamp"] = [0.0, 0]
+
+    all_entries = {**fresh, **scanned}
+    if cache_path is not None and policy_path is not None:
+        save_cache(cache_path, policy_stamp, all_entries)
+
+    scans: dict[str, FileScan] = {
+        rel: scan_from_jsonable(entry["scan"])
+        for rel, entry in all_entries.items()
+    }
+
+    all_violations: list[Violation] = []
+    total_waivers = 0
+    for rel in sorted(scans):
+        module = rel.split("/", 1)[0]
+        scan = scans[rel]
+        if module in untrusted:
+            # Host-side modules keep only the concurrency-correctness
+            # rules; the enclave regex rules were never evaluated for them
+            # (v1 semantics preserved) — drop anything else defensively.
+            scan.violations = [
+                v for v in scan.violations if v.rule == "tsa-unjustified"
+            ]
+        all_violations.extend(scan.violations)
+        total_waivers += scan.waiver_count
+
+    for v in detect_lock_cycles(scans, policy):
+        # Cycle diagnostics carry tree-relative paths; rebase onto root so
+        # render() produces the same shape as other rules.
+        v.path = root / v.path
+        all_violations.append(v)
+
+    all_violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
     return all_violations, total_waivers
 
 
@@ -311,6 +857,7 @@ def self_test(tools_dir: Path) -> int:
     fixtures = tools_dir / "lint_fixtures"
     policy = Policy.load(fixtures / "policy.toml")
     root = fixtures / "src"
+    # Hermetic: no cache, in-process scan.
     violations, _ = run_lint(root, policy)
     got = {(v.path.relative_to(root).as_posix(), v.line, v.rule) for v in violations}
 
@@ -349,6 +896,24 @@ def main() -> int:
     ap.add_argument(
         "--policy", type=Path, default=tools_dir / "enclave_policy.toml"
     )
+    ap.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="parallel scan processes (default: cpu count)",
+    )
+    ap.add_argument(
+        "--cache",
+        type=Path,
+        default=tools_dir.parent / "build" / ".enclave_lint_cache.json",
+        help="mtime cache path (default: build/.enclave_lint_cache.json)",
+    )
+    ap.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="rescan everything, touching no cache file",
+    )
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
 
@@ -366,7 +931,16 @@ def main() -> int:
     except tomllib.TOMLDecodeError as e:
         print(f"error: policy file {args.policy}: {e}", file=sys.stderr)
         return 2
-    violations, waivers = run_lint(args.root, policy)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    violations, waivers = run_lint(
+        args.root,
+        policy,
+        policy_path=args.policy,
+        jobs=args.jobs,
+        cache_path=None if args.no_cache else args.cache,
+    )
     for v in violations:
         print(v.render(args.root))
     if violations:

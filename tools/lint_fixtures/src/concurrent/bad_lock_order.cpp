@@ -1,0 +1,34 @@
+// Fixture: lock-order-cycle. Two functions nest the same pair of locks in
+// opposite orders — each is locally fine, but a thread in lock_table_first()
+// racing a thread in lock_stats_first() can deadlock. The lint must extract
+// both nesting edges, see the 2-cycle in the global lock graph, and report
+// each inner acquisition.
+
+namespace ea::concurrent {
+
+struct BadLockOrder {
+  void lock_table_first() {
+    HleGuard table(table_lock_);
+    HleGuard stats(stats_lock_);  // EXPECT: lock-order-cycle
+    ++generation_;
+  }
+
+  void lock_stats_first() {
+    HleGuard stats(stats_lock_);
+    HleGuard table(table_lock_);  // EXPECT: lock-order-cycle
+    ++generation_;
+  }
+
+  // Consistent nesting elsewhere must NOT turn this pair into extra
+  // diagnostics: only edges inside the cycle are reported.
+  void lock_table_only() {
+    HleGuard table(table_lock_);
+    ++generation_;
+  }
+
+  HleSpinLock table_lock_;
+  HleSpinLock stats_lock_;
+  unsigned long generation_ = 0;
+};
+
+}  // namespace ea::concurrent

@@ -1,0 +1,16 @@
+// Fixture: tsa-unjustified. Opting a function out of the Clang thread-safety
+// analysis is allowed only with an inline `// tsa: <reason>` on the same or
+// the preceding line (DESIGN.md §13); a bare opt-out must be flagged.
+
+namespace ea::core {
+
+struct ProbeCounter {
+  // tsa: approximate read tolerated by contract (lock-free count probe).
+  int justified_probe() const EA_NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+  int bare_probe() const EA_NO_THREAD_SAFETY_ANALYSIS { return value_; }  // EXPECT: tsa-unjustified
+
+  int value_ = 0;
+};
+
+}  // namespace ea::core
