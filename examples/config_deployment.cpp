@@ -74,6 +74,20 @@ actor sink   type=sink
 worker w1 cpus=0 actors=source,sink
 )";
 
+constexpr const char* kStealConfig = R"(
+# Same trusted pipeline, but scheduled by work stealing: each worker owns
+# a run queue and may lend ready actors to an idle peer that has entered
+# the same enclave (DESIGN.md section 14). Both workers enter "stage",
+# so either may end up running source or sink.
+sched steal
+pool nodes=256 payload=128
+enclave stage
+actor source type=source enclave=stage
+actor sink   type=sink   enclave=stage
+worker w1 cpus=0 actors=source,sink
+worker w2 cpus=1 actors=source,sink
+)";
+
 void run(const char* label, const char* config_text) {
   core::ActorRegistry registry;
   Sink* sink_ptr = nullptr;
@@ -105,9 +119,10 @@ void run(const char* label, const char* config_text) {
 }  // namespace
 
 int main() {
-  std::printf("same actors, two deployment configs:\n");
+  std::printf("same actors, three deployment configs:\n");
   run("trusted:", kTrustedConfig);
   run("untrusted:", kUntrustedConfig);
-  std::printf("(sum should be %d in both cases)\n", 999 * 1000 / 2);
+  run("stealing:", kStealConfig);
+  std::printf("(sum should be %d in all cases)\n", 999 * 1000 / 2);
   return 0;
 }

@@ -6,6 +6,9 @@
 #   plain       plain build (+ -Werror) and the entire ctest suite
 #   asan        ASan+UBSan build, entire ctest suite
 #   tsan        TSan build, concurrency suite (ctest -L tsan)
+#   sched       work-stealing scheduler suite (ctest -L sched) on a TSan
+#               tree with EA_LOCK_RANK=ON, so affinity/FIFO/steal-stress
+#               run with both the race detector and the rank checker live
 #   fault       fault build (ASan+UBSan + failpoints + lock-rank checker),
 #               fault-injection and crash-recovery suite (ctest -L fault)
 #   supervise   containment/restart/reconnect suite + fault-storm soaks on
@@ -13,7 +16,8 @@
 #   lockrank    deadlock-order regression suite (ctest -L lockrank) on the
 #               fault tree, where EA_LOCK_RANK=ON makes the checker live
 #   nofailpoint zero-overhead-when-off symbol check on the plain tree
-#   bench       bench smoke: bench_batching + bench_pos, JSON schema check
+#   bench       bench smoke: bench_batching + bench_pos + bench_sched,
+#               JSON schema check (incl. the zero-copy counter guard)
 #   tsa         clang build with -DEA_THREAD_SAFETY=ON: the Clang Thread
 #               Safety Analysis over every annotated lock, warnings as
 #               errors (skipped with a notice when clang++ is absent)
@@ -25,7 +29,8 @@
 #   scripts/check.sh --leg NAME   # one leg by the name in the list above
 #
 # Build trees are kept per-leg (build-check, build-asan, build-tsan,
-# build-fault, build-clang-tsa) so incremental re-runs stay cheap.
+# build-sched, build-fault, build-clang-tsa) so incremental re-runs stay
+# cheap.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -120,6 +125,15 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
 leg tsan "TSan build + ctest -L tsan" \
   build_and_test build-tsan -L tsan -- -DEA_WERROR=ON -DEA_SANITIZE=thread
 
+# --- scheduler: the work-stealing suite under TSan *and* the lock-rank -----
+# checker (its own tree: the plain tsan tree keeps EA_LOCK_RANK off).
+# Covers the affinity invariant, FIFO-per-actor across migration, the
+# skewed-home steal stress, and the zero-copy send_node path.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+leg sched "sched suite (ctest -L sched, TSan + lock-rank)" \
+  build_and_test build-sched -L sched -- \
+  -DEA_WERROR=ON -DEA_SANITIZE=thread -DEA_LOCK_RANK=ON
+
 # --- fault injection: failpoints + lock-rank checker compiled in, ----------
 # ASan+UBSan, the fault suite (failpoint unit tests, channel/net protocol
 # faults, POS cleaner faults, and the fork-based crash-recovery torture).
@@ -200,9 +214,14 @@ run_bench_smoke() {
     EA_BENCH_JSON=build-check/BENCH_pos.json \
     ./build-check/bench/bench_pos >/dev/null || return 1
   check_bench_json build-check/BENCH_pos.json pos \
-    set get mixed cleaner
+    set get mixed cleaner || return 1
+  EA_BENCH_SECONDS=0.02 EA_BENCH_SCALE=0.01 \
+    EA_BENCH_JSON=build-check/BENCH_sched.json \
+    ./build-check/bench/bench_sched >/dev/null || return 1
+  check_bench_json build-check/BENCH_sched.json sched \
+    hot_skew zero_copy
 }
-leg bench "bench smoke (bench_batching + bench_pos + JSON schema)" \
+leg bench "bench smoke (bench_batching + bench_pos + bench_sched + JSON schema)" \
   run_bench_smoke
 
 # --- clang thread-safety analysis: the whole annotation sweep is only ------
@@ -243,7 +262,7 @@ fi
 # --- summary ---------------------------------------------------------------
 if [[ -n "$LEG_FILTER" && $MATCHED -eq 0 ]]; then
   echo "error: no leg named '$LEG_FILTER'" >&2
-  echo "legs: lint plain asan tsan fault supervise lockrank nofailpoint bench tsa tidy" >&2
+  echo "legs: lint plain asan tsan sched fault supervise lockrank nofailpoint bench tsa tidy" >&2
   exit 2
 fi
 note "matrix summary"

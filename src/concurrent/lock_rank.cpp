@@ -18,6 +18,8 @@ const char* lock_rank_name(LockRank rank) noexcept {
       return "kActorFailure";
     case LockRank::kSocketTable:
       return "kSocketTable";
+    case LockRank::kRunQueue:
+      return "kRunQueue";
     case LockRank::kMbox:
       return "kMbox";
     case LockRank::kPoolShared:

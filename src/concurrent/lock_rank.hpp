@@ -51,7 +51,11 @@ enum class LockRank : std::uint8_t {
   // net/ — host-side socket registry.
   kSocketTable = 32,     // net::SocketTable::lock_
 
-  // concurrent/ — message-path primitives.
+  // concurrent/ — scheduler and message-path primitives. The run queue
+  // ranks BELOW the mbox lock: a worker may hold its queue lock while a
+  // wakeup probe touches mailbox state, but nothing on a mailbox path may
+  // reach back into a run queue.
+  kRunQueue = 36,        // RunQueue::lock_ (per-worker ready queues)
   kMbox = 40,            // Mbox::lock_
   kPoolShared = 44,      // Pool::lock_ (shared free-list)
   kMagazineRegistry = 48,  // MagazineSet::registry_lock_ (held across the

@@ -1,0 +1,62 @@
+#include "concurrent/runqueue.hpp"
+
+namespace ea::concurrent {
+
+void RunQueue::reserve(std::size_t capacity) {
+  HleGuard guard(lock_);
+  ring_.assign(capacity, nullptr);
+  head_ = 0;
+  count_ = 0;
+  approx_.store(0, std::memory_order_relaxed);
+}
+
+bool RunQueue::push_front(void* item) EA_LOCK_NOEXCEPT {
+  HleGuard guard(lock_);
+  if (count_ == ring_.size()) return false;
+  head_ = (head_ + ring_.size() - 1) % ring_.size();
+  ring_[head_] = item;
+  ++count_;
+  approx_.store(count_, std::memory_order_relaxed);
+  return true;
+}
+
+bool RunQueue::push_back(void* item) EA_LOCK_NOEXCEPT {
+  HleGuard guard(lock_);
+  if (count_ == ring_.size()) return false;
+  ring_[slot(count_)] = item;
+  ++count_;
+  approx_.store(count_, std::memory_order_relaxed);
+  return true;
+}
+
+void* RunQueue::pop_front() EA_LOCK_NOEXCEPT {
+  HleGuard guard(lock_);
+  if (count_ == 0) return nullptr;
+  void* item = ring_[head_];
+  ring_[head_] = nullptr;
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  approx_.store(count_, std::memory_order_relaxed);
+  return item;
+}
+
+void* RunQueue::steal_back(StealFilter filter, const void* ctx) EA_LOCK_NOEXCEPT {
+  HleGuard guard(lock_);
+  for (std::size_t i = count_; i > 0; --i) {
+    void* item = ring_[slot(i - 1)];
+    if (filter != nullptr && !filter(item, ctx)) continue;
+    // Close the gap towards the back: entries behind the stolen slot shift
+    // forward one position. The scan already prefers the back, so the
+    // shifted span is short in the common (hindmost eligible) case.
+    for (std::size_t j = i - 1; j + 1 < count_; ++j) {
+      ring_[slot(j)] = ring_[slot(j + 1)];
+    }
+    ring_[slot(count_ - 1)] = nullptr;
+    --count_;
+    approx_.store(count_, std::memory_order_relaxed);
+    return item;
+  }
+  return nullptr;
+}
+
+}  // namespace ea::concurrent

@@ -1,0 +1,82 @@
+// RunQueue: a per-worker ready queue for the stealing scheduler.
+//
+// Each worker owns run queues of ready actors (stored as opaque items so
+// this layer stays below core/). The access pattern is the classic
+// work-stealing split, adapted to actors that *circulate* rather than
+// complete:
+//
+//   * the owner pushes fresh wakeups at the FRONT (pop_front() returns them
+//     next — LIFO, their mailbox lines are still warm in this core's cache);
+//   * an actor that stays ready after running is re-queued at the BACK, so
+//     continuously-ready actors round-robin among themselves instead of one
+//     hot actor monopolising the owner via the LIFO end;
+//   * thieves take from the BACK (steal_back()) — exactly where the
+//     continuously-hot actors circulate, so load balancing migrates the
+//     actors that are worth migrating. A steal filter lets the thief skip
+//     items its enclave affinity mask cannot legally run.
+//
+// The queue is a preallocated ring (capacity fixed before the workers
+// start — the scheduler never allocates on the dispatch path) under one
+// ranked HleSpinLock (kRunQueue, below kMbox: a worker may hold the queue
+// lock while an actor wakeup probes mailbox counters, never the reverse).
+// size() mirrors the count in a lock-free atomic for health snapshots and
+// the thief's cheap "is the victim worth locking" probe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "concurrent/hle_lock.hpp"
+
+namespace ea::concurrent {
+
+class RunQueue {
+ public:
+  // Returns true when `item` may be taken by the calling thief.
+  using StealFilter = bool (*)(void* item, const void* ctx);
+
+  RunQueue() = default;
+  RunQueue(const RunQueue&) = delete;
+  RunQueue& operator=(const RunQueue&) = delete;
+
+  // Sizes the ring. Must be called before the queue is shared between
+  // threads (capacity 0 rejects every push).
+  void reserve(std::size_t capacity);
+
+  // Owner: enqueue a fresh wakeup at the front (runs next). False when full.
+  bool push_front(void* item) EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
+
+  // Owner: re-enqueue a still-ready item at the back (fair rotation).
+  // False when full.
+  bool push_back(void* item) EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
+
+  // Owner: dequeue from the front; nullptr when empty.
+  void* pop_front() EA_LOCK_NOEXCEPT EA_EXCLUDES(lock_);
+
+  // Thief: dequeue the hindmost item accepted by `filter` (nullptr ctx is
+  // passed through). Scans back-to-front so the thief prefers the oldest /
+  // circulating work; nullptr when nothing eligible.
+  void* steal_back(StealFilter filter, const void* ctx) EA_LOCK_NOEXCEPT
+      EA_EXCLUDES(lock_);
+
+  // Lock-free approximate occupancy (exact only at quiescence) — the
+  // thief's victim probe and the health snapshot read this, never the lock.
+  std::size_t size() const noexcept {
+    return approx_.load(std::memory_order_relaxed);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::size_t slot(std::size_t logical) const EA_REQUIRES(lock_) {
+    return (head_ + logical) % ring_.size();
+  }
+
+  mutable HleSpinLock lock_{LockRank::kRunQueue};
+  std::vector<void*> ring_ EA_GUARDED_BY(lock_);
+  std::size_t head_ EA_GUARDED_BY(lock_) = 0;   // index of front element
+  std::size_t count_ EA_GUARDED_BY(lock_) = 0;  // elements in the ring
+  alignas(64) std::atomic<std::size_t> approx_{0};
+};
+
+}  // namespace ea::concurrent

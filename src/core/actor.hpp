@@ -45,6 +45,27 @@ enum class ActorState : std::uint8_t {
 
 const char* to_string(ActorState state) noexcept;
 
+// Dispatch priority under the stealing scheduler (DESIGN.md §14). High
+// priority actors are popped (and stolen) before normal ones — the
+// supervisor and the fd-facing net actors run high so containment sweeps
+// and socket readiness never queue behind bulk message churn. The static
+// scheduler ignores priorities (it executes the fixed list round-robin).
+enum class ActorPriority : std::uint8_t {
+  kNormal = 0,
+  kHigh = 1,
+};
+
+// Where an actor is in the stealing scheduler's ready/idle protocol
+// (DESIGN.md §14). Idle actors occupy no queue slot; their home worker
+// re-polls them on its poll ticks. Exactly one worker may hold an actor in
+// kQueued/kDispatched at any time — that exclusivity is what preserves
+// FIFO-per-actor message order across migrations.
+enum class SchedState : std::uint8_t {
+  kParked = 0,      // idle: in no run queue; home worker polls it
+  kQueued = 1,      // ready: sitting in exactly one worker's run queue
+  kDispatched = 2,  // running: a worker is executing its body
+};
+
 // Snapshot of an actor's most recent failure, recorded by the worker at
 // containment time and consumed by the supervisor / health reporting.
 struct FailureInfo {
@@ -109,6 +130,11 @@ class Actor {
   // actor owns large buffers.
   virtual std::uint64_t state_bytes() const { return 4096; }
 
+  // Scheduling priority (stealing scheduler only). Set before start();
+  // system actors (supervisor, net fd pumps) default themselves high.
+  void set_priority(ActorPriority priority) noexcept { priority_ = priority; }
+  ActorPriority priority() const noexcept { return priority_; }
+
   std::uint64_t invocations() const noexcept {
     return invocations_.load(std::memory_order_relaxed);
   }
@@ -158,6 +184,16 @@ class Actor {
   sgxsim::EnclaveId placement_ = sgxsim::kUntrusted;
   Runtime* runtime_ = nullptr;
   std::atomic<std::uint64_t> invocations_{0};
+
+  // --- stealing-scheduler state (owned by core/worker.cpp) ----------------
+  // sched_state_ is the exclusivity token: kParked -> kQueued happens via
+  // CAS (poll ticks may race between two home workers sharing an actor),
+  // kQueued -> kDispatched is done by the worker that popped the queue
+  // entry (it holds the only reference), and the dispatching worker alone
+  // performs the kDispatched -> kQueued/kParked hand-back with release
+  // ordering so the next dispatcher observes the body's private state.
+  ActorPriority priority_ = ActorPriority::kNormal;
+  std::atomic<SchedState> sched_state_{SchedState::kParked};
 
   std::atomic<ActorState> state_{ActorState::kRunnable};
   std::atomic<std::uint64_t> failures_{0};

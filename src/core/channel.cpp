@@ -191,7 +191,36 @@ bool Channel::send_from(int side, std::span<const std::uint8_t> bytes) {
     pool_.put(node);
     return false;
   }
+  payload_copies_.fetch_add(1, std::memory_order_relaxed);
   dir_[side == 0 ? 0 : 1].push(node);
+  return true;
+}
+
+bool Channel::send_node_from(int side, concurrent::NodeLease&& lease) {
+  concurrent::Node* node = lease.get();
+  if (node == nullptr) return false;
+  // The frame tag is reserved wire metadata; a donated node must never
+  // impersonate a batch frame.
+  if (node->tag == kBatchFrameTag) node->tag = 0;
+  if (!encrypted_) {
+    // Co-located (or explicitly plain) fast path: donate the node pointer.
+    // The payload is not touched — EActors' "only pointers are passed
+    // around" discipline applied to channel sends.
+    moved_sends_.fetch_add(1, std::memory_order_relaxed);
+    dir_[side == 0 ? 0 : 1].push(lease.release());
+    return true;
+  }
+  // Cross-enclave: the node memory is untrusted, so the payload must still
+  // be sealed. Stage it to the wire's plaintext offset (the one copy this
+  // path pays) and seal in place; AEAD framing is identical to send().
+  const std::size_t len = node->size;
+  if (len + cipher_overhead() > node->capacity) return false;  // lease frees
+  std::uint8_t* p = node->payload();
+  const std::size_t off = plaintext_offset();
+  if (off != 0 && len != 0) std::memmove(p + off, p, len);
+  seal_in_place(side, *node, len, /*batch=*/false);
+  payload_copies_.fetch_add(1, std::memory_order_relaxed);
+  dir_[side == 0 ? 0 : 1].push(lease.release());
   return true;
 }
 
@@ -324,6 +353,7 @@ std::size_t Channel::send_batch_from(
   }
   seal_in_place(side, *node, used, /*batch=*/true);
   node->tag = kBatchFrameTag;
+  payload_copies_.fetch_add(packed, std::memory_order_relaxed);
   dir_[side == 0 ? 0 : 1].push(node);
   return packed;
 }
@@ -348,6 +378,10 @@ bool ChannelEnd::send(std::span<const std::uint8_t> bytes) {
 std::size_t ChannelEnd::send_batch(
     std::span<const std::span<const std::uint8_t>> msgs) {
   return channel_->send_batch_from(side_, msgs);
+}
+
+bool ChannelEnd::send_node(concurrent::NodeLease&& lease) {
+  return channel_->send_node_from(side_, std::move(lease));
 }
 
 concurrent::NodeLease ChannelEnd::recv() { return channel_->recv_at(side_); }

@@ -76,6 +76,18 @@ class ChannelEnd {
   // over the remainder. FIFO order is preserved.
   std::size_t send_batch(std::span<const std::span<const std::uint8_t>> msgs);
 
+  // Zero-copy send: donates an owned node (payload at offset 0, node.size
+  // set) to the peer. On a plain channel — in particular between co-located
+  // actors — the node pointer is pushed directly into the peer's mailbox:
+  // no payload bytes are copied, no pool allocation happens, and the
+  // receiver's recv() lease is the very node the sender filled. On an
+  // encrypted channel the payload is staged to the wire offset and sealed
+  // in place (one copy — counted in Channel::payload_copies()). Returns
+  // false only when a sealed payload cannot fit the node's capacity
+  // (node.size + cipher overhead > capacity — a static property of the
+  // pool's payload size); the node is then released back to its pool.
+  bool send_node(concurrent::NodeLease&& lease);
+
   // Dequeues the next message; empty lease when the mailbox is empty or a
   // cross-enclave message fails authentication (it is then dropped).
   // The payload is already decrypted. Batch frames are transparent: their
@@ -129,6 +141,20 @@ class Channel {
     return frame_errors_.load(std::memory_order_relaxed);
   }
 
+  // Send-side payload copies performed by this channel: one per message for
+  // send()/send_batch() (the memcpy into the fresh node) and one per
+  // send_node() on an encrypted channel (the stage-to-wire-offset move).
+  // Intra-enclave send_node() performs none — the zero-copy tests and the
+  // bench assert this counter stays at zero on that path.
+  std::uint64_t payload_copies() const noexcept {
+    return payload_copies_.load(std::memory_order_relaxed);
+  }
+
+  // Messages that travelled by node donation without any payload copy.
+  std::uint64_t moved_sends() const noexcept {
+    return moved_sends_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class ChannelEnd;
 
@@ -147,6 +173,7 @@ class Channel {
   bool send_from(int side, std::span<const std::uint8_t> bytes);
   std::size_t send_batch_from(int side,
                               std::span<const std::span<const std::uint8_t>> msgs);
+  bool send_node_from(int side, concurrent::NodeLease&& lease);
   concurrent::NodeLease recv_at(int side);
   std::size_t recv_burst_at(int side, concurrent::NodeLease* out,
                             std::size_t max);
@@ -184,6 +211,8 @@ class Channel {
   std::atomic<std::uint64_t> send_counter_[2] = {0, 0};
   std::atomic<std::uint64_t> auth_failures_{0};
   std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<std::uint64_t> payload_copies_{0};
+  std::atomic<std::uint64_t> moved_sends_{0};
 };
 
 }  // namespace ea::core

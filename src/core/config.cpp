@@ -105,6 +105,25 @@ DeploymentConfig DeploymentConfig::parse(std::string_view text) {
       worker.actors = split(kv["actors"], ',');
       if (worker.actors.empty()) fail(line_no, "worker needs >=1 actor");
       config.workers.push_back(std::move(worker));
+    } else if (kind == "sched") {
+      // `sched steal` or `sched mode=steal`; default stays kStatic so
+      // existing deployment files keep the paper's fixed mapping.
+      if (tokens.size() < 2) fail(line_no, "sched needs static|steal");
+      std::string mode = tokens[1];
+      auto eq = mode.find('=');
+      if (eq != std::string::npos) {
+        if (mode.substr(0, eq) != "mode") {
+          fail(line_no, "sched: unknown key '" + mode.substr(0, eq) + "'");
+        }
+        mode = mode.substr(eq + 1);
+      }
+      if (mode == "static") {
+        config.runtime.sched = SchedMode::kStatic;
+      } else if (mode == "steal") {
+        config.runtime.sched = SchedMode::kSteal;
+      } else {
+        fail(line_no, "sched: expected static|steal, got '" + mode + "'");
+      }
     } else if (kind == "channel") {
       if (tokens.size() < 2) fail(line_no, "channel needs a name");
       ConfigChannel channel;

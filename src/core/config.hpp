@@ -13,6 +13,7 @@
 //   actor   <name> type=<registered-type> [enclave=<name>]
 //   worker  <name> cpus=<c0,c1,...> actors=<a0,a1,...>
 //   channel <name> [plain]
+//   sched   static|steal          (also: sched mode=static|steal)
 #pragma once
 
 #include <functional>

@@ -9,6 +9,14 @@ const ActorHealth* HealthSnapshot::actor(std::string_view name) const noexcept {
   return nullptr;
 }
 
+const WorkerHealth* HealthSnapshot::worker(
+    std::string_view name) const noexcept {
+  for (const WorkerHealth& w : workers) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
 std::size_t HealthSnapshot::count_in_state(ActorState state) const noexcept {
   std::size_t n = 0;
   for (const ActorHealth& a : actors) {
@@ -43,6 +51,13 @@ std::string HealthSnapshot::to_string() const {
            (c.encrypted ? "encrypted" : "plain") + ", " +
            std::to_string(c.auth_failures) + " auth failures, " +
            std::to_string(c.frame_errors) + " frame errors\n";
+  }
+  for (const WorkerHealth& w : workers) {
+    out += "  worker " + w.name + ": " + std::to_string(w.rounds) +
+           " rounds, " + std::to_string(w.dispatches) + " dispatches, " +
+           std::to_string(w.steals) + " steals, queue_depth " +
+           std::to_string(w.queue_depth) + ", ready_actors " +
+           std::to_string(w.ready_actors) + '\n';
   }
   return out;
 }

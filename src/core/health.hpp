@@ -42,13 +42,24 @@ struct PoolHealth {
   std::uint64_t exhaustions = 0;  // get() calls that found the pool empty
 };
 
+struct WorkerHealth {
+  std::string name;
+  std::uint64_t rounds = 0;
+  std::uint64_t dispatches = 0;   // actor executions by this worker
+  std::uint64_t steals = 0;       // dispatches taken from a victim's queue
+  std::size_t queue_depth = 0;    // ready actors sitting in its run queues
+  std::size_t ready_actors = 0;   // home actors not parked (queued/running)
+};
+
 struct HealthSnapshot {
   std::vector<ActorHealth> actors;
   std::vector<ChannelHealth> channels;
+  std::vector<WorkerHealth> workers;
   PoolHealth pool;  // the runtime's public pool
 
-  // Lookup helper; nullptr when `name` is unknown.
+  // Lookup helpers; nullptr when `name` is unknown.
   const ActorHealth* actor(std::string_view name) const noexcept;
+  const WorkerHealth* worker(std::string_view name) const noexcept;
 
   // Deployment-level predicates the soak tests assert on.
   std::size_t count_in_state(ActorState state) const noexcept;

@@ -101,10 +101,23 @@ void Runtime::start() {
       actor->record_failure("non-standard exception in construct()");
     }
   }
+  // Wire the scheduler before any thread runs: in steal mode every worker
+  // learns the full worker list (steal victims), derives its enclave
+  // affinity mask from its home actors, and sizes its run queues to the
+  // total actor count (an actor occupies at most one queue slot
+  // system-wide, so the queues can never overflow).
+  std::vector<Worker*> peers;
+  peers.reserve(workers_.size());
+  for (auto& worker : workers_) peers.push_back(worker.get());
+  for (auto& worker : workers_) {
+    worker->configure_sched(options_.sched, peers, actors_.size());
+  }
   for (auto& worker : workers_) worker->start();
   running_ = true;
-  EA_INFO("core", "runtime started: %zu actors, %zu workers, %zu enclaves",
-          actors_.size(), workers_.size(), enclaves_.size());
+  EA_INFO("core",
+          "runtime started: %zu actors, %zu workers, %zu enclaves, sched=%s",
+          actors_.size(), workers_.size(), enclaves_.size(),
+          to_string(options_.sched));
 }
 
 void Runtime::stop() {
@@ -122,12 +135,16 @@ std::string Runtime::stats_string() const {
   };
   append("runtime: " + std::to_string(actors_.size()) + " actors, " +
          std::to_string(workers_.size()) + " workers, " +
-         std::to_string(enclaves_.size()) + " enclaves, pool free " +
+         std::to_string(enclaves_.size()) + " enclaves, sched " +
+         to_string(options_.sched) + ", pool free " +
          std::to_string(pool_.size()) + "/" +
          std::to_string(options_.pool_nodes));
   for (const auto& worker : workers_) {
     append("  worker " + worker->name() + ": " +
-           std::to_string(worker->rounds()) + " rounds");
+           std::to_string(worker->rounds()) + " rounds, " +
+           std::to_string(worker->dispatches()) + " dispatches, " +
+           std::to_string(worker->steals()) + " steals, queue_depth " +
+           std::to_string(worker->queue_depth()));
   }
   for (const auto& actor : actors_) {
     append("  actor " + actor->name() + ": " +
@@ -174,6 +191,17 @@ HealthSnapshot Runtime::health() const {
     c.auth_failures = channel->auth_failures();
     c.frame_errors = channel->frame_errors();
     snap.channels.push_back(std::move(c));
+  }
+  snap.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WorkerHealth w;
+    w.name = worker->name();
+    w.rounds = worker->rounds();
+    w.dispatches = worker->dispatches();
+    w.steals = worker->steals();
+    w.queue_depth = worker->queue_depth();
+    w.ready_actors = worker->ready_home_actors();
+    snap.workers.push_back(std::move(w));
   }
   snap.pool.free = pool_.size();
   snap.pool.capacity = pool_.capacity();

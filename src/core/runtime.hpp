@@ -27,6 +27,10 @@ struct RuntimeOptions {
   // Public message pool preallocation.
   std::size_t pool_nodes = 4096;
   std::size_t node_payload_bytes = 2048;
+  // Scheduler (DESIGN.md §14): kStatic is the paper's fixed round-robin
+  // mapping (and the ablation baseline); kSteal enables per-worker run
+  // queues with affinity-filtered work stealing.
+  SchedMode sched = SchedMode::kStatic;
 };
 
 class Runtime {

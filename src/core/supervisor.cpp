@@ -34,6 +34,9 @@ SupervisorActor::SupervisorActor(std::string name, Options options)
   // Root of the supervision tree: injected body faults are absorbed by
   // everyone *below* it; nothing heals the healer.
   fault_exempt_ = true;
+  // Containment sweeps run high priority under the stealing scheduler so
+  // failed actors are healed even when the run queues are saturated.
+  set_priority(ActorPriority::kHigh);
 }
 
 void SupervisorActor::set_policy(const std::string& actor,

@@ -1,12 +1,26 @@
-// Workers (paper §3.2).
+// Workers (paper §3.2) and the two scheduling modes (DESIGN.md §14).
 //
 // A worker manages one POSIX thread, is bound to a CPU set, and executes
-// the body functions of its assigned eactors in round-robin order. The key
-// optimisation: if every actor of a worker lives in the same enclave, the
-// worker enters that enclave once and never leaves — zero transitions on
-// the steady-state path. Mixed assignments are allowed but each round pays
-// the migration transitions, which the paper advises to reserve for rarely
-// activated actors.
+// eactor body functions. Two schedulers are available, selected per
+// deployment (`sched=static|steal` in the config grammar):
+//
+//  * kStatic — the paper's scheduler and the ablation baseline: the worker
+//    executes its fixed actor list round-robin. If every actor of a worker
+//    lives in the same enclave, the worker enters that enclave once and
+//    never leaves — zero transitions on the steady-state path.
+//
+//  * kSteal — per-worker run queues with work stealing (CAF-style, see
+//    *Revisiting Actor Programming in C++*): the worker drains its own
+//    ready queues (high priority first), then steals from a random victim,
+//    respecting enclave affinity — an actor may only run on workers entered
+//    into its enclave, so every worker carries an affinity mask (the
+//    enclaves of its home actors) and steals filter candidates by it.
+//    Actors carry a ready/idle state driven by mailbox activity: an actor
+//    whose body made no progress and whose mailboxes are empty parks,
+//    occupying no queue slot, until a home-worker poll tick wakes it. The
+//    thread stays inside the enclave of the last dispatched actor
+//    ("sticky" entry), so uniform-affinity workers keep the zero-transition
+//    fast path of the static scheduler.
 #pragma once
 
 #include <atomic>
@@ -15,9 +29,20 @@
 #include <thread>
 #include <vector>
 
+#include "concurrent/runqueue.hpp"
 #include "core/actor.hpp"
 
 namespace ea::core {
+
+// Deployment-wide scheduler selection (RuntimeOptions::sched, config
+// directive `sched static|steal`). Static is the default: existing
+// deployments keep the paper's fixed mapping bit-for-bit.
+enum class SchedMode : std::uint8_t {
+  kStatic = 0,
+  kSteal = 1,
+};
+
+const char* to_string(SchedMode mode) noexcept;
 
 // Idle pacing for a worker's scheduling loop. Real EActors workers spin
 // (they own a hardware thread); on machines with fewer cores than workers
@@ -63,6 +88,14 @@ class IdleBackoff {
 
 class Worker {
  public:
+  // Stealing-scheduler pacing. A round drains at most kStealRoundBudget
+  // dispatches before re-checking stop/poll duties; parked home actors are
+  // re-polled every kIdlePollRounds rounds while the worker is busy (and
+  // immediately on an empty round), bounding both the poll overhead under
+  // load and the wake latency of sources that cannot signal pending work.
+  static constexpr std::size_t kStealRoundBudget = 128;
+  static constexpr std::uint32_t kIdlePollRounds = 16;
+
   Worker(std::string name, std::vector<int> cpus);
   ~Worker();
 
@@ -74,6 +107,31 @@ class Worker {
   void assign(Actor* actor) { actors_.push_back(actor); }
   const std::vector<Actor*>& actors() const noexcept { return actors_; }
 
+  // Selects the scheduler and, for kSteal, wires the steal topology: the
+  // full worker list (victims) and the run-queue capacity (total actors in
+  // the deployment — a queue can never overflow because an actor occupies
+  // at most one slot system-wide). Also derives the enclave-affinity mask
+  // from the home actors. Called by Runtime::start() before threads run.
+  void configure_sched(SchedMode mode, std::vector<Worker*> peers,
+                       std::size_t queue_capacity);
+
+  SchedMode sched_mode() const noexcept { return mode_; }
+
+  // True when this worker may legally dispatch an actor placed in
+  // `enclave`: untrusted actors run anywhere; enclave actors only on
+  // workers whose home set entered that enclave.
+  bool can_run(sgxsim::EnclaveId enclave) const noexcept;
+
+  // The enclaves this worker is entitled to enter (sorted, deduplicated).
+  const std::vector<sgxsim::EnclaveId>& affinity() const noexcept {
+    return affinity_;
+  }
+
+  // Worker currently executing on this thread (nullptr off worker
+  // threads). Tests use this to assert the affinity invariant on every
+  // dispatch.
+  static Worker* current() noexcept;
+
   void start();
   void request_stop() noexcept {
     stop_.store(true, std::memory_order_relaxed);
@@ -84,6 +142,28 @@ class Worker {
     return rounds_.load(std::memory_order_relaxed);
   }
 
+  // --- stealing-scheduler observability (health snapshot) -----------------
+
+  // Actors dispatched by this worker (both modes; static counts per-actor
+  // executions of its round-robin list).
+  std::uint64_t dispatches() const noexcept {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
+  // Actors this worker took from a victim's queue.
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  // Ready actors currently sitting in this worker's run queues.
+  std::size_t queue_depth() const noexcept {
+    return high_q_.size() + norm_q_.size();
+  }
+
+  // Home actors currently not parked (queued or running, here or on the
+  // worker that stole them).
+  std::size_t ready_home_actors() const noexcept;
+
  private:
   void run();
   void run_single_enclave(sgxsim::Enclave& enclave);
@@ -92,12 +172,42 @@ class Worker {
   // actor reported progress.
   bool round();
 
+  // --- stealing scheduler --------------------------------------------------
+  void run_steal();
+  // Moves the thread into `enclave` (sticky: stays until a dispatch needs a
+  // different placement; kUntrusted exits).
+  void switch_enclave(sgxsim::EnclaveId enclave);
+  // Runs one dispatch of an actor this thread holds exclusively
+  // (kDispatched) and hands it back to kQueued (re-push) or kParked.
+  bool dispatch_steal(Actor& actor);
+  // Pops the next ready actor from the own queues (high first) and claims
+  // it; nullptr when both are empty.
+  Actor* pop_own();
+  void push_own(Actor* actor, bool fresh_wakeup);
+  // Random-victim steal, filtered by this worker's affinity mask.
+  Actor* try_steal();
+  // Poll tick: wakes parked home actors with pending mailbox work into the
+  // queue's hot end and body-polls the ones that cannot signal readiness.
+  // Returns true when any dispatch progressed or any actor was woken.
+  bool poll_parked_home();
+  static bool steal_filter(void* item, const void* ctx);
+
   std::string name_;
   std::vector<int> cpus_;
   std::vector<Actor*> actors_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> rounds_{0};
+
+  SchedMode mode_ = SchedMode::kStatic;
+  std::vector<Worker*> peers_;  // all workers incl. this one (steal victims)
+  std::vector<sgxsim::EnclaveId> affinity_;
+  concurrent::RunQueue high_q_;
+  concurrent::RunQueue norm_q_;
+  sgxsim::EnclaveId entered_ = sgxsim::kUntrusted;  // sticky enclave context
+  std::uint64_t victim_rng_ = 0;
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace ea::core

@@ -87,7 +87,11 @@ class OpenerActor : public core::Actor {
  public:
   OpenerActor(std::string name, std::shared_ptr<SocketTable> table,
               concurrent::Pool& pool)
-      : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {}
+      : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {
+    // fd-facing: socket readiness must not queue behind bulk message churn
+    // under the stealing scheduler.
+    set_priority(core::ActorPriority::kHigh);
+  }
 
   concurrent::Mbox& requests() noexcept { return requests_; }
   bool body() override;
@@ -104,7 +108,9 @@ class AccepterActor : public core::Actor {
  public:
   AccepterActor(std::string name, std::shared_ptr<SocketTable> table,
                 concurrent::Pool& pool)
-      : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {}
+      : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {
+    set_priority(core::ActorPriority::kHigh);
+  }
 
   concurrent::Mbox& requests() noexcept { return requests_; }
   bool body() override;
@@ -124,7 +130,9 @@ class ReaderActor : public core::Actor {
               concurrent::Pool& default_pool)
       : core::Actor(std::move(name)),
         table_(std::move(table)),
-        default_pool_(default_pool) {}
+        default_pool_(default_pool) {
+    set_priority(core::ActorPriority::kHigh);
+  }
 
   concurrent::Mbox& requests() noexcept { return requests_; }
   bool body() override;
@@ -141,7 +149,9 @@ class ReaderActor : public core::Actor {
 class WriterActor : public core::Actor {
  public:
   WriterActor(std::string name, std::shared_ptr<SocketTable> table)
-      : core::Actor(std::move(name)), table_(std::move(table)) {}
+      : core::Actor(std::move(name)), table_(std::move(table)) {
+    set_priority(core::ActorPriority::kHigh);
+  }
   // Parks every queued node back into its pool: whether the writer dies
   // with the runtime or is quarantined by the supervisor, node
   // conservation must hold for the surviving deployment.
@@ -171,7 +181,9 @@ class WriterActor : public core::Actor {
 class CloserActor : public core::Actor {
  public:
   CloserActor(std::string name, std::shared_ptr<SocketTable> table)
-      : core::Actor(std::move(name)), table_(std::move(table)) {}
+      : core::Actor(std::move(name)), table_(std::move(table)) {
+    set_priority(core::ActorPriority::kHigh);
+  }
 
   // Push nodes with tag = socket id.
   concurrent::Mbox& input() noexcept { return input_; }

@@ -417,6 +417,33 @@ channel c2
   EXPECT_FALSE(config.channels[1].force_plain);
 }
 
+TEST(ConfigTest, SchedDirectiveSelectsScheduler) {
+  EXPECT_EQ(DeploymentConfig::parse("sched steal").runtime.sched,
+            SchedMode::kSteal);
+  EXPECT_EQ(DeploymentConfig::parse("sched static").runtime.sched,
+            SchedMode::kStatic);
+  EXPECT_EQ(DeploymentConfig::parse("sched mode=steal").runtime.sched,
+            SchedMode::kSteal);
+  // Default: deployments that don't mention sched keep the paper's fixed
+  // static mapping.
+  EXPECT_EQ(DeploymentConfig::parse("enclave e1").runtime.sched,
+            SchedMode::kStatic);
+}
+
+TEST(ConfigTest, SchedDirectiveRejectsBadMode) {
+  EXPECT_THROW(DeploymentConfig::parse("sched"), std::invalid_argument);
+  EXPECT_THROW(DeploymentConfig::parse("sched greedy"), std::invalid_argument);
+  EXPECT_THROW(DeploymentConfig::parse("sched policy=steal"),
+               std::invalid_argument);
+  try {
+    DeploymentConfig::parse("pool nodes=64\nsched greedy\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("greedy"), std::string::npos);
+  }
+}
+
 TEST(ConfigTest, RejectsUnknownDirective) {
   EXPECT_THROW(DeploymentConfig::parse("bogus x"), std::invalid_argument);
 }

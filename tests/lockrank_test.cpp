@@ -186,7 +186,30 @@ TEST(LockRank, RankNamesCoverTable) {
   EXPECT_STREQ(lock_rank_name(LockRank::kPosBucket), "kPosBucket");
   EXPECT_STREQ(lock_rank_name(LockRank::kMagazineRegistry),
                "kMagazineRegistry");
+  EXPECT_STREQ(lock_rank_name(LockRank::kRunQueue), "kRunQueue");
   EXPECT_STREQ(lock_rank_name(static_cast<LockRank>(255)), "kUnknown");
+}
+
+// Scheduler ordering regression: the run-queue lock ranks BELOW the mbox
+// rank — a worker may probe lock-free mbox counters (and in steal mode,
+// push to a queue) while threading scheduler state, but dispatch code must
+// never acquire a run-queue lock while holding an mbox lock (the reverse
+// could deadlock a steal against a concurrent mailbox push). The checker
+// turns that schedule-dependent deadlock into a deterministic throw.
+TEST(LockRank, RunQueueUnderMboxIsInverted) {
+  HleSpinLock queue_lock(LockRank::kRunQueue);
+  HleSpinLock mbox_lock(LockRank::kMbox);
+  {
+    // Legal direction: queue lock first, mbox later.
+    HleGuard a(queue_lock);
+    HleGuard b(mbox_lock);
+    EXPECT_EQ(concurrent::lock_rank::held_count(), 2);
+  }
+  const auto before = concurrent::lock_rank::violations();
+  mbox_lock.lock();
+  EXPECT_THROW({ HleGuard inner(queue_lock); }, LockRankError);
+  mbox_lock.unlock();
+  EXPECT_EQ(concurrent::lock_rank::violations(), before + 1);
 }
 
 // The violation "aborts via supervisor": an actor whose body performs an

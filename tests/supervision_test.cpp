@@ -481,6 +481,7 @@ TEST_F(SupervisionTest, HealthSnapshotReflectsLifecycleAndFailures) {
   auto& actor = static_cast<FlakyActor&>(
       rt.add_actor(std::make_unique<FlakyActor>("flaky")));
   rt.add_actor(std::make_unique<FlakyActor>("healthy"));
+  rt.add_worker("w0", {}, {"healthy"});
   rt.start();
 
   actor.throw_next = true;
@@ -495,8 +496,22 @@ TEST_F(SupervisionTest, HealthSnapshotReflectsLifecycleAndFailures) {
   EXPECT_EQ(snap.count_in_state(core::ActorState::kFailed), 1u);
   EXPECT_EQ(snap.count_in_state(core::ActorState::kQuarantined), 0u);
   EXPECT_EQ(snap.pool.capacity, core::RuntimeOptions{}.pool_nodes);
-  EXPECT_FALSE(snap.to_string().empty());
   EXPECT_EQ(snap.actor("no-such-actor"), nullptr);
+
+  // Per-worker scheduler counters travel in the snapshot (and its string
+  // form) in both modes; under the default static scheduler the run queues
+  // are unused, so queue_depth and steals stay at zero.
+  ASSERT_EQ(snap.workers.size(), 1u);
+  const core::WorkerHealth* w = snap.worker("w0");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->steals, 0u);
+  EXPECT_EQ(w->queue_depth, 0u);
+  EXPECT_GE(w->dispatches, w->rounds);  // one dispatch per actor per round
+  EXPECT_EQ(snap.worker("no-such-worker"), nullptr);
+  const std::string text = snap.to_string();
+  EXPECT_NE(text.find("worker w0"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("steals"), std::string::npos);
   rt.stop();
 }
 
