@@ -14,7 +14,17 @@
 //             path must not regress in any mode);
 //   mixed   — 1 overwrite per 4 gets over a shared keyspace;
 //   cleaner — timed overwrite churn with a concurrent cleaner thread
-//             recycling outdated versions through the grace protocol.
+//             recycling outdated versions through the epoch-reclamation
+//             pipeline, plus clean-on-pressure: writers that outrun the
+//             cleaner run reclamation steps inline instead of spinning on
+//             a full store (safe under EBR — any thread may clean — and
+//             impossible under the old grace counters, where a writer
+//             would have waited on its own counter).
+//
+// `bench_pos --smoke` runs the cleaner scenario only, with a pinned
+// per-point window independent of EA_BENCH_SECONDS — the perf-regression
+// guard in scripts/check.sh diffs its rows against the committed
+// BENCH_pos.json.
 //
 // The total op count per scenario is fixed as the thread count sweeps, so
 // every point touches the same footprint and only contention varies.
@@ -60,7 +70,11 @@ constexpr Mode kModes[] = {
     {"sharded_mag", 8, 1},
 };
 
+// --smoke: cleaner scenario only, fixed window (see header comment).
+bool g_smoke = false;
+
 double run_seconds() {
+  if (g_smoke) return 0.25;
   return std::max(0.02, bench::seconds_per_point() * 0.5);
 }
 
@@ -111,11 +125,11 @@ std::uint64_t set_total() {
 }
 
 // Ages the store: fills every entry, erases everything, and drives the
-// cleaner (with a ticking reader) until the free lists hold the full
-// capacity again. Erasing in chunks gives the cleaner many grace rounds, so
-// its round-robin batch returns spread the recycled entries across all
-// shards — and within each shard the entries land in bucket-hash order,
-// i.e. scrambled relative to memory. Leaves every bucket chain empty.
+// cleaner until the free lists hold the full capacity again. Erasing in
+// chunks gives the cleaner many gather/advance/flush rounds, so its
+// round-robin batch returns spread the recycled entries across all shards —
+// and within each shard the entries land in bucket-hash order, i.e.
+// scrambled relative to memory. Leaves every bucket chain empty.
 void churn(pos::Pos& store, std::uint64_t entries) {
   std::uint8_t kbuf[8];
   std::uint8_t value[16];
@@ -123,7 +137,6 @@ void churn(pos::Pos& store, std::uint64_t entries) {
   for (std::uint64_t k = 0; k < entries; ++k) {
     store.set(key_bytes(k, kbuf), value);
   }
-  pos::Pos::Reader reader = store.register_reader();
   constexpr std::uint64_t kChunks = 16;
   for (std::uint64_t c = 0; c < kChunks; ++c) {
     const std::uint64_t lo = entries * c / kChunks;
@@ -131,11 +144,11 @@ void churn(pos::Pos& store, std::uint64_t entries) {
     for (std::uint64_t k = lo; k < hi; ++k) {
       store.erase(key_bytes(k, kbuf));
     }
-    // Gather (phase 1) + free (phase 2); two consecutive zero-returns mean
-    // nothing was left to gather or release for this chunk.
+    // No sections are live here, so every step advances; a gathered batch
+    // frees two steps later, and two consecutive zero-returns mean nothing
+    // was left to gather or flush for this chunk.
     std::size_t zeros = 0;
     while (zeros < 2) {
-      reader.tick();
       zeros = store.clean_step() == 0 ? zeros + 1 : 0;
     }
   }
@@ -224,7 +237,13 @@ double run_mixed(const Mode& mode, std::size_t threads) {
 
 double run_cleaner(const Mode& mode, std::size_t threads) {
   const std::uint64_t keyspace = 16;  // per thread; heavy version churn
-  pos::Pos store(store_options(mode, 8192, 1024));
+  pos::PosOptions options = store_options(mode, 8192, 1024);
+  // Writers help reclaim when allocation pressure outruns the dedicated
+  // cleaner thread — the cooperative mode epoch reclamation makes safe
+  // (any thread may clean; grace counters had writers waiting on
+  // themselves).
+  options.clean_on_pressure = true;
+  pos::Pos store(options);
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> ops{0};
@@ -236,7 +255,6 @@ double run_cleaner(const Mode& mode, std::size_t threads) {
 
   const double window = run_seconds();
   const double secs = timed_threads(threads, [&](std::size_t t) {
-    pos::Pos::Reader reader = store.register_reader();
     std::uint8_t kbuf[8];
     std::uint8_t value[16];
     std::memset(value, 0x44, sizeof(value));
@@ -247,7 +265,6 @@ double run_cleaner(const Mode& mode, std::size_t threads) {
     while (timer.seconds() < window) {
       const std::uint64_t k = base | (i++ % keyspace);
       if (store.set(key_bytes(k, kbuf), value)) ++done;
-      reader.tick();
     }
     ops.fetch_add(done, std::memory_order_relaxed);
   });
@@ -259,9 +276,29 @@ double run_cleaner(const Mode& mode, std::size_t threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::csv_header();
   util::BenchReport report("pos");
+
+  if (g_smoke) {
+    for (const Mode& mode : kModes) {
+      for (const std::size_t w : kWorkerCounts) {
+        const double v = run_cleaner(mode, w);
+        bench::row("pos_cleaner", mode.name, static_cast<double>(w), v,
+                   "op/s");
+        report.add("cleaner", mode.name, static_cast<double>(w), v, "op/s");
+      }
+    }
+    const std::string path = util::env_str("EA_BENCH_JSON", "BENCH_pos.json");
+    if (!report.write(path)) {
+      bench::note("failed to write %s", path.c_str());
+      return 1;
+    }
+    bench::note("wrote %s (%zu results, cleaner smoke)", path.c_str(),
+                report.size());
+    return 0;
+  }
 
   // set throughput per [mode][thread-point], for the trailing ratio note.
   double set_tp[3][4] = {};

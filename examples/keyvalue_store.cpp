@@ -1,9 +1,10 @@
 // Persistent Object Store walk-through (paper §4.1): a file-backed,
 // linearisable key-value store accessed without system calls on the data
 // path, with deterministic key encryption, AEAD-protected combined pairs,
-// a cleaner reclaiming superseded versions under grace-counter protection,
-// and the encryption master key sealed to an enclave identity so it
-// survives restarts.
+// a cleaner reclaiming superseded versions under epoch-based reclamation
+// (every operation runs in an epoch section; frees wait out the safety
+// horizon), and the encryption master key sealed to an enclave identity so
+// it survives restarts.
 //
 // Build & run:  ./build/examples/keyvalue_store
 #include <unistd.h>
@@ -50,8 +51,8 @@ int main() {
 
     // The Cleaner runs as a housekeeping eactor; here we drive it by hand.
     pos::CleanerActor cleaner("cleaner", store);
-    cleaner.body();  // gather outdated versions
-    cleaner.body();  // grace period passed (no registered readers): free
+    cleaner.body();  // gather outdated versions; first epoch advance
+    cleaner.body();  // second advance passes the safety horizon: free
     stats = store.stats();
     std::printf("after cleaning:  %llu live, %llu outdated entries "
                 "(%llu freed)\n",

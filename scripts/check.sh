@@ -18,6 +18,10 @@
 #   nofailpoint zero-overhead-when-off symbol check on the plain tree
 #   bench       bench smoke: bench_batching + bench_pos + bench_sched,
 #               JSON schema check (incl. the zero-copy counter guard)
+#   posperf     perf-regression guard: a fresh `bench_pos --smoke` cleaner
+#               sweep must hold >= 0.8x of the committed BENCH_pos.json
+#               cleaner rows, per-mode geomean (the epoch-reclamation
+#               throughput claim)
 #   tsa         clang build with -DEA_THREAD_SAFETY=ON: the Clang Thread
 #               Safety Analysis over every annotated lock, warnings as
 #               errors (skipped with a notice when clang++ is absent)
@@ -181,6 +185,7 @@ check_bench_json() {
   # check_bench_json <path> <bench-name> <expected-scenarios...>
   python3 - "$@" <<'EOF'
 import json
+import math
 import sys
 
 path, name, *expected = sys.argv[1:]
@@ -224,6 +229,59 @@ run_bench_smoke() {
 leg bench "bench smoke (bench_batching + bench_pos + bench_sched + JSON schema)" \
   run_bench_smoke
 
+# --- POS cleaner perf-regression guard: `--smoke` pins its own 0.25 s ------
+# per-point window (EA_BENCH_SECONDS is ignored), so the fresh numbers are
+# comparable to the committed BENCH_pos.json regardless of how the smoke
+# leg above shrank its windows. Each mode's sweep must hold a 0.8x
+# geometric mean against the committed rows — a cleaner-path regression
+# fails the matrix even when every test still passes.
+run_pos_perf_guard() {
+  EA_BENCH_JSON=build-check/BENCH_pos_smoke.json \
+    ./build-check/bench/bench_pos --smoke >/dev/null || return 1
+  python3 - build-check/BENCH_pos_smoke.json BENCH_pos.json <<'EOF'
+import json
+import math
+import sys
+
+fresh_path, committed_path = sys.argv[1:3]
+def cleaner_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        (r["mode"], r["x"]): r["value"]
+        for r in doc["results"]
+        if r["scenario"] == "cleaner"
+    }
+
+fresh = cleaner_rows(fresh_path)
+committed = cleaner_rows(committed_path)
+assert committed, f"no cleaner rows in {committed_path}"
+missing = set(committed) - set(fresh)
+assert not missing, f"smoke run missing cleaner rows: {sorted(missing)}"
+
+# Single rows jitter +-30% on a loaded single-core host, but a real
+# cleaner-path regression shifts a mode's whole thread sweep, so the gate
+# is the per-mode geometric mean of fresh/committed ratios.
+modes = sorted({mode for mode, _ in committed})
+bad = []
+for mode in modes:
+    keys = [k for k in committed if k[0] == mode]
+    log_sum = sum(math.log(fresh[k] / committed[k]) for k in keys)
+    geomean = math.exp(log_sum / len(keys))
+    line = f"  cleaner/{mode}: geomean {geomean:.2f}x over {len(keys)} rows"
+    print(line)
+    if geomean < 0.8:
+        bad.append(line)
+if bad:
+    print("POS cleaner throughput regressed vs committed BENCH_pos.json:")
+    print("\n".join(bad))
+    sys.exit(1)
+print(f"pos perf guard ok: {len(modes)} modes within 0.8x geomean")
+EOF
+}
+leg posperf "POS cleaner perf guard (--smoke vs committed BENCH_pos.json)" \
+  run_pos_perf_guard
+
 # --- clang thread-safety analysis: the whole annotation sweep is only ------
 # *checked* by clang; this leg compiles the tree with -Werror=thread-safety
 # so any unguarded access to an EA_GUARDED_BY member, missing EA_REQUIRES,
@@ -262,7 +320,7 @@ fi
 # --- summary ---------------------------------------------------------------
 if [[ -n "$LEG_FILTER" && $MATCHED -eq 0 ]]; then
   echo "error: no leg named '$LEG_FILTER'" >&2
-  echo "legs: lint plain asan tsan sched fault supervise lockrank nofailpoint bench tsa tidy" >&2
+  echo "legs: lint plain asan tsan sched fault supervise lockrank nofailpoint bench posperf tsa tidy" >&2
   exit 2
 fi
 note "matrix summary"

@@ -1,0 +1,255 @@
+// Epoch-based reclamation domain (Fraser-style, three epochs).
+//
+// An EpochDomain coordinates read-side critical sections against deferred
+// reclamation without per-operation locks: a thread entering a protected
+// section *announces* the global epoch in a private, cache-line-padded slot;
+// the reclaimer advances the global epoch only when every announced slot is
+// either quiescent (0) or already at the current epoch; anything retired at
+// epoch r is safe to free once the global epoch reaches r + 2 (the classic
+// three-epoch argument: a section announced at r blocks the advance from
+// r+1 to r+2, and a section entered at r+2 provably cannot reach objects
+// unlinked at r — the unlink is sequenced before the advance store that its
+// announce load reads from).
+//
+// Slot management mirrors concurrent/magazine.hpp: a static thread_local
+// record table (one per template instantiation) maps (thread, domain) pairs
+// to claimed slots, a registry list lets the domain disown records in its
+// destructor, and a thread that exits releases its slot for reuse — so the
+// slot array bounds *concurrent* section holders, not the total number of
+// threads ever seen (the old POS grace counters leaked a slot per reader
+// forever). Claim and release serialise on registry_lock_; the announce /
+// leave fast path and the reclaimer's quiescence scan are lock-free.
+//
+// The global epoch itself lives wherever the owner wants it — attach()
+// takes a pointer — so a persistent store can keep it inside its mapped
+// superblock and have epoch monotonicity survive a flush + reopen.
+//
+// Lifetime contract (inherited from MagazineSet): the domain owner must
+// outlive any concurrent use; the destructor's disown only races threads
+// that would be touching a destroyed owner anyway.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "concurrent/hle_lock.hpp"
+
+namespace ea::concurrent {
+
+// MaxSlots bounds concurrent section holders per domain; MaxDomains bounds
+// how many distinct domains a single thread may hold sections in.
+template <std::size_t MaxSlots, std::size_t MaxDomains>
+class EpochDomain {
+ public:
+  // One announcement cell. Padded so a thread's seq_cst announce store
+  // never bounces another thread's line. `announced` is 0 when the slot is
+  // quiescent (epochs start at 1), otherwise the epoch the holder pinned.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> announced{0};
+    std::atomic<bool> claimed{false};
+  };
+
+  EpochDomain() = default;
+  ~EpochDomain() { disown_all(); }
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // Points the domain at its global-epoch word (e.g. a superblock field).
+  // Must be called before the first enter(); *global must be >= 1.
+  void attach(std::atomic<std::uint64_t>* global) noexcept { global_ = global; }
+
+  std::uint64_t global() const noexcept {
+    return global_->load(std::memory_order_seq_cst);
+  }
+
+  // Enters a read-side section: claims a slot on first use (throwing when
+  // MaxSlots threads already hold sections concurrently) and announces the
+  // current global epoch. Re-entrant — nested enters pin the outermost
+  // announcement, which is conservative (never unsafe). Returns the epoch
+  // pinned by this section.
+  std::uint64_t enter() {
+    Record& rec = record_for_this_thread();
+    if (rec.depth++ != 0) {
+      return rec.slot->announced.load(std::memory_order_relaxed);
+    }
+    // Announce-and-recheck: after the seq_cst announce store, reload the
+    // global; if an advance slipped between load and store our announcement
+    // is stale (the scan may already have passed us), so re-announce. Once
+    // the reload matches, seq_cst total order guarantees any later advance
+    // scan observes our announcement.
+    std::uint64_t g = global_->load(std::memory_order_seq_cst);
+    for (;;) {
+      rec.slot->announced.store(g, std::memory_order_seq_cst);
+      const std::uint64_t now = global_->load(std::memory_order_seq_cst);
+      if (now == g) return g;
+      g = now;
+    }
+  }
+
+  // Leaves the section; the outermost leave makes the slot quiescent. An
+  // unbalanced leave (no record, or depth already 0) is ignored rather than
+  // claiming a slot for a thread that never entered.
+  void leave() noexcept {
+    for (Record& rec : thread_records().recs) {
+      if (rec.owner.load(std::memory_order_relaxed) == this) {
+        if (rec.depth != 0 && --rec.depth == 0) {
+          rec.slot->announced.store(0, std::memory_order_seq_cst);
+        }
+        return;
+      }
+    }
+  }
+
+  // True while the calling thread is inside a section of this domain.
+  bool in_section() const noexcept {
+    const Record* rec = find_record(this);
+    return rec != nullptr && rec->depth != 0;
+  }
+
+  // True when every claimed slot is quiescent or announced exactly `g` —
+  // i.e. advancing the global from g to g+1 cannot strand a section more
+  // than one epoch behind. Lock-free: claim-in-progress threads are covered
+  // by the announce-and-recheck loop in enter().
+  bool quiescent_at(std::uint64_t g) const noexcept {
+    for (const Slot& slot : slots_) {
+      const std::uint64_t a = slot.announced.load(std::memory_order_seq_cst);
+      if (a != 0 && a != g) return false;
+    }
+    return true;
+  }
+
+  // Bumps the global epoch by one. The caller decides when (normally only
+  // after quiescent_at(global()) holds; tests force it to prove the
+  // detector catches protocol violations).
+  void advance() noexcept {
+    global_->fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  // Observability for tests and stats: currently announced (in-section)
+  // slots, and claimed slots (a claimed-but-quiescent slot belongs to a
+  // live thread between sections).
+  std::size_t active_slots() const noexcept {
+    std::size_t n = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.announced.load(std::memory_order_seq_cst) != 0) ++n;
+    }
+    return n;
+  }
+  std::size_t claimed_slots() const noexcept {
+    std::size_t n = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.claimed.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Per-(thread, domain) bookkeeping, owned by the thread's TLS table and
+  // linked into the domain's registry so the domain destructor can disown
+  // it. `owner` is atomic for the same reason as Magazine::owner: the slot
+  // scan and the disown must not constitute data races.
+  struct Record {
+    std::atomic<EpochDomain*> owner{nullptr};
+    Record* next_registered = nullptr;  // registry list, registry_lock_
+    Slot* slot = nullptr;
+    std::uint32_t depth = 0;  // owner thread only
+  };
+
+  struct ThreadRecords {
+    Record recs[MaxDomains];
+
+    ~ThreadRecords() {
+      // Thread exit: release every claimed slot back to its domain so the
+      // slot array bounds concurrent holders, not historical threads.
+      for (Record& rec : recs) {
+        EpochDomain* domain = rec.owner.load(std::memory_order_relaxed);
+        if (domain != nullptr) domain->thread_exit(rec);
+      }
+    }
+  };
+
+  static ThreadRecords& thread_records() noexcept {
+    static thread_local ThreadRecords records;
+    return records;
+  }
+
+  static const Record* find_record(const EpochDomain* domain) noexcept {
+    for (const Record& rec : thread_records().recs) {
+      if (rec.owner.load(std::memory_order_relaxed) == domain) return &rec;
+    }
+    return nullptr;
+  }
+
+  Record& record_for_this_thread() {
+    ThreadRecords& table = thread_records();
+    Record* free_rec = nullptr;
+    for (Record& rec : table.recs) {
+      EpochDomain* owner = rec.owner.load(std::memory_order_relaxed);
+      if (owner == this) return rec;
+      if (owner == nullptr && free_rec == nullptr) free_rec = &rec;
+    }
+    if (free_rec == nullptr) {
+      throw std::runtime_error("epoch: thread holds sections in too many domains");
+    }
+    claim_slot(*free_rec);
+    return *free_rec;
+  }
+
+  void claim_slot(Record& rec) EA_EXCLUDES(registry_lock_) {
+    HleGuard guard(registry_lock_);
+    for (Slot& slot : slots_) {
+      if (!slot.claimed.load(std::memory_order_relaxed)) {
+        slot.claimed.store(true, std::memory_order_release);
+        rec.slot = &slot;
+        rec.depth = 0;
+        rec.next_registered = records_;
+        records_ = &rec;
+        rec.owner.store(this, std::memory_order_relaxed);
+        return;
+      }
+    }
+    throw std::runtime_error("epoch: too many concurrent section holders");
+  }
+
+  void thread_exit(Record& rec) noexcept EA_EXCLUDES(registry_lock_) {
+    HleGuard guard(registry_lock_);
+    rec.slot->announced.store(0, std::memory_order_seq_cst);
+    rec.slot->claimed.store(false, std::memory_order_release);
+    Record** link = &records_;
+    while (*link != nullptr) {
+      if (*link == &rec) {
+        *link = rec.next_registered;
+        break;
+      }
+      link = &(*link)->next_registered;
+    }
+    rec.next_registered = nullptr;
+    rec.slot = nullptr;
+    rec.depth = 0;
+    rec.owner.store(nullptr, std::memory_order_relaxed);
+  }
+
+  // Domain teardown: orphan every registered record so a later thread exit
+  // (or stray leave()) touches only its own TLS, never this freed domain.
+  void disown_all() EA_EXCLUDES(registry_lock_) {
+    HleGuard guard(registry_lock_);
+    for (Record* rec = records_; rec != nullptr;) {
+      Record* next = rec->next_registered;
+      rec->next_registered = nullptr;
+      rec->slot = nullptr;
+      rec->depth = 0;
+      rec->owner.store(nullptr, std::memory_order_relaxed);
+      rec = next;
+    }
+    records_ = nullptr;
+  }
+
+  std::atomic<std::uint64_t>* global_ = nullptr;
+  Slot slots_[MaxSlots];
+  mutable HleSpinLock registry_lock_{LockRank::kEpochRegistry};
+  Record* records_ EA_GUARDED_BY(registry_lock_) = nullptr;
+};
+
+}  // namespace ea::concurrent

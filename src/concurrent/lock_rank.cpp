@@ -26,8 +26,10 @@ const char* lock_rank_name(LockRank rank) noexcept {
       return "kPoolShared";
     case LockRank::kMagazineRegistry:
       return "kMagazineRegistry";
-    case LockRank::kPosLimbo:
-      return "kPosLimbo";
+    case LockRank::kPosRetire:
+      return "kPosRetire";
+    case LockRank::kEpochRegistry:
+      return "kEpochRegistry";
     case LockRank::kPosBucket:
       return "kPosBucket";
     case LockRank::kPosFree:
@@ -53,7 +55,7 @@ namespace ea::concurrent::lock_rank {
 
 namespace {
 
-// Deepest real nesting today is three (limbo→bucket→free); sixteen leaves
+// Deepest real nesting today is three (retire→bucket→free); sixteen leaves
 // generous headroom before the checker silently stops tracking a thread.
 constexpr int kMaxHeld = 16;
 

@@ -58,11 +58,21 @@ enum class LockRank : std::uint8_t {
   kRunQueue = 36,        // RunQueue::lock_ (per-worker ready queues)
   kMbox = 40,            // Mbox::lock_
   kPoolShared = 44,      // Pool::lock_ (shared free-list)
+  kPosRetire = 46,       // Pos retire_lock_ — outermost POS lock: the
+                         // cleaner holds it across the whole gather →
+                         // advance → flush step (nesting bucket, epoch
+                         // registry and free-shard locks), and a stats
+                         // conservation snapshot holds it across the
+                         // magazine accounting scan, so it must rank below
+                         // kMagazineRegistry.
   kMagazineRegistry = 48,  // MagazineSet::registry_lock_ (held across the
                            // evict drain, which pushes into POS free shards)
 
-  // pos/ — sealed store internals; the cleaner nests limbo→bucket→free.
-  kPosLimbo = 56,        // Pos limbo_lock_
+  // pos/ — sealed store internals; the cleaner nests
+  // retire→{bucket, epoch registry, free} in ascending order.
+  kEpochRegistry = 58,   // EpochDomain::registry_lock_ (slot claim/release
+                         // only; the announce fast path and the advance
+                         // scan are lock-free)
   kPosBucket = 60,       // Pos bucket_locks_[]
   kPosFree = 64,         // Pos free_locks_[] (shard free-lists)
 

@@ -19,7 +19,7 @@
 //   * every member written under a lock carries EA_GUARDED_BY(lock);
 //   * functions with a "caller must hold X" contract carry EA_REQUIRES(X);
 //   * deliberately lock-free paths (probe counters, RCU-style walks under
-//     the POS grace contract) are marked EA_NO_THREAD_SAFETY_ANALYSIS and
+//     the POS epoch sections) are marked EA_NO_THREAD_SAFETY_ANALYSIS and
 //     MUST carry an inline `// tsa: <why this is safe>` justification on
 //     the same or the preceding line — enclave-lint v2 fails the build
 //     otherwise (rule `tsa-unjustified`).
@@ -77,7 +77,7 @@
 #define EA_RETURN_CAPABILITY(x) EA_THREAD_ANNOTATION__(lock_returned(x))
 
 // Function-level opt-out. Reserved for protocols the analysis cannot
-// express (lock-free probes, grace-contract walks); enclave-lint v2
+// express (lock-free probes, epoch-protected walks); enclave-lint v2
 // requires an adjacent `// tsa:` justification for every use.
 #define EA_NO_THREAD_SAFETY_ANALYSIS \
   EA_THREAD_ANNOTATION__(no_thread_safety_analysis)

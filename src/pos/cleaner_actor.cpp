@@ -10,6 +10,7 @@ bool CleanerActor::body() {
   // report an idle round.
   if (EA_FAIL_TRIGGERED("pos.cleaner.skip")) return false;
   std::size_t freed = store_.clean_step();
+  rounds_.fetch_add(1, std::memory_order_relaxed);
   freed_total_.fetch_add(freed, std::memory_order_relaxed);
   return freed > 0;
 }

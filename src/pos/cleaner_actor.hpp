@@ -1,7 +1,10 @@
 // The Cleaner: a housekeeping eactor that reclaims outdated POS entries
-// (paper §4.1). It runs clean_step() every activation; reclamation only
-// completes once every registered reader has run since the invalidation,
-// which the store checks via the grace counters.
+// (paper §4.1). Each activation drives one epoch-reclamation round —
+// gather newly superseded versions into a retirement batch, advance the
+// global epoch if every announced section has caught up, and free the
+// batches that are two epochs stale (DESIGN.md §15). Frees therefore trail
+// gathers by a couple of activations; an activation that only gathered or
+// advanced still made progress toward them.
 #pragma once
 
 #include <atomic>
@@ -22,9 +25,16 @@ class CleanerActor : public core::Actor {
     return freed_total_.load(std::memory_order_relaxed);
   }
 
+  // Rounds driven so far (test/diagnostic hook: deferred frees mean a
+  // freeing round is typically two rounds after the gather that fed it).
+  std::uint64_t rounds() const noexcept {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+
  private:
   Pos& store_;
   std::atomic<std::uint64_t> freed_total_{0};
+  std::atomic<std::uint64_t> rounds_{0};
 };
 
 }  // namespace ea::pos

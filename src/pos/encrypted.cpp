@@ -24,6 +24,11 @@ util::Bytes EncryptedPos::wrap_key(std::span<const std::uint8_t> key) const {
 
 bool EncryptedPos::set(std::span<const std::uint8_t> key,
                        std::span<const std::uint8_t> value) {
+  // One epoch section per logical operation: the seal + store sequence
+  // rides a single announcement (sections nest, so the inner Pos::set
+  // re-enter is free) and the cleaner treats the whole encrypted op as one
+  // read-side critical section.
+  Pos::Section section(store_);
   util::Bytes enc_key = wrap_key(key);
   // Combined pair: klen(4) || key || value, AEAD-sealed with the encrypted
   // key as associated data — swapping values between keys is detected.
@@ -41,6 +46,9 @@ bool EncryptedPos::set(std::span<const std::uint8_t> key,
 
 std::optional<util::Bytes> EncryptedPos::get(
     std::span<const std::uint8_t> key) {
+  // The lookup, AEAD open and embedded-key check are one logical read:
+  // pin one epoch across all of it.
+  Pos::Section section(store_);
   util::Bytes enc_key = wrap_key(key);
   std::optional<util::Bytes> sealed = store_.get(enc_key);
   if (!sealed.has_value()) return std::nullopt;
@@ -58,6 +66,7 @@ std::optional<util::Bytes> EncryptedPos::get(
 }
 
 bool EncryptedPos::erase(std::span<const std::uint8_t> key) {
+  Pos::Section section(store_);
   return store_.erase(wrap_key(key));
 }
 

@@ -34,6 +34,12 @@ constexpr std::uint32_t kStateLive = 1;
 constexpr std::uint32_t kStateOutdated = 2;  // superseded by a newer version
 constexpr std::uint32_t kStateErased = 3;    // deleted via erase()
 
+// Freed payloads are filled with this before the entry re-enters a free
+// list, so a use-after-retire reads unmistakable garbage instead of stale
+// (possibly plausible) data. The hazard counter is the cheap runtime
+// tripwire; the poison makes the failure loud under ASan/debuggers.
+constexpr std::uint8_t kPoisonByte = 0xDD;
+
 constexpr std::size_t round_up(std::size_t v, std::size_t a) {
   return (v + a - 1) / a * a;
 }
@@ -63,10 +69,14 @@ struct Pos::Superblock {
   std::uint32_t reserved;
   std::uint64_t entry_stride;
   std::uint64_t buckets_off;
-  std::uint64_t grace_off;
   std::uint64_t free_off;
   std::uint64_t entries_off;
   std::atomic<std::uint64_t> epoch;
+  // v3: the global reclamation epoch (concurrent/epoch.hpp) replaces the
+  // v2 grace-counter array. Persisting it keeps epoch monotonicity across
+  // persist() + reopen; the per-thread announcements are process-local and
+  // die with a crash, which merely orphans any in-flight retirement batch.
+  std::atomic<std::uint64_t> reclaim_epoch;
 };
 
 struct Pos::Entry {
@@ -106,6 +116,9 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
       ssize_t got = ::pread(probe, &sb, sizeof(sb), 0);
       ::close(probe);
       if (got == static_cast<ssize_t>(sizeof(sb)) && sb.magic == kPosMagic) {
+        // Version gates everything else: a v2 (grace-counter) image has a
+        // different layout AND a different reclamation protocol, so it is
+        // rejected before any field of its superblock is believed.
         if (sb.version != kPosVersion) {
           throw std::runtime_error("POS: bad version");
         }
@@ -128,14 +141,12 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
   const std::size_t entry_stride =
       round_up(sizeof(Entry) + options_.entry_payload, 64);
   const std::size_t sb_bytes = round_up(sizeof(Superblock), 64);
-  const std::size_t grace_bytes =
-      round_up(kMaxReaders * sizeof(std::atomic<std::uint64_t>), 64);
   const std::size_t bucket_bytes = round_up(
       options_.bucket_count * sizeof(std::atomic<std::uint64_t>), 64);
   const std::size_t free_bytes =
       round_up(shards * sizeof(std::atomic<std::uint64_t>), 64);
   map_bytes_ = round_up(
-      sb_bytes + grace_bytes + bucket_bytes + free_bytes +
+      sb_bytes + bucket_bytes + free_bytes +
           static_cast<std::size_t>(options_.entry_count) * entry_stride,
       4096);
 
@@ -192,17 +203,23 @@ Pos::Pos(PosOptions options) : options_(std::move(options)) {
     sb_->free_shard_count = shards;
     sb_->reserved = 0;
     sb_->entry_stride = entry_stride;
-    sb_->grace_off = sb_bytes;
-    sb_->buckets_off = sb_bytes + grace_bytes;
-    sb_->free_off = sb_bytes + grace_bytes + bucket_bytes;
-    sb_->entries_off = sb_bytes + grace_bytes + bucket_bytes + free_bytes;
+    sb_->buckets_off = sb_bytes;
+    sb_->free_off = sb_bytes + bucket_bytes;
+    sb_->entries_off = sb_bytes + bucket_bytes + free_bytes;
     sb_->epoch.store(1, std::memory_order_relaxed);
+    sb_->reclaim_epoch.store(1, std::memory_order_relaxed);
     entries_base_ = static_cast<std::byte*>(map_) + sb_->entries_off;
     init_fresh();
   } else {
     validate_existing();
     entries_base_ = static_cast<std::byte*>(map_) + sb_->entries_off;
+    // Epoch 0 means "quiescent slot", so a (theoretically) torn image that
+    // lost the initial store is healed rather than trusted.
+    if (sb_->reclaim_epoch.load(std::memory_order_relaxed) == 0) {
+      sb_->reclaim_epoch.store(1, std::memory_order_relaxed);
+    }
   }
+  epochs_.attach(&sb_->reclaim_epoch);
 
   bucket_locks_ =
       std::make_unique<concurrent::HleSpinLock[]>(sb_->bucket_count);
@@ -232,11 +249,21 @@ Pos::~Pos() {
   // Splice every cached entry back onto the shard free lists so a cleanly
   // closed file conserves all entries on persisted structure (a crash
   // instead orphans the in-magazine entries, which recovery tolerates).
+  // Retirement batches are drained the same way: no section can be live
+  // during destruction (lifetime contract), so every batch is past its
+  // horizon by definition.
   if (map_ != nullptr && map_ != MAP_FAILED) {
     magazines_.evict_all(
         [this](std::uint64_t* items, std::uint32_t count) {
           magazine_return(items, count);
         });
+    {
+      concurrent::HleGuard retire_guard(retire_lock_);
+      while (!retired_.empty()) {
+        epochs_.advance();
+        flush_retired();
+      }
+    }
     ::munmap(map_, map_bytes_);
   }
   if (fd_ >= 0) ::close(fd_);
@@ -248,9 +275,6 @@ void Pos::init_fresh() {
   // contiguous block of slots for locality.
   for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
     bucket_head(b).store(0, std::memory_order_relaxed);
-  }
-  for (std::size_t r = 0; r < kMaxReaders; ++r) {
-    grace_counter(r).store(0, std::memory_order_relaxed);
   }
   const std::uint32_t shards = sb_->free_shard_count;
   const std::uint64_t count = sb_->entry_count;
@@ -304,12 +328,6 @@ std::atomic<std::uint64_t>& Pos::bucket_head(std::uint32_t bucket) noexcept {
   return base[bucket];
 }
 
-std::atomic<std::uint64_t>& Pos::grace_counter(std::size_t slot) noexcept {
-  auto* base = reinterpret_cast<std::atomic<std::uint64_t>*>(
-      static_cast<std::byte*>(map_) + sb_->grace_off);
-  return base[slot];
-}
-
 std::atomic<std::uint64_t>& Pos::free_head(std::uint32_t shard)
     const noexcept {
   auto* base = reinterpret_cast<std::atomic<std::uint64_t>*>(
@@ -330,8 +348,8 @@ std::uint32_t Pos::home_shard() const noexcept {
 // Shard lists are only ever mutated under their shard lock; the relaxed
 // atomics inside the critical sections mirror the original single-list
 // code (the lock provides the ordering). Detached entries — a popped batch,
-// a magazine's contents, the cleaner's private chain — are reachable from
-// no persisted root, so a crash while they are in flight orphans them,
+// a magazine's contents, the cleaner's retirement batches — are reachable
+// from no persisted root, so a crash while they are in flight orphans them,
 // which integrity_error() deliberately tolerates.
 
 std::uint32_t Pos::shard_pop(std::uint32_t s, std::uint64_t* out,
@@ -470,11 +488,60 @@ std::uint64_t Pos::alloc_entry() EA_LOCK_NOEXCEPT {
   return off;
 }
 
+// --- epoch sections ---------------------------------------------------------
+
+void Pos::epoch_enter() {
+  // Kill-point: the announcement is process-local state; a crash here loses
+  // nothing on the file — torture uses it to kill "between announce and
+  // first touch".
+  EA_FAIL_POINT("pos.epoch.announce");
+  epochs_.enter();
+}
+
+void Pos::epoch_leave() noexcept { epochs_.leave(); }
+
+std::uint64_t Pos::reclaim_epoch() const noexcept { return epochs_.global(); }
+
+std::size_t Pos::epoch_slots_active() const noexcept {
+  return epochs_.active_slots();
+}
+
+std::size_t Pos::epoch_slots_claimed() const noexcept {
+  return epochs_.claimed_slots();
+}
+
+void Pos::note_hazard() noexcept {
+  hazards_.fetch_add(1, std::memory_order_relaxed);
+}
+
+#if defined(EA_FAILPOINTS)
+void Pos::set_walk_hook(WalkHook hook, void* ctx) noexcept {
+  walk_ctx_ = ctx;
+  walk_hook_.store(hook, std::memory_order_release);
+}
+#endif
+
 bool Pos::set(std::span<const std::uint8_t> key,
               std::span<const std::uint8_t> value) {
   if (key.empty() || key.size() + value.size() > sb_->entry_payload) {
     return false;
   }
+  if (set_once(key, value)) return true;
+  if (!options_.clean_on_pressure) return false;
+  // Allocation pressure: help the cleaner instead of failing outright.
+  // Any thread may reclaim under epoch-based reclamation (the retirement
+  // lock serialises helpers), and we hold no section here, so two steps
+  // are enough to carry a fresh retirement batch across its safety
+  // horizon when the store is otherwise quiet.
+  std::size_t freed = clean_step();
+  if (freed == 0) freed = clean_step();
+  if (freed == 0) return false;
+  return set_once(key, value);
+}
+
+bool Pos::set_once(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> value) {
+  Section section(*this);
   std::uint64_t off = alloc_entry();
   if (off == 0) return false;
 
@@ -509,13 +576,14 @@ bool Pos::set(std::span<const std::uint8_t> key,
   // outdated right away "to ease cleaning" (§4.1). The walk holds no lock:
   // concurrent pushes only prepend above us, concurrent unlinks leave the
   // removed entry's next intact (RCU discipline), and reclamation of
-  // anything we might stand on is deferred by the grace contract — set()
-  // callers, like get() callers, hold a Reader and tick between ops.
+  // anything we might stand on is deferred until our section's epoch is
+  // two advances stale — which our announcement blocks.
   std::uint64_t cur = e->next.load(std::memory_order_relaxed);
   while (cur != 0) {
     Entry* c = entry_at(cur);
-    if (c->state.load(std::memory_order_acquire) == kStateLive &&
-        c->klen == key.size() &&
+    const std::uint32_t state = c->state.load(std::memory_order_acquire);
+    if (state == kStateFree) note_hazard();
+    if (state == kStateLive && c->klen == key.size() &&
         std::memcmp(c->data(), key.data(), key.size()) == 0) {
       c->state.store(kStateOutdated, std::memory_order_release);
       break;
@@ -531,17 +599,31 @@ bool Pos::set(std::span<const std::uint8_t> key,
 std::optional<util::Bytes> Pos::get(std::span<const std::uint8_t> key) {
   gets_[thread_token() % kCounterStripes].v.fetch_add(
       1, std::memory_order_relaxed);
+  Section section(*this);
   const std::uint32_t bucket = bucket_of(key);
   std::uint64_t cur = bucket_head(bucket).load(std::memory_order_acquire);
   while (cur != 0) {
+#if defined(EA_FAILPOINTS)
+    // Test hook (fault builds only): lets the use-after-retire detector
+    // test park this walk on a chosen entry while the cleaner runs.
+    if (WalkHook hook = walk_hook_.load(std::memory_order_acquire)) {
+      hook(walk_ctx_, cur);
+    }
+#endif
     const Entry* e = entry_at(cur);
     // The first occurrence from the top is the newest version; outdated
     // entries of the same key sit deeper and are skipped by returning at
     // the first match (they may legitimately be returned to a get() that
     // began before the overwriting set() — linearisable either way).
     std::uint32_t state = e->state.load(std::memory_order_acquire);
-    if (state != kStateFree && e->klen == key.size() &&
-        std::memcmp(e->data(), key.data(), key.size()) == 0) {
+    if (state == kStateFree) {
+      // A Free entry is never reachable from a bucket chain under the
+      // epoch protocol: seeing one means this walk outlived its safety
+      // horizon. Count it (poisoned payload makes the data side loud too)
+      // and keep walking — the chain terminates in the free list.
+      note_hazard();
+    } else if (e->klen == key.size() &&
+               std::memcmp(e->data(), key.data(), key.size()) == 0) {
       // First (newest) occurrence decides: an erase marker means the key is
       // gone; outdated entries remain readable so a get() racing a set()
       // stays linearisable at its start point (paper Fig. 5).
@@ -554,6 +636,7 @@ std::optional<util::Bytes> Pos::get(std::span<const std::uint8_t> key) {
 }
 
 bool Pos::erase(std::span<const std::uint8_t> key) {
+  Section section(*this);
   const std::uint32_t bucket = bucket_of(key);
   bool found = false;
   // The bucket lock serialises erase against the cleaner's unlink, but not
@@ -578,73 +661,10 @@ bool Pos::erase(std::span<const std::uint8_t> key) {
   return found;
 }
 
-Pos::Reader Pos::register_reader() {
-  std::size_t slot = reader_slots_.fetch_add(1, std::memory_order_relaxed);
-  if (slot >= kMaxReaders) {
-    throw std::runtime_error("POS: too many readers");
-  }
-  Reader reader;
-  reader.pos_ = this;
-  reader.slot_ = slot;
-  return reader;
-}
+// --- cleaner ----------------------------------------------------------------
 
-void Pos::Reader::tick() noexcept {
-  if (pos_ != nullptr) {
-    pos_->grace_counter(slot_).fetch_add(1, std::memory_order_release);
-  }
-}
-
-std::size_t Pos::clean_step() {
-  std::size_t freed = 0;
-  concurrent::HleGuard limbo_guard(limbo_lock_);
-
-  const std::size_t readers =
-      std::min(reader_slots_.load(std::memory_order_relaxed), kMaxReaders);
-
-  if (!limbo_.empty()) {
-    // Phase 2: if every registered reader has run since the snapshot, the
-    // limbo entries cannot be referenced by any in-flight get(): recycle.
-    // The injected stall models a reader that never advances its grace
-    // counter — reclamation must then free nothing, indefinitely.
-    bool grace_passed = !EA_FAIL_TRIGGERED("pos.clean.grace_stall");
-    for (std::size_t r = 0; grace_passed && r < readers; ++r) {
-      if (grace_counter(r).load(std::memory_order_acquire) <=
-          limbo_snapshot_[r]) {
-        grace_passed = false;
-      }
-    }
-    if (grace_passed) {
-      // Build one private chain and splice it onto a single shard — one
-      // lock acquisition per grace round instead of per entry; rotating
-      // the target shard spreads the recycled capacity.
-      std::uint64_t chain_head = 0;
-      std::uint64_t chain_tail = 0;
-      for (std::uint64_t off : limbo_) {
-        // Kill-point: placed before each entry joins the private chain, so
-        // a crash mid-round leaves the not-yet-spliced remainder orphaned
-        // (unreachable), never a half-linked free-list node.
-        EA_FAIL_POINT("pos.clean.free");
-        Entry* e = entry_at(off);
-        e->state.store(kStateFree, std::memory_order_relaxed);
-        e->next.store(chain_head, std::memory_order_relaxed);
-        if (chain_head == 0) chain_tail = off;
-        chain_head = off;
-      }
-      if (chain_head != 0) {
-        const std::uint32_t shard =
-            clean_rr_.fetch_add(1, std::memory_order_relaxed) %
-            sb_->free_shard_count;
-        shard_push_chain(shard, chain_head, chain_tail);
-      }
-      freed = limbo_.size();
-      limbo_.clear();
-    }
-    return freed;
-  }
-
-  // Phase 1: unlink outdated entries from the bucket stacks into limbo and
-  // snapshot the grace counters.
+std::size_t Pos::gather_retired() {
+  std::vector<std::uint64_t> batch;
   for (std::uint32_t b = 0; b < sb_->bucket_count; ++b) {
     concurrent::HleGuard guard(bucket_locks_[b]);
     std::uint64_t prev = 0;
@@ -682,24 +702,104 @@ std::size_t Pos::clean_step() {
         } else {
           entry_at(prev)->next.store(next, std::memory_order_release);
         }
+        // The unlinked entry keeps its own next pointer (RCU discipline):
+        // a section that already stands on it can still walk off it.
         // Kill-point: the entry just left its bucket chain but sits only in
-        // the process-local limbo list, which the crash destroys — the slot
-        // is leaked until the next full reinitialisation, by design.
+        // the process-local retirement batch, which the crash destroys —
+        // the slot is leaked until the next full reinitialisation, by
+        // design.
         EA_FAIL_POINT("pos.clean.unlink");
-        limbo_.push_back(cur);
+        batch.push_back(cur);
       } else {
         prev = cur;
       }
       cur = next;
     }
   }
-  if (!limbo_.empty()) {
-    limbo_snapshot_.assign(kMaxReaders, 0);
-    for (std::size_t r = 0; r < readers; ++r) {
-      limbo_snapshot_[r] = grace_counter(r).load(std::memory_order_acquire);
-    }
+  const std::size_t gathered = batch.size();
+  if (gathered != 0) {
+    retired_.push_back(
+        RetireBatch{epochs_.global(), std::move(batch)});
+    retired_count_ += gathered;
   }
-  return 0;
+  return gathered;
+}
+
+void Pos::advance_epoch() {
+  const std::uint64_t g = epochs_.global();
+  // The forced variant (tests only) skips the quiescence scan to prove the
+  // use-after-retire detector catches a protocol violation; the kill-point
+  // before it is the torture harness's "crash at the advance edge".
+  EA_FAIL_POINT("pos.epoch.advance");
+  if (EA_FAIL_TRIGGERED("pos.epoch.force_advance") || epochs_.quiescent_at(g)) {
+    epochs_.advance();
+  }
+}
+
+std::size_t Pos::flush_retired() {
+  const std::uint64_t g = epochs_.global();
+  std::size_t freed = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    RetireBatch& batch = retired_[i];
+    if (batch.epoch + 2 > g) {
+      // Not yet past the safety horizon; batches are appended in epoch
+      // order but re-checked individually so a forced advance cannot skip
+      // one by accident. Move only when compacting over a freed slot — a
+      // self-move-assign would empty the batch's entry vector.
+      if (kept != i) {
+        retired_[kept] = std::move(batch);
+      }
+      ++kept;
+      continue;
+    }
+    // Kill-point: the batch is about to be poisoned and spliced; a crash
+    // anywhere in the loop below leaves some entries Free-but-unreachable
+    // and the rest Outdated-but-unreachable — all orphans, all tolerated.
+    EA_FAIL_POINT("pos.retire.flush");
+    std::uint64_t chain_head = 0;
+    std::uint64_t chain_tail = 0;
+    for (std::uint64_t off : batch.entries) {
+      Entry* e = entry_at(off);
+      // Poison before the state flip: any straggler section that still
+      // dereferences this entry reads 0xDD garbage (and zero lengths), not
+      // stale data, and the bucket-walk hazard counter fires on the Free
+      // state.
+      std::memset(e->data(), kPoisonByte, sb_->entry_payload);
+      e->klen = 0;
+      e->vlen = 0;
+      e->state.store(kStateFree, std::memory_order_release);
+      e->next.store(chain_head, std::memory_order_relaxed);
+      if (chain_head == 0) chain_tail = off;
+      chain_head = off;
+    }
+    if (chain_head != 0) {
+      // One splice per batch — a single shard-lock acquisition; rotating
+      // the target shard spreads the recycled capacity.
+      const std::uint32_t shard =
+          clean_rr_.fetch_add(1, std::memory_order_relaxed) %
+          sb_->free_shard_count;
+      shard_push_chain(shard, chain_head, chain_tail);
+    }
+    freed += batch.entries.size();
+  }
+  retired_.resize(kept);
+  retired_count_ -= freed;
+  return freed;
+}
+
+std::size_t Pos::clean_step() {
+  concurrent::HleGuard retire_guard(retire_lock_);
+  // Gather first (tagging the batch with the pre-advance epoch), then try
+  // to advance, then flush whatever is two epochs stale. With no active
+  // sections a batch gathered at G frees on the step after next — the same
+  // cadence the grace counters had with zero readers — but a thread that
+  // is merely *between* operations never stalls the pipeline, and multiple
+  // epoch-tagged batches stay in flight instead of serialising.
+  std::size_t gathered = gather_retired();
+  (void)gathered;
+  advance_epoch();
+  return flush_retired();
 }
 
 bool Pos::persist() {
@@ -707,7 +807,9 @@ bool Pos::persist() {
   // The epoch bump is the commit marker: a flushed image always carries a
   // higher epoch than the image before the previous persist(). The
   // kill-point between bump and msync is the torture harness's
-  // "crash mid superblock commit" scenario.
+  // "crash mid superblock commit" scenario. The reclamation epoch rides
+  // along in the superblock, which is what keeps it monotonic across
+  // reopen.
   sb_->epoch.fetch_add(1, std::memory_order_release);
   EA_FAIL_POINT("pos.superblock.commit");
   int rc = ::msync(map_, map_bytes_, MS_SYNC);
@@ -795,6 +897,13 @@ std::optional<std::string> Pos::integrity_error() const {
 
 PosStats Pos::stats() const {
   PosStats stats;
+  // The whole snapshot sits under the retire lock: the cleaner (which also
+  // holds it for its entire step) cannot migrate entries between the
+  // bucket chains, the retirement batches and the free lists while the
+  // categories are being counted. The pre-epoch version took the state
+  // scan, the shard walks and the magazine count at different times and a
+  // concurrent clean_step could shift entries between them mid-sum.
+  concurrent::HleGuard retire_guard(retire_lock_);
   for (std::size_t i = 0; i < kCounterStripes; ++i) {
     stats.sets += sets_[i].v.load(std::memory_order_relaxed);
     stats.gets += gets_[i].v.load(std::memory_order_relaxed);
@@ -815,6 +924,11 @@ PosStats Pos::stats() const {
         break;
     }
   }
+  // Retired entries still carry the Outdated/Erased state (sections may
+  // read them until the horizon passes), so the scan counted them under
+  // `outdated`; reapportion so `outdated` means "still linked in a bucket".
+  stats.retired = retired_count_;
+  stats.outdated -= std::min(stats.outdated, stats.retired);
   // Location decomposition of the Free population: walk each shard list
   // under its lock (capped defensively — a concurrent writer cannot extend
   // the walk past the entry count without a cycle, which integrity_error()
@@ -830,12 +944,8 @@ PosStats Pos::stats() const {
     }
   }
   stats.in_magazine = magazines_.cached();
-  {
-    // limbo_ is guarded by limbo_lock_ (kPosLimbo); the snapshot read must
-    // hold it like every other access so the capability annotation holds.
-    concurrent::HleGuard limbo_guard(limbo_lock_);
-    stats.limbo = limbo_.size();
-  }
+  stats.reclaim_epoch = epochs_.global();
+  stats.reclaim_hazards = hazards_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -4,15 +4,13 @@
 // that "utilises the page cache of the kernel": no system call on the data
 // path, only an explicit persist() (msync) when durability is demanded.
 //
-// Layout (cf. paper Fig. 4): superblock | grace counters | bucket heads |
-// free-shard heads | entry slots. Entries are managed as stacks: set(k,v)
-// pushes a *new* version on the bucket stack of hash(k) and marks the
-// previous version outdated; get(k) scans from the top and returns the
-// first match, so a get racing a set returns the value current when the get
-// began — the store is linearisable (paper Fig. 5). Outdated versions
-// accumulate until the Cleaner removes them, which it may only do once
-// every registered reader has executed at least once since the invalidation
-// (grace counters).
+// Layout (cf. paper Fig. 4): superblock | bucket heads | free-shard heads |
+// entry slots. Entries are managed as stacks: set(k,v) pushes a *new*
+// version on the bucket stack of hash(k) and marks the previous version
+// outdated; get(k) scans from the top and returns the first match, so a get
+// racing a set returns the value current when the get began — the store is
+// linearisable (paper Fig. 5). Outdated versions accumulate until the
+// Cleaner removes them.
 //
 // Write-path scaling (DESIGN.md §11): the free list is sharded into
 // free_shard_count per-lock LIFO stacks (geometry persisted in the
@@ -24,10 +22,16 @@
 // the per-bucket lock. EA_POS_MAGAZINE=0 (or PosOptions::magazines=0)
 // disables the magazine layer for ablation.
 //
-// Grace contract extension: set()'s outdated-marking walk traverses the
-// bucket chain without the bucket lock, so — exactly like get() — any
-// thread that mutates the store concurrently with a cleaner must hold a
-// registered Reader and tick() between operations.
+// Reclamation (DESIGN.md §15) is epoch-based: every operation runs inside
+// an epoch Section (set/get/erase open one internally; callers composing
+// multi-step reads open their own). The paper's grace counters — every
+// registered reader must tick before anything is freed — serialised the
+// cleaner against the lock-free write path and collapsed under concurrency;
+// with epochs, a thread that is *between* operations is quiescent and never
+// delays reclamation. The cleaner unlinks superseded versions into
+// epoch-tagged retirement batches, advances the global epoch when every
+// announced slot has caught up, and frees a batch only two epochs after its
+// retirement (concurrent/epoch.hpp has the three-epoch safety argument).
 //
 // Deviation from the paper: internal references are file *offsets*, not raw
 // virtual addresses, so the file needs no fixed mapping address. Behaviour
@@ -41,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrent/epoch.hpp"
 #include "concurrent/hle_lock.hpp"
 #include "concurrent/magazine.hpp"
 #include "util/bytes.hpp"
@@ -48,10 +53,15 @@
 namespace ea::pos {
 
 inline constexpr std::uint64_t kPosMagic = 0x50'4f'53'31'45'41'43'54ull;
-// v2: free_head replaced by a persisted shard-head array (free_shard_count,
-// free_off). v1 images predate any release and are rejected on open.
-inline constexpr std::uint32_t kPosVersion = 2;
-inline constexpr std::size_t kMaxReaders = 64;
+// v3: the grace-counter array is gone and the superblock carries the
+// reclamation epoch (reclaim_epoch), so epoch monotonicity survives a
+// persist() + reopen. v2 (grace counters) and v1 images are rejected on
+// open — the reclamation protocols are not mixable within one file.
+inline constexpr std::uint32_t kPosVersion = 3;
+// Concurrent epoch-section holders per store. Unlike the old reader slots,
+// these recycle on thread exit — the bound is on simultaneous holders, not
+// on threads ever seen.
+inline constexpr std::size_t kMaxEpochSlots = 64;
 inline constexpr std::uint32_t kMaxFreeShards = 64;
 
 // Entries a thread may cache per store / refill-steal batch size; same
@@ -76,20 +86,41 @@ struct PosOptions {
   // (on unless "0"), 0 = off, 1 = on. Benchmarks set this explicitly to
   // quantify the magazines' contribution.
   int magazines = -1;
+  // Cooperative reclamation under allocation pressure: when set() finds no
+  // free entry it runs up to two cleaner steps inline (outside its epoch
+  // section) and retries once. Safe under epoch reclamation — any thread
+  // may clean; the retirement lock serialises helpers — where the old
+  // grace counters would have had a writer waiting on itself. Off by
+  // default: a failing set() stays a pure "store full" probe.
+  bool clean_on_pressure = false;
 };
 
 struct PosStats {
   std::uint64_t live = 0;
+  // Superseded/erased versions still linked in a bucket (not yet gathered
+  // by the cleaner). The state scan cannot tell these from retired entries,
+  // so stats() computes this as scan count minus `retired` — consistent
+  // because the whole snapshot is taken under the retire lock.
   std::uint64_t outdated = 0;
   std::uint64_t free = 0;  // entries in the Free state (state scan)
-  std::uint64_t limbo = 0;
+  // Unlinked into an epoch-tagged retirement batch, awaiting the safety
+  // horizon (retire epoch + 2). The successor of the old `limbo` gauge.
+  std::uint64_t retired = 0;
   // Decomposition of `free` by location: reachable from a shard free list
   // vs. cached in a per-thread magazine. When quiescent,
-  // free == free_listed + in_magazine.
+  // free == free_listed + in_magazine, and conservation reads
+  // live + outdated + retired + free == entry_count.
   std::uint64_t free_listed = 0;
   std::uint64_t in_magazine = 0;
   std::uint64_t sets = 0;
   std::uint64_t gets = 0;
+  // Current reclamation epoch (monotonic, persisted in the superblock).
+  std::uint64_t reclaim_epoch = 0;
+  // Bucket walks that stepped on a Free-state entry. Impossible under the
+  // epoch protocol — every increment is a use-after-retire caught by the
+  // poisoned-free detector (tests force an unsafe advance to prove the
+  // counter fires).
+  std::uint64_t reclaim_hazards = 0;
 };
 
 class Pos {
@@ -103,7 +134,9 @@ class Pos {
   Pos& operator=(const Pos&) = delete;
 
   // Inserts or updates. Returns false when the store is full (no free
-  // entries) or key+value exceed the entry payload.
+  // entries) or key+value exceed the entry payload. With
+  // `clean_on_pressure`, a full store first runs up to two cleaner steps
+  // inline and retries once before giving up.
   bool set(std::span<const std::uint8_t> key,
            std::span<const std::uint8_t> value);
 
@@ -114,33 +147,59 @@ class Pos {
   // the cleaner). Returns true if any version existed.
   bool erase(std::span<const std::uint8_t> key);
 
-  // --- reader registration for safe reclamation ---------------------------
+  // --- epoch sections for safe reclamation ---------------------------------
+  //
+  // Every bucket-chain traversal must happen inside a section: the section
+  // pins the epoch it announced, and the cleaner will not free anything
+  // retired at that epoch or later until the section ends. set/get/erase
+  // open one internally (sections nest), so plain callers need nothing;
+  // callers that hold entry-derived data across several calls (or tests
+  // that want to model a stalled reader) open a Section explicitly.
 
-  // Registers a reader slot; each eactor connected to the store holds one
-  // and must tick() once per body execution.
-  class Reader {
+  class Section {
    public:
-    Reader() = default;
-    void tick() noexcept;
+    // RAII: the constructor's enter is paired by the destructor's leave,
+    // so neither half balances on its own.
+    // ea-lint: allow-next-line(epoch-pairing)
+    explicit Section(Pos& pos) : pos_(&pos) { pos_->epoch_enter(); }
+    // ea-lint: allow-next-line(epoch-pairing)
+    ~Section() { if (pos_ != nullptr) pos_->epoch_leave(); }
+    Section(const Section&) = delete;
+    Section& operator=(const Section&) = delete;
 
    private:
-    friend class Pos;
-    Pos* pos_ = nullptr;
-    std::size_t slot_ = 0;
+    Pos* pos_;
   };
 
-  Reader register_reader();
+  // Raw section boundary, re-entrant per thread. Prefer Section; these are
+  // public for the RAII wrapper and for tests probing the protocol. The
+  // enclave lint (rule `epoch-pairing`) checks every function that touches
+  // one also touches the other.
+  void epoch_enter();
+  void epoch_leave() noexcept;
+
+  // Current reclamation epoch (test/diagnostic hook; also in stats()).
+  std::uint64_t reclaim_epoch() const noexcept;
+  // Announced (in-section) and claimed epoch slots (test hooks).
+  std::size_t epoch_slots_active() const noexcept;
+  std::size_t epoch_slots_claimed() const noexcept;
 
   // --- housekeeping --------------------------------------------------------
 
-  // One cleaner step: frees the previous round's limbo entries if the grace
-  // period has passed (returning them to one free shard as a single batch),
-  // then gathers newly outdated entries. Returns the number of entries
-  // freed. Typically driven by CleanerActor. Holds limbo_lock_ (kPosLimbo)
-  // for the whole step, nesting bucket locks (kPosBucket) during the
-  // gather and free-shard locks (kPosFree) during the batched return —
-  // the canonical ascending chain of the lock-rank table.
-  std::size_t clean_step() EA_EXCLUDES(limbo_lock_);
+  // One cleaner step, three phases under retire_lock_ (kPosRetire):
+  //   gather  — unlink outdated/erased versions from the bucket stacks into
+  //             a retirement batch tagged with the current epoch (nests the
+  //             bucket locks, kPosBucket);
+  //   advance — bump the global epoch iff every announced slot has caught
+  //             up (lock-free scan of the epoch slot array);
+  //   flush   — poison and free every batch whose retirement epoch is two
+  //             or more behind, splicing each onto one free shard as a
+  //             single chain (nests free-shard locks, kPosFree).
+  // Returns the number of entries freed this step. Typically driven by
+  // CleanerActor. A batch therefore takes two quiescent steps from gather
+  // to free — same cadence the grace counters had with no readers, but a
+  // thread *between* operations never delays it.
+  std::size_t clean_step() EA_EXCLUDES(retire_lock_);
 
   // Flushes the mapping to the backing file (no-op for anonymous mappings).
   // Bumps the superblock epoch first, so a flushed image is distinguishable
@@ -152,12 +211,19 @@ class Pos {
   // list, rejecting out-of-range/misaligned offsets, cycles, entries linked
   // twice, free-state entries reachable from a bucket, and length fields
   // exceeding the payload. Entries reachable from *nothing* are fine — a
-  // crash between alloc and link (or with entries in a magazine) orphans
-  // slots legitimately; only linked structure must be consistent. Returns a
-  // description of the first problem, or nullopt when the image is sound.
+  // crash between alloc and link (or with entries in a magazine or a
+  // retirement batch) orphans slots legitimately; only linked structure
+  // must be consistent. Returns a description of the first problem, or
+  // nullopt when the image is sound.
   std::optional<std::string> integrity_error() const;
 
-  PosStats stats() const;
+  // Conservation snapshot. Holds retire_lock_ across the state scan, the
+  // retired count, the free-list walks and the magazine accounting, so the
+  // cleaner cannot migrate entries between categories mid-snapshot (the
+  // pre-epoch stats() raced exactly that way). Writers can still flip
+  // Free→Live concurrently; exact identities need externally quiesced
+  // writers, which is what the tests arrange.
+  PosStats stats() const EA_EXCLUDES(retire_lock_);
 
   std::uint32_t bucket_count() const noexcept;
   std::uint32_t entry_payload() const noexcept;
@@ -167,6 +233,15 @@ class Pos {
   // Process-wide default for the magazine layer (EA_POS_MAGAZINE != "0").
   static bool magazines_enabled() noexcept;
 
+#if defined(EA_FAILPOINTS)
+  // Test-only (fault builds): called with each entry offset a get() walk
+  // visits. The use-after-retire detector parks a walk on a chosen entry
+  // while the cleaner is forced past the safety horizon, making the hazard
+  // deterministic instead of a scheduling coincidence.
+  using WalkHook = void (*)(void* ctx, std::uint64_t offset);
+  void set_walk_hook(WalkHook hook, void* ctx) noexcept;
+#endif
+
  private:
   struct Superblock;
   struct Entry;
@@ -174,12 +249,23 @@ class Pos {
                                             kPosMagazineCapacity,
                                             kMaxPosMagazines>;
   using Magazine = Magazines::Magazine;
+  using Epochs = concurrent::EpochDomain<kMaxEpochSlots, kMaxPosMagazines>;
+
+  // One cleaner gather, frozen with the epoch current at unlink time.
+  struct RetireBatch {
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> entries;
+  };
+
+  // One insert/update attempt; returns false on allocation failure. The
+  // public set() adds the optional clean-on-pressure retry around it.
+  bool set_once(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> value);
 
   Entry* entry_at(std::uint64_t offset) noexcept;
   const Entry* entry_at(std::uint64_t offset) const noexcept;
   std::uint64_t offset_of(const Entry* e) const noexcept;
   std::atomic<std::uint64_t>& bucket_head(std::uint32_t bucket) noexcept;
-  std::atomic<std::uint64_t>& grace_counter(std::size_t slot) noexcept;
   std::atomic<std::uint64_t>& free_head(std::uint32_t shard) const noexcept;
   std::uint32_t bucket_of(std::span<const std::uint8_t> key) const noexcept;
 
@@ -206,6 +292,11 @@ class Pos {
   std::uint32_t magazine_refill(Magazine& mag) EA_LOCK_NOEXCEPT;
   void magazine_return(const std::uint64_t* items,
                        std::uint32_t count) EA_LOCK_NOEXCEPT;
+  // clean_step phases (all called with retire_lock_ held).
+  std::size_t gather_retired() EA_REQUIRES(retire_lock_);
+  void advance_epoch() EA_REQUIRES(retire_lock_);
+  std::size_t flush_retired() EA_REQUIRES(retire_lock_);
+  void note_hazard() noexcept;
   void init_fresh();
   void validate_existing();
 
@@ -225,15 +316,17 @@ class Pos {
   // the runtime rank checker plus TSan rather than EA_GUARDED_BY).
   std::unique_ptr<concurrent::HleSpinLock[]> bucket_locks_;
   std::unique_ptr<concurrent::HleSpinLock[]> free_locks_;
-  mutable concurrent::HleSpinLock limbo_lock_{concurrent::LockRank::kPosLimbo};
+  mutable concurrent::HleSpinLock retire_lock_{
+      concurrent::LockRank::kPosRetire};
 
   Magazines magazines_;
+  // Epoch slots are process-local: a crash discards every announcement and
+  // every retirement batch (the unlinked entries become orphans, which
+  // integrity_error() tolerates); only the global epoch is in the file.
+  Epochs epochs_;
 
-  // Reclamation state (process-local; a crash simply leaves outdated
-  // entries for the next incarnation's cleaner).
-  std::vector<std::uint64_t> limbo_ EA_GUARDED_BY(limbo_lock_);
-  std::vector<std::uint64_t> limbo_snapshot_ EA_GUARDED_BY(limbo_lock_);
-  std::atomic<std::size_t> reader_slots_{0};
+  std::vector<RetireBatch> retired_ EA_GUARDED_BY(retire_lock_);
+  std::uint64_t retired_count_ EA_GUARDED_BY(retire_lock_) = 0;
   // Round-robin target shard for the cleaner's batched returns.
   std::atomic<std::uint32_t> clean_rr_{0};
 
@@ -245,6 +338,12 @@ class Pos {
   static constexpr std::size_t kCounterStripes = 16;
   CounterStripe sets_[kCounterStripes];
   CounterStripe gets_[kCounterStripes];
+  std::atomic<std::uint64_t> hazards_{0};
+
+#if defined(EA_FAILPOINTS)
+  std::atomic<WalkHook> walk_hook_{nullptr};
+  void* walk_ctx_ = nullptr;
+#endif
 };
 
 }  // namespace ea::pos

@@ -38,13 +38,12 @@ class StoreActor : public core::Actor {
   StoreActor(std::string name, pos::Pos& store)
       : core::Actor(std::move(name)), store_(store) {}
 
-  void construct(core::Runtime&) override {
-    in_ = connect("to-store");
-    reader_ = store_.register_reader();
-  }
+  void construct(core::Runtime&) override { in_ = connect("to-store"); }
 
   bool body() override {
-    reader_.tick();
+    // One epoch section per activation: the drain loop's store operations
+    // share a single announcement instead of entering one each.
+    pos::Pos::Section section(store_);
     bool progress = false;
     while (auto msg = in_->recv()) {
       std::string text(msg->view());
@@ -63,7 +62,6 @@ class StoreActor : public core::Actor {
 
  private:
   pos::Pos& store_;
-  pos::Pos::Reader reader_;
   core::ChannelEnd* in_ = nullptr;
   std::atomic<int> stored_{0};
 };

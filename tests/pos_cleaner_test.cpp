@@ -1,14 +1,18 @@
-// POS cleaner / grace-period fault tests (ctest label: fault).
+// POS cleaner / epoch-reclamation fault tests (ctest label: fault).
 //
-// The reclamation contract (paper §4.1): an outdated entry may only be
-// recycled once every registered reader has ticked since the entry was
-// unlinked. These tests pin the two failure directions — a parked reader
-// must stall reclamation indefinitely (never a use-after-reclaim), and a
-// stalled grace check must fail *closed*: nothing freed, nothing lost.
+// The reclamation contract (paper §4.1, DESIGN.md §15): an entry gathered
+// into a retirement batch at epoch E may only be recycled once the global
+// epoch reaches E+2, and the epoch may only advance past a section that has
+// left. These tests pin both failure directions — a pinned section must
+// stall reclamation indefinitely (never a use-after-retire), and when the
+// protocol is deliberately violated (the forced-advance failpoint), the
+// poison + hazard-counter detector must catch the violation loudly.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 
 #include "pos/cleaner_actor.hpp"
 #include "pos/pos.hpp"
@@ -41,71 +45,110 @@ class PosCleanerFaultTest : public ::testing::Test {
   }
 };
 
-TEST_F(PosCleanerFaultTest, ParkedReaderStallsReclamationUntilItTicks) {
+TEST_F(PosCleanerFaultTest, PinnedSectionStallsReclamationUntilItLeaves) {
   Pos pos(small_options());
-  Pos::Reader reader = pos.register_reader();
-  reader.tick();
 
   ASSERT_TRUE(set_str(pos, "key", "v1"));
   ASSERT_TRUE(set_str(pos, "key", "v2"));  // v1 becomes outdated
   ASSERT_EQ(pos.stats().outdated, 1u);
 
-  // Round 1 unlinks the outdated version into limbo and snapshots the
-  // grace counters. From here on the parked reader pins it there.
+  // Pin a section, then let the cleaner gather: the outdated version moves
+  // into a retirement batch tagged with the epoch our section announced.
+  // The first advance still succeeds (our announcement matches the current
+  // epoch), but the second — the one that would put the batch past its
+  // horizon — is blocked by the pinned announcement.
+  pos.epoch_enter();
   EXPECT_EQ(pos.clean_step(), 0u);
-  ASSERT_EQ(pos.stats().limbo, 1u);
+  ASSERT_EQ(pos.stats().retired, 1u);
   const std::uint64_t free_before = pos.stats().free;
 
-  // However many rounds the cleaner runs, a reader that never ticks means
-  // the grace period never passes: nothing may be freed while a get()
+  // However many rounds the cleaner runs, a section that never leaves
+  // means the horizon never passes: nothing may be freed while a get()
   // could still be walking the old version.
   for (int round = 0; round < 25; ++round) {
     EXPECT_EQ(pos.clean_step(), 0u);
-    EXPECT_EQ(pos.stats().limbo, 1u);
+    EXPECT_EQ(pos.stats().retired, 1u);
     EXPECT_EQ(pos.stats().free, free_before);
     auto got = pos.get(util::to_bytes("key"));
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(util::to_string(*got), "v2");
   }
+  // Fail-closed means silent: the detector never fired.
+  EXPECT_EQ(pos.stats().reclaim_hazards, 0u);
 
-  // One tick from the reader and the next step reclaims exactly the limbo
-  // entry.
-  reader.tick();
+  // The section leaves; the next step advances past the horizon and
+  // reclaims exactly the retired entry.
+  pos.epoch_leave();
   EXPECT_EQ(pos.clean_step(), 1u);
-  EXPECT_EQ(pos.stats().limbo, 0u);
+  EXPECT_EQ(pos.stats().retired, 0u);
   EXPECT_EQ(pos.stats().free, free_before + 1);
+  EXPECT_EQ(pos.stats().reclaim_hazards, 0u);
 }
 
-TEST_F(PosCleanerFaultTest, GraceStallFreesNothingAndLosesNothing) {
-  Pos pos(small_options());
-  Pos::Reader reader = pos.register_reader();
-  reader.tick();
+// Context for the walk hook below: park the second visited entry (the
+// outdated version sitting below the bucket head) until released. The hook
+// must be a plain function pointer, so state travels through the ctx.
+struct ParkCtx {
+  std::atomic<int> visits{0};
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+};
 
-  ASSERT_TRUE(set_str(pos, "a", "a1"));
-  ASSERT_TRUE(set_str(pos, "a", "a2"));
-  ASSERT_TRUE(set_str(pos, "b", "b1"));
-  ASSERT_TRUE(set_str(pos, "b", "b2"));
-  ASSERT_EQ(pos.stats().outdated, 2u);
-  EXPECT_EQ(pos.clean_step(), 0u);  // both into limbo
-  ASSERT_EQ(pos.stats().limbo, 2u);
+void park_on_second_entry(void* opaque, std::uint64_t) {
+  auto* ctx = static_cast<ParkCtx*>(opaque);
+  if (ctx->visits.fetch_add(1, std::memory_order_relaxed) != 1) return;
+  ctx->parked.store(true, std::memory_order_release);
+  while (!ctx->release.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
 
-  // The injected stall models a reader whose grace counter never appears
-  // to advance. Even though the real reader ticks every round, the
-  // cleaner must fail closed: zero frees, limbo intact.
-  ASSERT_TRUE(fp::set("pos.clean.grace_stall", "return"));
-  for (int round = 0; round < 25; ++round) {
-    reader.tick();
-    EXPECT_EQ(pos.clean_step(), 0u);
-    EXPECT_EQ(pos.stats().limbo, 2u);
+// The use-after-retire detector, proven on a real violation: a walk is
+// parked on the outdated entry, the forced-advance failpoint pushes the
+// epoch past the horizon *despite* the parked section (exactly what a
+// protocol bug would do), and the resumed walk must then observe the freed
+// entry — poisoned payload, zero key length, Free state — and trip the
+// hazard counter instead of returning stale data.
+TEST_F(PosCleanerFaultTest, ForcedAdvanceUnderAWalkTripsTheHazardDetector) {
+  PosOptions o = small_options();
+  o.bucket_count = 1;  // everything chains into one bucket
+  Pos pos(o);
+
+  ASSERT_TRUE(set_str(pos, "a", "v1"));
+  ASSERT_TRUE(set_str(pos, "a", "v2"));  // chain: v2 (head) -> v1 (outdated)
+
+  ParkCtx ctx;
+  pos.set_walk_hook(&park_on_second_entry, &ctx);
+  // A miss-walk for a different key visits the whole chain: head first,
+  // then the outdated v1, where the hook parks it mid-section.
+  std::thread reader([&] {
+    auto got = pos.get(util::to_bytes("b"));
+    EXPECT_FALSE(got.has_value());
+  });
+  while (!ctx.parked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
   }
 
-  // Fault clears: the pinned entries are reclaimed, none were lost.
-  fp::clear("pos.clean.grace_stall");
-  reader.tick();
-  EXPECT_EQ(pos.clean_step(), 2u);
-  EXPECT_EQ(pos.stats().limbo, 0u);
-  EXPECT_EQ(util::to_string(*pos.get(util::to_bytes("a"))), "a2");
-  EXPECT_EQ(util::to_string(*pos.get(util::to_bytes("b"))), "b2");
+  // Violate the protocol: advance without the quiescence scan. Two forced
+  // steps take the batch past its (now meaningless) horizon and free v1
+  // under the parked walk's feet.
+  ASSERT_TRUE(fp::set("pos.epoch.force_advance", "return"));
+  EXPECT_EQ(pos.clean_step(), 0u);  // gather v1, first forced advance
+  EXPECT_EQ(pos.clean_step(), 1u);  // second forced advance: v1 freed
+  fp::clear("pos.epoch.force_advance");
+
+  ctx.release.store(true, std::memory_order_release);
+  reader.join();
+  pos.set_walk_hook(nullptr, nullptr);
+
+  // The detector fired at least once (the resumed walk crossed v1, and
+  // possibly further free-list entries — every one of them is a hazard);
+  // the store itself stays coherent for well-behaved operations.
+  EXPECT_GE(pos.stats().reclaim_hazards, 1u);
+  auto got = pos.get(util::to_bytes("a"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(util::to_string(*got), "v2");
+  ASSERT_EQ(pos.integrity_error(), std::nullopt);
 }
 
 TEST_F(PosCleanerFaultTest, CleanerActorSkipRoundsThenRecovers) {
@@ -117,22 +160,25 @@ TEST_F(PosCleanerFaultTest, CleanerActorSkipRoundsThenRecovers) {
   ASSERT_EQ(pos.stats().outdated, 1u);
 
   // A skipped activation (e.g. the worker starving the cleaner) makes no
-  // progress at all: the outdated entry is not even unlinked.
+  // progress at all: the outdated entry is not even gathered, and the
+  // round counter records nothing.
   ASSERT_TRUE(fp::set("pos.cleaner.skip", "return"));
   for (int round = 0; round < 10; ++round) {
     EXPECT_FALSE(cleaner.body());
   }
+  EXPECT_EQ(cleaner.rounds(), 0u);
   EXPECT_EQ(cleaner.freed_total(), 0u);
   EXPECT_EQ(pos.stats().outdated, 1u);
 
-  // Once scheduled again it catches up: unlink round, then the free round
-  // reports progress (no readers registered, so grace passes trivially).
+  // Once scheduled again it catches up: a gather-and-advance round, then
+  // the round whose second advance passes the horizon and frees.
   fp::clear("pos.cleaner.skip");
-  EXPECT_FALSE(cleaner.body());  // phase 1: unlink into limbo
-  EXPECT_TRUE(cleaner.body());   // phase 2: grace passed, entry freed
+  EXPECT_FALSE(cleaner.body());  // gather into a batch; first advance
+  EXPECT_TRUE(cleaner.body());   // past the horizon: entry freed
+  EXPECT_EQ(cleaner.rounds(), 2u);
   EXPECT_EQ(cleaner.freed_total(), 1u);
   EXPECT_EQ(pos.stats().outdated, 0u);
-  EXPECT_EQ(pos.stats().limbo, 0u);
+  EXPECT_EQ(pos.stats().retired, 0u);
 }
 
 }  // namespace

@@ -3,13 +3,14 @@
 // magazines, and the lock-free bucket push, exercised together under
 // ThreadSanitizer (`ctest -L tsan`). The load-bearing invariant is
 // conservation: entry slots only ever move between the bucket chains, the
-// shard free lists, the cleaner's limbo, and the magazines — never
-// duplicated, never lost.
+// shard free lists, the cleaner's retirement batches, and the magazines —
+// never duplicated, never lost.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,14 +42,16 @@ std::span<const std::uint8_t> key_bytes(std::uint64_t k,
 }
 
 // Quiescent conservation: every entry slot is accounted for exactly once.
-// The state scan partitions the slots (live + outdated + free ==
-// entry_count, with the cleaner's limbo a subset of outdated), and every
-// Free slot must be reachable — from a shard free list or from a magazine.
+// The stats snapshot is taken under a quiesced retire lock, so the state
+// scan partitions the slots exactly — live + outdated (not yet gathered) +
+// retired (gathered, waiting out the epoch horizon) + free == entry_count —
+// and every Free slot must be reachable, from a shard free list or from a
+// magazine.
 void expect_conserved(const Pos& store, std::uint32_t entry_count) {
   const PosStats stats = store.stats();
-  EXPECT_EQ(stats.live + stats.outdated + stats.free, entry_count);
+  EXPECT_EQ(stats.live + stats.outdated + stats.retired + stats.free,
+            entry_count);
   EXPECT_EQ(stats.free, stats.free_listed + stats.in_magazine);
-  EXPECT_LE(stats.limbo, stats.outdated);
 }
 
 // --- cross-shard stealing ---------------------------------------------------
@@ -135,9 +138,9 @@ TEST(PosSharding, ModesAreObservationallyEquivalent) {
 // --- concurrent stress ------------------------------------------------------
 
 // set/get/erase from several threads racing a cleaner across all shards.
-// Every worker holds a registered Reader and ticks between operations — the
-// grace contract that makes both get()'s and set()'s lock-free bucket walks
-// safe against reclamation. Conservation must hold once quiescent.
+// Each operation announces its own epoch section internally; every few
+// iterations a worker also wraps a batch in an explicit Section to
+// exercise the nested-entry path. Conservation must hold once quiescent.
 void run_stress(int magazines) {
   PosOptions options = sharded_options(magazines);
   Pos store(options);
@@ -157,13 +160,16 @@ void run_stress(int magazines) {
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
-      Pos::Reader reader = store.register_reader();
       crypto::FastRng rng(0x5eed0000u + static_cast<std::uint64_t>(t));
       std::uint8_t buf[8];
       const std::uint64_t base = static_cast<std::uint64_t>(t + 1) << 32;
       for (int i = 0; i < kOpsPerThread; ++i) {
         const std::uint64_t k = base | rng.next_below(kKeysPerThread);
         const std::uint64_t op = rng.next_below(10);
+        // Occasionally pin an epoch across the whole operation: the inner
+        // section taken by set/get/erase then nests inside this one.
+        std::optional<Pos::Section> outer;
+        if (rng.next_below(8) == 0) outer.emplace(store);
         if (op < 5) {
           // May fail transiently when the cleaner is behind; conservation
           // below is what matters.
@@ -176,7 +182,6 @@ void run_stress(int magazines) {
         } else {
           store.erase(key_bytes(k, buf));
         }
-        reader.tick();
       }
     });
   }
@@ -184,9 +189,23 @@ void run_stress(int magazines) {
   stop_cleaner.store(true, std::memory_order_relaxed);
   cleaner.join();
 
-  // Workers have exited (magazines flushed back by the thread-exit hooks);
-  // whatever sits in limbo stays there — the exited readers' grace counters
-  // can no longer advance — but conservation must still account for it.
+  // Workers have exited (magazines flushed back and epoch slots released by
+  // the thread-exit hooks). Retirement batches may still be waiting out the
+  // horizon — conservation must account for them as `retired`.
+  expect_conserved(store, options.entry_count);
+  EXPECT_EQ(store.epoch_slots_active(), 0u);
+
+  // With every section gone the cleaner can now drain completely: gather
+  // the remaining outdated entries, advance past the horizon, flush.
+  while (store.clean_step() > 0 || store.stats().retired > 0 ||
+         store.stats().outdated > 0) {
+  }
+  const PosStats drained = store.stats();
+  EXPECT_EQ(drained.retired, 0u);
+  EXPECT_EQ(drained.outdated, 0u);
+  EXPECT_EQ(drained.free_listed + drained.in_magazine + drained.live,
+            options.entry_count);
+  EXPECT_EQ(drained.reclaim_hazards, 0u);
   expect_conserved(store, options.entry_count);
   ASSERT_EQ(store.integrity_error(), std::nullopt);
 }

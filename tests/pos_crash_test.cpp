@@ -128,7 +128,6 @@ void run_workload(const Paths& paths, bool encrypted) {
     enc->store_sealed_master(crash_enclave(), "__master", master_key());
   }
   Journal jnl(paths.journal);
-  Pos::Reader reader = store.register_reader();
   crypto::FastRng rng(0xC0FFEE);
 
   for (int op = 0; op < kOps; ++op) {
@@ -150,7 +149,6 @@ void run_workload(const Paths& paths, bool encrypted) {
     } else {
       store.persist();
     }
-    reader.tick();
     if (op % 16 == 0) store.clean_step();
   }
   store.persist();
@@ -298,10 +296,12 @@ void torture(bool encrypted) {
   const auto histogram = kill_sites(base.report);
   unlink_paths(base);
   ASSERT_FALSE(histogram.empty());
-  // The write-path scaling sites (DESIGN.md §11) must be part of the
-  // census, or the torture silently stops covering the sharded machinery.
+  // The write-path scaling sites (DESIGN.md §11) and the epoch-reclamation
+  // sites (§15) must be part of the census, or the torture silently stops
+  // covering the sharded machinery / the gather-advance-flush pipeline.
   for (const char* site :
-       {"pos.freeshard.steal", "pos.magazine.flush", "pos.bucket.cas"}) {
+       {"pos.freeshard.steal", "pos.magazine.flush", "pos.bucket.cas",
+        "pos.epoch.announce", "pos.epoch.advance", "pos.retire.flush"}) {
     EXPECT_EQ(histogram.count(site), 1u)
         << site << " missing from the " << mode << " torture census";
   }
@@ -433,6 +433,40 @@ TEST_F(PosFailpointTest, MagazineFlushSiteFiresOnTeardown) {
   EXPECT_GT(fp::evals("pos.magazine.flush"), before);
 }
 
+// --- superblock versioning ---------------------------------------------------
+
+// v3 (epoch reclamation) removed the v2 grace-counter region: the layouts
+// are incompatible and so are the reclamation protocols. Opening an image
+// whose version field says 2 must be refused before any other superblock
+// field is believed — a regression here would silently misinterpret the
+// old grace region as bucket heads.
+TEST(PosVersioning, RejectsGraceCounterEraImages) {
+  Paths p = make_paths("v2reject");
+  unlink_paths(p);
+  {
+    Pos store(torture_options(p.store));
+    ASSERT_TRUE(store.set(to_bytes("k"), to_bytes("v")));
+    ASSERT_TRUE(store.persist());
+  }
+  // Patch the version field (a uint32 right after the 8-byte magic) back
+  // to the grace-counter era.
+  {
+    const int fd = ::open(p.store.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const std::uint32_t v2 = 2;
+    ASSERT_EQ(::pwrite(fd, &v2, sizeof(v2), 8),
+              static_cast<ssize_t>(sizeof(v2)));
+    ::close(fd);
+  }
+  try {
+    Pos reopened(torture_options(p.store));
+    FAIL() << "v2 image accepted by a v3 store";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "POS: bad version");
+  }
+  unlink_paths(p);
+}
+
 // --- integrity checker sanity ----------------------------------------------
 
 TEST(PosIntegrity, CleanStoreHasNoError) {
@@ -455,8 +489,8 @@ TEST(PosIntegrity, DetectsScribbledBucketRegion) {
     store.persist();
   }
   // Trash everything past the first 64 superblock bytes (magic, version and
-  // geometry survive, so the constructor accepts the file) — the grace
-  // counters, bucket heads and entries become 0xFF garbage that the
+  // geometry survive, so the constructor accepts the file) — the bucket
+  // heads, free-shard heads and entries become 0xFF garbage that the
   // structural walk must reject.
   {
     std::fstream f(p.store,

@@ -81,30 +81,58 @@ TEST(Pos, UpdatesConsumeEntriesUntilCleaned) {
   EXPECT_EQ(stats.outdated, 3u);
 }
 
-TEST(Pos, CleanerRequiresGracePeriod) {
+TEST(Pos, CleanerDefersFreeUntilSectionLeaves) {
   Pos store(small_options());
-  Pos::Reader reader = store.register_reader();
   store.set(to_bytes("k"), to_bytes("v1"));
   store.set(to_bytes("k"), to_bytes("v2"));
 
-  // Phase 1: gather outdated into limbo.
+  // A pinned section models an in-flight reader: the superseded version is
+  // gathered into a retirement batch, but the batch can never reach its
+  // safety horizon (retire epoch + 2) while the section's announcement
+  // blocks the second advance.
+  store.epoch_enter();
+  EXPECT_EQ(store.clean_step(), 0u);  // gather; first advance still allowed
+  EXPECT_EQ(store.stats().retired, 1u);
+  EXPECT_EQ(store.clean_step(), 0u);  // second advance blocked: no free
   EXPECT_EQ(store.clean_step(), 0u);
-  EXPECT_EQ(store.stats().limbo, 1u);
-  // Reader has not ticked since: nothing may be freed.
-  EXPECT_EQ(store.clean_step(), 0u);
-  reader.tick();
-  EXPECT_EQ(store.clean_step(), 1u);
-  EXPECT_EQ(store.stats().limbo, 0u);
+  EXPECT_EQ(store.stats().retired, 1u);
+  store.epoch_leave();
+  EXPECT_EQ(store.clean_step(), 1u);  // horizon passes: batch freed
+  EXPECT_EQ(store.stats().retired, 0u);
   EXPECT_EQ(store.stats().outdated, 0u);
   EXPECT_EQ(util::to_string(*store.get(to_bytes("k"))), "v2");
 }
 
-TEST(Pos, CleanerWithNoReadersFreesImmediately) {
+TEST(Pos, CleanerWithNoSectionsFreesInTwoSteps) {
   Pos store(small_options());
   store.set(to_bytes("k"), to_bytes("v1"));
   store.set(to_bytes("k"), to_bytes("v2"));
-  EXPECT_EQ(store.clean_step(), 0u);  // gather
-  EXPECT_EQ(store.clean_step(), 1u);  // free (no registered readers)
+  EXPECT_EQ(store.clean_step(), 0u);  // gather + first advance
+  EXPECT_EQ(store.clean_step(), 1u);  // second advance passes the horizon
+}
+
+TEST(Pos, PressureCleaningRecyclesWithoutACleanerThread) {
+  PosOptions options = small_options();
+  options.entry_count = 4;
+  options.clean_on_pressure = true;
+  Pos store(options);
+  // Every overwrite past the 4th must reclaim a superseded version inline;
+  // no explicit clean_step() calls and no cleaner thread anywhere.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(store.set(to_bytes("k"), to_bytes("v" + std::to_string(i))))
+        << "overwrite " << i;
+  }
+  EXPECT_EQ(util::to_string(*store.get(to_bytes("k"))), "v11");
+  // A store with nothing outdated is still honestly full: a second key
+  // cannot displace the live versions.
+  Pos strict(options);
+  std::uint8_t pad[1] = {0};
+  for (int i = 0; i < 4; ++i) {
+    std::uint8_t key[1] = {static_cast<std::uint8_t>(i)};
+    EXPECT_TRUE(strict.set(key, pad));
+  }
+  std::uint8_t fifth[1] = {4};
+  EXPECT_FALSE(strict.set(fifth, pad));
 }
 
 TEST(Pos, CleanerRecyclesIntoFreeList) {

@@ -183,14 +183,19 @@ TEST(PosStress, WritersReadersCleanerConcurrently) {
       }
     });
   }
-  // A reader with a registered grace slot.
+  // A reader; get() runs its own epoch section, and an explicit Section
+  // every few iterations exercises the nested-entry path too.
   threads.emplace_back([&] {
-    pos::Pos::Reader reader = store.register_reader();
     crypto::FastRng rng(3);
     while (!stop.load()) {
-      reader.tick();
       std::string key = "k" + std::to_string(rng.next_below(kKeys));
-      auto value = store.get(util::to_bytes(key));
+      std::optional<util::Bytes> value;
+      if (rng.next_below(4) == 0) {
+        pos::Pos::Section section(store);
+        value = store.get(util::to_bytes(key));
+      } else {
+        value = store.get(util::to_bytes(key));
+      }
       if (value.has_value()) {
         // Values are well-formed "w:i" strings — never torn garbage.
         std::string s = util::to_string(*value);

@@ -19,6 +19,10 @@ v2 adds the concurrency-correctness passes (DESIGN.md §13):
     carry an inline `// tsa: <reason>` on the same or preceding line;
     silencing the thread-safety analysis without saying why is how
     lock-free "fast paths" rot into races.
+  * epoch-pairing — epoch_enter/epoch_leave calls must balance within a
+    function body (DESIGN.md §15): a path that announces an epoch and
+    returns without leaving pins the global epoch and stalls POS
+    reclamation forever. The RAII Section halves carry inline waivers.
 
 The per-module policy lives in tools/enclave_policy.toml. Files can carry
 inline waivers:
@@ -80,6 +84,16 @@ GUARD_DECL = re.compile(
 CALL_OR_DEF = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
 NTSA_TOKEN = re.compile(r"\bEA_NO_THREAD_SAFETY_ANALYSIS\b")
 TSA_JUSTIFY = re.compile(r"//.*\btsa:\s*\S")
+
+# Epoch-pairing (rule `epoch-pairing`): calls to the POS epoch API, the
+# declaration/definition shape to skip, and a function-body opener
+# (`) ... {`, excluding control-flow headers).
+EPOCH_CALL = re.compile(r"\b(epoch_enter|epoch_leave)\s*\(")
+EPOCH_DECL = re.compile(
+    r"\bvoid\s+(?:[A-Za-z_]\w*::)*(?:epoch_enter|epoch_leave)\s*\("
+)
+FUNC_OPEN = re.compile(r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>&*\s]+)?\{")
+CONTROL_HEAD = re.compile(r"^\s*(?:\}?\s*)?(?:if|for|while|switch|catch)\b")
 
 # Control keywords that look like calls but are not.
 CPP_KEYWORDS = {
@@ -348,6 +362,88 @@ def check_tsa_justifications(
                     "silently is forbidden (DESIGN.md §13)",
                 )
             )
+    return violations
+
+
+def check_epoch_pairing(path: Path, stripped: list[str]) -> list[Violation]:
+    """Rule `epoch-pairing`: within one function body, `epoch_enter` and
+    `epoch_leave` calls must balance.
+
+    An entry point that announces an epoch and returns without leaving pins
+    the global epoch forever — the cleaner can never advance past it and
+    retired entries are never freed. Deliberately unbalanced halves (the
+    RAII Section constructor/destructor) carry inline waivers.
+
+    Heuristic function tracking: a body opens on `) ... {` (control-flow
+    headers excluded) and closes when brace depth returns to its opening
+    level; calls are attributed to the innermost open body, so a lambda's
+    pairing is judged on its own.
+    """
+    violations: list[Violation] = []
+    # Each frame: (close_depth, enter_lines, leave_lines).
+    frames: list[tuple[int, list[int], list[int]]] = []
+    depth = 0
+
+    def judge(enters: list[int], leaves: list[int]) -> None:
+        if len(enters) == len(leaves):
+            return
+        anchor = enters[0] if len(enters) > len(leaves) else leaves[0]
+        what = (
+            f"{len(enters)} epoch_enter vs {len(leaves)} epoch_leave"
+        )
+        violations.append(
+            Violation(
+                path,
+                anchor,
+                "epoch-pairing",
+                f"unbalanced epoch section in this function body ({what}); "
+                "a path that returns without leaving pins the global epoch "
+                "and stalls POS reclamation — use Pos::Section (RAII) or "
+                "balance every branch",
+            )
+        )
+
+    for idx, code in enumerate(stripped):
+        lineno = idx + 1
+        if code.lstrip().startswith("#"):
+            continue
+
+        decl_spans = [m.span() for m in EPOCH_DECL.finditer(code)]
+        calls: list[str] = []
+        for m in EPOCH_CALL.finditer(code):
+            if any(s <= m.start(1) < e for s, e in decl_spans):
+                continue  # the API's own declaration/definition line
+            calls.append(m.group(1))
+
+        opens_func = bool(FUNC_OPEN.search(code)) and not CONTROL_HEAD.match(
+            code
+        )
+        delta = code.count("{") - code.count("}")
+
+        if opens_func and delta == 0 and "{" in code:
+            # One-liner body (`~Section() { ...epoch_leave(); }`): judge
+            # the line's calls directly, without touching the frame stack.
+            judge(
+                [lineno for c in calls if c == "epoch_enter"],
+                [lineno for c in calls if c == "epoch_leave"],
+            )
+            continue
+
+        if opens_func and delta > 0:
+            frames.append((depth, [], []))
+
+        if frames:
+            close_depth, enters, leaves = frames[-1]
+            for c in calls:
+                (enters if c == "epoch_enter" else leaves).append(lineno)
+
+        depth += delta
+        while frames and depth <= frames[-1][0]:
+            _, enters, leaves = frames.pop()
+            judge(enters, leaves)
+
+    for _, enters, leaves in frames:  # unterminated (truncated file)
+        judge(enters, leaves)
     return violations
 
 
@@ -642,6 +738,13 @@ def lint_file(
                 continue
             violations.append(v)
 
+    if not policy.exempt(rel, "epoch-pairing"):
+        for v in check_epoch_pairing(path, stripped):
+            if "epoch-pairing" in line_waiver_map.get(v.line, set()):
+                scan.waiver_count += 1
+                continue
+            violations.append(v)
+
     # Lock facts are extracted for EVERY scanned file (trusted or not):
     # a deadlock between an untrusted guard and a trusted one is still a
     # deadlock.
@@ -651,7 +754,7 @@ def lint_file(
 
 # --- scan cache (satellite: skip unchanged files) ---------------------------
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 def scan_to_jsonable(scan: FileScan) -> dict:

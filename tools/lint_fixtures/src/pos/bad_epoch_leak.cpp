@@ -1,0 +1,39 @@
+// Fixture: an entry point that announces an epoch and returns without
+// leaving. The pinned announcement blocks every future epoch advance, so
+// the cleaner's retirement batches never reach their safety horizon and
+// the store leaks until it fills. The `epoch-pairing` rule must fire on
+// the unmatched enter; the balanced and RAII-waived functions below must
+// stay clean.
+
+namespace fixture {
+
+struct Store {
+  void epoch_enter();
+  void epoch_leave() noexcept;
+  bool lookup_raw(int key);
+};
+
+bool leaky_lookup(Store& store, int key) {
+  store.epoch_enter();  // EXPECT: epoch-pairing
+  return store.lookup_raw(key);  // early return skips the leave
+}
+
+bool balanced_lookup(Store& store, int key) {
+  store.epoch_enter();
+  const bool hit = store.lookup_raw(key);
+  store.epoch_leave();
+  return hit;
+}
+
+class Section {
+ public:
+  // ea-lint: allow-next-line(epoch-pairing) -- RAII half, paired below.
+  explicit Section(Store& store) : store_(&store) { store_->epoch_enter(); }
+  // ea-lint: allow-next-line(epoch-pairing) -- RAII pair of the ctor.
+  ~Section() { store_->epoch_leave(); }
+
+ private:
+  Store* store_;
+};
+
+}  // namespace fixture
