@@ -20,15 +20,21 @@ using namespace ea;
 
 namespace {
 
-double run_ea(int instances, int clients, double seconds) {
+double run_ea(int instances, int clients, double seconds, int idle = 0,
+              core::NetMode net = core::NetMode::kScan) {
   core::RuntimeOptions options;
   options.pool_nodes = 8192;
   options.node_payload_bytes = 2048;
+  options.net = net;
   core::Runtime rt(options);
   xmpp::XmppServiceConfig config;
   config.instances = instances;
   xmpp::XmppService service = xmpp::install_xmpp_service(rt, config);
   rt.start();
+  bench::IdleClients ballast;
+  if (idle > 0 && ballast.connect(service.port, idle) < idle) {
+    bench::note("idle ballast: only %zu/%d connected", ballast.size(), idle);
+  }
   double tput = bench::xmpp_o2o_throughput(service.port, clients, seconds);
   rt.stop();
   sgxsim::EnclaveManager::instance().reset_for_testing();
@@ -70,6 +76,18 @@ int main() {
     bench::row("fig14", "EA/6", clients, ea6, "req/s");
     double ea48 = run_ea(16, clients, seconds);
     bench::row("fig14", "EA/48", clients, ea48, "req/s");
+
+    // Connection-count column (EA_XMPP_IDLE_SWEEP=N): the same active
+    // workload with N idle connections as ballast, for both net planes —
+    // the scan sweep pays per idle socket, the readiness core does not.
+    if (const int idle = bench::idle_sweep_count(); idle > 0) {
+      const std::string suffix = "+" + std::to_string(idle) + "idle";
+      bench::row("fig14", "EA/3" + suffix, clients,
+                 run_ea(1, clients, seconds, idle), "req/s");
+      bench::row("fig14", "EA/3-epoll" + suffix, clients,
+                 run_ea(1, clients, seconds, idle, core::NetMode::kEpoll),
+                 "req/s");
+    }
 
     best_ejb = std::max(best_ejb, ejb);
     best_jbd2 = std::max(best_jbd2, jbd2);

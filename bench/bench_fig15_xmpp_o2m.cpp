@@ -14,16 +14,22 @@ using namespace ea;
 
 namespace {
 
-double run_ea(bool trusted, int participants, double seconds) {
+double run_ea(bool trusted, int participants, double seconds, int idle = 0,
+              core::NetMode net = core::NetMode::kScan) {
   core::RuntimeOptions options;
   options.pool_nodes = 8192;
   options.node_payload_bytes = 2048;
+  options.net = net;
   core::Runtime rt(options);
   xmpp::XmppServiceConfig config;
   config.instances = 1;
   config.trusted = trusted;
   xmpp::XmppService service = xmpp::install_xmpp_service(rt, config);
   rt.start();
+  bench::IdleClients ballast;
+  if (idle > 0 && ballast.connect(service.port, idle) < idle) {
+    bench::note("idle ballast: only %zu/%d connected", ballast.size(), idle);
+  }
   double tput = bench::xmpp_o2m_throughput(service.port, participants, seconds);
   rt.stop();
   sgxsim::EnclaveManager::instance().reset_for_testing();
@@ -63,6 +69,21 @@ int main() {
     bench::row("fig15", "EA/trusted", participants, trusted, "req/s");
     double untrusted = run_ea(/*trusted=*/false, participants, seconds);
     bench::row("fig15", "EA/untrusted", participants, untrusted, "req/s");
+
+    // Connection-count column (EA_XMPP_IDLE_SWEEP=N): the same group with N
+    // idle connections as ballast, scan versus the readiness core — the
+    // scan sweep pays per idle socket, epoll does not.
+    if (const int idle = bench::idle_sweep_count(); idle > 0) {
+      const std::string suffix = "+" + std::to_string(idle) + "idle";
+      bench::row("fig15", "EA/untrusted" + suffix, participants,
+                 run_ea(/*trusted=*/false, participants, seconds, idle),
+                 "req/s");
+      bench::row("fig15", "EA/untrusted-epoll" + suffix, participants,
+                 run_ea(/*trusted=*/false, participants, seconds, idle,
+                        core::NetMode::kEpoll),
+                 "req/s");
+    }
+
     trusted_sum += trusted;
     untrusted_sum += untrusted;
     ++points;

@@ -24,6 +24,42 @@
 
 namespace ea::bench {
 
+// A population of connected-and-authenticated clients that never send:
+// ballast for the connection-count sweep (the c100k question scaled into
+// the figure benches — how much does an idle population cost the active
+// one?). Under net=scan every idle connection adds a recv syscall to each
+// READER round; under net=epoll idle connections are free after
+// registration. Connections drop when the object goes out of scope.
+class IdleClients {
+ public:
+  // Connects `count` idle clients; returns how many actually made it (the
+  // benches report the attempt loudly rather than failing the run).
+  int connect(std::uint16_t port, int count) {
+    clients_.reserve(clients_.size() + static_cast<std::size_t>(count));
+    int ok = 0;
+    for (int i = 0; i < count; ++i) {
+      xmpp::Client c;
+      if (c.connect(port, "idle" + std::to_string(clients_.size()))) {
+        clients_.push_back(std::move(c));
+        ++ok;
+      }
+    }
+    return ok;
+  }
+  std::size_t size() const noexcept { return clients_.size(); }
+
+ private:
+  std::vector<xmpp::Client> clients_;
+};
+
+// Idle-connection ballast column for the figure sweeps: when
+// EA_XMPP_IDLE_SWEEP is set to N > 0, each EA series is additionally
+// measured with N idle connections alongside and reported with an
+// "+Nidle" series suffix. 0 (the default) keeps the classic figures.
+inline int idle_sweep_count() {
+  return static_cast<int>(util::env_int("EA_XMPP_IDLE_SWEEP", 0));
+}
+
 inline double xmpp_o2o_throughput(std::uint16_t port, int clients,
                                   double seconds) {
   const int pairs = clients / 2;

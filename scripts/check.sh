@@ -22,6 +22,10 @@
 #               sweep must hold >= 0.8x of the committed BENCH_pos.json
 #               cleaner rows, per-mode geomean (the epoch-reclamation
 #               throughput claim)
+#   netperf     perf-regression guard: a fresh `bench_c100k --smoke` sweep
+#               (scan vs epoll) must hold >= 0.8x throughput and <= 2.0x
+#               p99 geomean on the epoll rows of the committed
+#               BENCH_net.json (the readiness-core claim)
 #   tsa         clang build with -DEA_THREAD_SAFETY=ON: the Clang Thread
 #               Safety Analysis over every annotated lock, warnings as
 #               errors (skipped with a notice when clang++ is absent)
@@ -180,7 +184,8 @@ leg nofailpoint "no failpoint symbols in plain build" \
   check_no_failpoint_symbols
 
 # --- bench smoke: each bench runs end-to-end and its JSON report parses ----
-# with the expected v2 schema (uses the plain tree from the plain leg).
+# with the expected v3 schema (uses the plain tree from the plain leg).
+# v3 = v2 plus optional per-row p50_us/p99_us/p999_us percentile fields.
 check_bench_json() {
   # check_bench_json <path> <bench-name> <expected-scenarios...>
   python3 - "$@" <<'EOF'
@@ -192,7 +197,7 @@ path, name, *expected = sys.argv[1:]
 with open(path) as f:
     doc = json.load(f)
 assert doc.get("bench") == name, doc.get("bench")
-assert doc.get("schema_version") == 2, doc.get("schema_version")
+assert doc.get("schema_version") == 3, doc.get("schema_version")
 assert isinstance(doc.get("git_sha"), str) and doc["git_sha"], doc.get("git_sha")
 assert isinstance(doc.get("threads"), int) and doc["threads"] >= 1, doc
 assert isinstance(doc.get("timestamp"), str) and "T" in doc["timestamp"], doc
@@ -204,6 +209,9 @@ for r in results:
     assert isinstance(r["x"], (int, float)), r
     assert isinstance(r["value"], (int, float)) and r["value"] >= 0, r
     assert isinstance(r["unit"], str) and r["unit"], r
+    for pct in ("p50_us", "p99_us", "p999_us"):
+        if pct in r:
+            assert isinstance(r[pct], (int, float)) and r[pct] >= 0, r
 scenarios = {r["scenario"] for r in results}
 assert set(expected) <= scenarios, scenarios
 print(f"{path} ok: {len(results)} results")
@@ -281,6 +289,70 @@ EOF
 }
 leg posperf "POS cleaner perf guard (--smoke vs committed BENCH_pos.json)" \
   run_pos_perf_guard
+
+# --- net readiness perf-regression guard: bench_c100k --smoke pins its own -
+# 0.25 s window and sweeps {512, 2048} simulated clients in both net planes
+# (scan and epoll), raising RLIMIT_NOFILE itself. The fresh epoll rows must
+# hold a 0.8x throughput geomean AND stay under a 2.0x p99 latency geomean
+# against the committed BENCH_net.json — a readiness-core regression fails
+# the matrix even when every test still passes. Bounds are loose because CI
+# runs single-core; the committed sweep-top gap (epoll ~100x scan) gives
+# plenty of margin.
+run_net_perf_guard() {
+  EA_BENCH_JSON=build-check/BENCH_net_smoke.json \
+    ./build-check/bench/bench_c100k --smoke >/dev/null || return 1
+  check_bench_json build-check/BENCH_net_smoke.json c100k c100k || return 1
+  python3 - build-check/BENCH_net_smoke.json BENCH_net.json <<'EOF'
+import json
+import math
+import sys
+
+fresh_path, committed_path = sys.argv[1:3]
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        (r["mode"], r["x"]): r
+        for r in doc["results"]
+        if r["scenario"] == "c100k"
+    }
+
+fresh = rows(fresh_path)
+committed = rows(committed_path)
+assert committed, f"no c100k rows in {committed_path}"
+# The smoke sweep is a prefix of the committed full sweep; gate only on the
+# epoll rows present in both (scan is the ablation baseline, not the
+# product path).
+keys = sorted(k for k in fresh if k in committed and k[0] == "epoll")
+assert keys, f"no shared epoll rows between {fresh_path} and {committed_path}"
+
+def geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+tput = geomean([fresh[k]["value"] / committed[k]["value"] for k in keys])
+print(f"  c100k/epoll throughput: geomean {tput:.2f}x over {len(keys)} rows")
+bad = []
+if tput < 0.8:
+    bad.append(f"epoll throughput geomean {tput:.2f}x < 0.8x")
+p99_keys = [k for k in keys
+            if "p99_us" in fresh[k] and "p99_us" in committed[k]]
+if p99_keys:
+    p99 = geomean([fresh[k]["p99_us"] / committed[k]["p99_us"]
+                   for k in p99_keys])
+    print(f"  c100k/epoll p99 latency: geomean {p99:.2f}x over "
+          f"{len(p99_keys)} rows")
+    if p99 > 2.0:
+        bad.append(f"epoll p99 geomean {p99:.2f}x > 2.0x")
+if bad:
+    print("net readiness core regressed vs committed BENCH_net.json:")
+    for line in bad:
+        print("  " + line)
+    sys.exit(1)
+print(f"net perf guard ok: {len(keys)} epoll rows within bounds")
+EOF
+}
+leg netperf "net readiness perf guard (bench_c100k --smoke vs BENCH_net.json)" \
+  run_net_perf_guard
 
 # --- clang thread-safety analysis: the whole annotation sweep is only ------
 # *checked* by clang; this leg compiles the tree with -Werror=thread-safety

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/runtime.hpp"
+#include "net/readiness.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
@@ -26,8 +27,12 @@ void drain_to_pools(concurrent::Mbox& mbox) noexcept {
 
 void OpenerActor::on_quarantine() { drain_to_pools(requests_); }
 void AccepterActor::on_quarantine() { drain_to_pools(requests_); }
-void ReaderActor::on_quarantine() { drain_to_pools(requests_); }
 void CloserActor::on_quarantine() { drain_to_pools(input_); }
+
+void ReaderActor::on_quarantine() {
+  drain_to_pools(requests_);
+  drain_to_pools(ready_);
+}
 
 bool OpenerActor::body() {
   bool progress = false;
@@ -106,66 +111,156 @@ bool AccepterActor::body() {
   return progress;
 }
 
+// Drains up to kReadBurst reads from one socket, accumulating the data
+// nodes in a private chain handed to the consumer's mbox with a single
+// push_chain — one lock acquisition per burst instead of one per TCP
+// segment. The result classifies why the burst stopped; under epoll that
+// classification IS the re-arm contract (DESIGN.md §16): only kIdle (a
+// read that returned EAGAIN) may clear the socket's ready state, because
+// only then is the next kernel edge guaranteed.
+ReaderActor::Drain ReaderActor::drain_socket(SocketId id, Sub& sub,
+                                             bool& progress) {
+  concurrent::ChainBuilder chain;
+  Drain result = Drain::kMore;
+  for (std::size_t b = 0; b < kReadBurst; ++b) {
+    // Injected exhaustion of the subscription's pool: the reader must
+    // back off for the round without dropping the subscription or data.
+    if (EA_FAIL_TRIGGERED("net.reader.pool_empty")) {
+      result = Drain::kNoNodes;
+      break;
+    }
+    concurrent::Node* node = sub.pool->get();
+    if (node == nullptr) {
+      result = Drain::kNoNodes;  // backpressure: retry next round
+      break;
+    }
+    long n = 0;
+    bool alive = table_->with(id, [&](Socket& socket) {
+      n = socket.read_nb(node->writable());
+    });
+    if (!alive || n < 0) {
+      // EOF or closed: deliver a zero-length node as the close signal
+      // and drop the subscription.
+      node->tag = static_cast<std::uint64_t>(id);
+      node->size = 0;
+      chain.append(node);
+      result = Drain::kClosed;
+      break;
+    }
+    if (n == 0) {
+      sub.pool->put(node);
+      result = Drain::kIdle;
+      break;
+    }
+    node->tag = static_cast<std::uint64_t>(id);
+    node->size = static_cast<std::uint32_t>(n);
+    chain.append(node);
+  }
+  if (!chain.empty()) {
+    progress = true;
+    chain.flush_into(*sub.data);
+  }
+  return result;
+}
+
+void ReaderActor::flush_watch_requests() {
+  while (!unwatched_.empty()) {
+    concurrent::Node* node = watch_pool_->get();
+    if (node == nullptr) return;  // retry next round
+    WatchRequest req;
+    req.op = WatchRequest::kWatch;
+    req.socket = unwatched_.back();
+    req.read_ready = &ready_;
+    write_struct(*node, req);
+    watch_requests_->push(node);
+    unwatched_.pop_back();
+  }
+}
+
 bool ReaderActor::body() {
   bool progress = false;
-  concurrent::Node* burst[kRequestBurst];
+  concurrent::Node* burst[kWriteBurst];
   std::size_t got;
   while ((got = requests_.pop_burst(burst, kRequestBurst)) != 0) {
     for (std::size_t b = 0; b < got; ++b) {
       concurrent::NodeLease req_lease(burst[b]);
-      ReadSubscribe sub;
-      if (read_struct(*burst[b], sub) && sub.data != nullptr) {
-        if (sub.pool == nullptr) sub.pool = &default_pool_;
-        subs_.push_back(sub);
+      ReadSubscribe req;
+      if (read_struct(*burst[b], req) && req.data != nullptr &&
+          req.socket >= 0) {
+        Sub sub;
+        sub.data = req.data;
+        sub.pool = req.pool != nullptr ? req.pool : &default_pool_;
+        subs_[req.socket] = sub;
+        if (watch_requests_ != nullptr) unwatched_.push_back(req.socket);
         progress = true;
       }
     }
   }
 
-  for (std::size_t i = 0; i < subs_.size();) {
-    ReadSubscribe& sub = subs_[i];
-    // Drain up to kReadBurst reads from the socket, accumulate the data
-    // nodes in a private chain, and hand the whole burst to the consumer's
-    // mbox with a single push_chain — one lock acquisition per burst
-    // instead of one per TCP segment.
-    concurrent::ChainBuilder chain;
-    bool drop_sub = false;
-    for (std::size_t b = 0; b < kReadBurst; ++b) {
-      // Injected exhaustion of the subscription's pool: the reader must
-      // back off for the round without dropping the subscription or data.
-      if (EA_FAIL_TRIGGERED("net.reader.pool_empty")) break;
-      concurrent::Node* node = sub.pool->get();
-      if (node == nullptr) break;  // backpressure: retry next round
-      long n = 0;
-      bool alive = table_->with(sub.socket, [&](Socket& socket) {
-        n = socket.read_nb(node->writable());
-      });
-      if (!alive || n < 0) {
-        // EOF or closed: deliver a zero-length node as the close signal
-        // and drop the subscription.
-        node->tag = static_cast<std::uint64_t>(sub.socket);
-        node->size = 0;
-        chain.append(node);
-        drop_sub = true;
-        break;
+  if (watch_requests_ != nullptr) {
+    // Epoll mode: register new subscriptions with the watcher, then drain
+    // only the sockets the readiness core has flagged.
+    flush_watch_requests();
+    while ((got = ready_.pop_burst(burst, kWriteBurst)) != 0) {
+      for (std::size_t b = 0; b < got; ++b) {
+        concurrent::NodeLease note(burst[b]);
+        auto id = static_cast<SocketId>(burst[b]->tag);
+        auto it = subs_.find(id);
+        // Notes for unknown ids (closed mid-flight) or already-ready
+        // sockets are tolerated spurious wakeups: the node just returns
+        // to its pool.
+        if (it == subs_.end() || it->second.ready) continue;
+        it->second.ready = true;
+        ready_ids_.push_back(id);
       }
-      if (n == 0) {
-        sub.pool->put(node);
-        break;
-      }
-      node->tag = static_cast<std::uint64_t>(sub.socket);
-      node->size = static_cast<std::uint32_t>(n);
-      chain.append(node);
-    }
-    if (!chain.empty()) {
       progress = true;
-      chain.flush_into(*sub.data);
     }
-    if (drop_sub) {
-      subs_[i] = subs_.back();
-      subs_.pop_back();
-    } else {
-      ++i;
+    // Budget = the queue length at round start: a socket re-queued by
+    // kMore yields to every other ready socket before its next burst
+    // (drain fairness), and the round terminates even under a firehose.
+    std::size_t budget = ready_ids_.size();
+    while (budget > 0 && !ready_ids_.empty()) {
+      --budget;
+      SocketId id = ready_ids_.front();
+      ready_ids_.pop_front();
+      auto it = subs_.find(id);
+      if (it == subs_.end()) continue;
+      switch (drain_socket(id, it->second, progress)) {
+        case Drain::kIdle:
+          // EAGAIN seen: the ET re-arm point — the next kernel edge will
+          // flag the socket again.
+          it->second.ready = false;
+          break;
+        case Drain::kMore:
+          ready_ids_.push_back(id);  // still buffered: stays ready
+          break;
+        case Drain::kClosed:
+          subs_.erase(it);
+          break;
+        case Drain::kNoNodes:
+          ready_ids_.push_front(id);  // pool dry: keep FIFO position
+          budget = 0;
+          break;
+      }
+    }
+  } else if (!subs_.empty()) {
+    // Scan mode (the paper's Fig. 6 sweep), rotated like the WRITER's
+    // drain: resume after the id the previous round started at, so a hot
+    // early socket that eats the pool cannot starve later ids round after
+    // round.
+    auto it = subs_.upper_bound(scan_cursor_);
+    if (it == subs_.end()) it = subs_.begin();
+    scan_cursor_ = it->first;
+    std::size_t remaining = subs_.size();
+    while (remaining-- > 0) {
+      SocketId id = it->first;
+      if (drain_socket(id, it->second, progress) == Drain::kClosed) {
+        it = subs_.erase(it);
+      } else {
+        ++it;
+      }
+      if (subs_.empty()) break;
+      if (it == subs_.end()) it = subs_.begin();
     }
   }
   return progress;
@@ -178,9 +273,34 @@ bool WriterActor::body() {
   while ((got = input_.pop_burst(burst, kWriteBurst)) != 0) {
     for (std::size_t b = 0; b < got; ++b) {
       concurrent::Node* node = burst[b];
-      pending_[static_cast<SocketId>(node->tag)].push_back(Pending{node, 0});
+      pending_[static_cast<SocketId>(node->tag)].q.push_back(
+          Pending{node, 0});
     }
     progress = true;
+  }
+
+  if (watch_requests_ != nullptr) {
+    // Epoll mode: EPOLLOUT notes un-park blocked sockets; a hangup note
+    // means the peer is gone, so the queued bytes can never be delivered.
+    while ((got = ready_.pop_burst(burst, kWriteBurst)) != 0) {
+      for (std::size_t b = 0; b < got; ++b) {
+        concurrent::NodeLease note(burst[b]);
+        auto id = static_cast<SocketId>(burst[b]->tag);
+        auto it = pending_.find(id);
+        if (it == pending_.end()) continue;  // spurious: tolerated
+        ReadinessNote rn{};
+        read_struct(*burst[b], rn);
+        if ((rn.mask & kReadinessHup) != 0) {
+          for (Pending& p : it->second.q) {
+            concurrent::NodeLease(p.node).reset();
+          }
+          pending_.erase(it);
+        } else {
+          it->second.writable = true;
+        }
+      }
+      progress = true;
+    }
   }
 
   // Rotate the drain starting point: resume after the id the previous round
@@ -195,10 +315,13 @@ bool WriterActor::body() {
     std::size_t remaining = pending_.size();
     while (remaining-- > 0) {
       SocketId id = it->first;
-      auto& queue = it->second;
+      Queue& entry = it->second;
       bool drop_socket = false;
-      while (!queue.empty()) {
-        Pending& p = queue.front();
+      // Epoll mode: a parked socket waits for its EPOLLOUT note instead of
+      // burning a write syscall per round on a full kernel buffer.
+      bool parked = watch_requests_ != nullptr && !entry.writable;
+      while (!parked && !entry.q.empty()) {
+        Pending& p = entry.q.front();
         long n = -1;
         bool alive = table_->with(id, [&](Socket& socket) {
           n = socket.write_nb(p.node->data().subspan(p.offset));
@@ -207,18 +330,37 @@ bool WriterActor::body() {
           drop_socket = true;
           break;
         }
-        if (n == 0) break;  // kernel buffer full; retry next round
+        if (n == 0) {
+          // Kernel buffer full. Epoll mode: arm EPOLLOUT with the watcher
+          // and park until the readiness note arrives (if the request pool
+          // is dry the socket stays un-parked and retries next round, the
+          // scan behaviour). Scan mode: retry next round.
+          if (watch_requests_ != nullptr) {
+            concurrent::Node* rn = watch_pool_->get();
+            if (rn != nullptr) {
+              WatchRequest req;
+              req.op = WatchRequest::kWatch;
+              req.socket = id;
+              req.write_ready = &ready_;
+              write_struct(*rn, req);
+              watch_requests_->push(rn);
+              entry.armed = true;
+              entry.writable = false;
+            }
+          }
+          break;
+        }
         p.offset += static_cast<std::size_t>(n);
         progress = true;
         if (p.offset >= p.node->size) {
           concurrent::NodeLease(p.node).reset();  // return to its pool
-          queue.pop_front();
+          entry.q.pop_front();
         }
       }
       if (drop_socket) {
-        for (Pending& p : queue) concurrent::NodeLease(p.node).reset();
+        for (Pending& p : entry.q) concurrent::NodeLease(p.node).reset();
         it = pending_.erase(it);
-      } else if (queue.empty()) {
+      } else if (entry.q.empty()) {
         it = pending_.erase(it);
       } else {
         ++it;
@@ -232,8 +374,9 @@ bool WriterActor::body() {
 
 void WriterActor::park_pending() noexcept {
   drain_to_pools(input_);
-  for (auto& [id, queue] : pending_) {
-    for (Pending& p : queue) concurrent::NodeLease(p.node).reset();
+  drain_to_pools(ready_);
+  for (auto& [id, entry] : pending_) {
+    for (Pending& p : entry.q) concurrent::NodeLease(p.node).reset();
   }
   pending_.clear();
 }
@@ -282,16 +425,32 @@ NetSubsystem install_networking(core::Runtime& rt,
   sub.writer = writer.get();
   sub.closer = closer.get();
 
+  std::vector<std::string> actor_names;
+  if (rt.options().net == core::NetMode::kEpoll) {
+    // Readiness core in front of READER/WRITER. The watcher runs first in
+    // the worker's round so events translated this round are drained by
+    // the reader/writer in the same round.
+    auto watcher = std::make_unique<FdWatcherActor>(worker_name + ".watcher",
+                                                    sub.table, pool);
+    watcher->set_closer_input(&closer->input());
+    reader->enable_readiness(&watcher->requests(), &pool);
+    writer->enable_readiness(&watcher->requests(), &pool);
+    sub.watcher = watcher.get();
+    rt.add_actor(std::move(watcher));
+    actor_names.push_back(worker_name + ".watcher");
+  }
+
   rt.add_actor(std::move(opener));
   rt.add_actor(std::move(accepter));
   rt.add_actor(std::move(reader));
   rt.add_actor(std::move(writer));
   rt.add_actor(std::move(closer));
 
-  rt.add_worker(worker_name, std::move(cpus),
-                {worker_name + ".opener", worker_name + ".accepter",
-                 worker_name + ".reader", worker_name + ".writer",
-                 worker_name + ".closer"});
+  for (const char* suffix :
+       {".opener", ".accepter", ".reader", ".writer", ".closer"}) {
+    actor_names.push_back(worker_name + suffix);
+  }
+  rt.add_worker(worker_name, std::move(cpus), actor_names);
   return sub;
 }
 

@@ -1,0 +1,304 @@
+#include "net/readiness.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/actors.hpp"  // write_struct/read_struct, burst constants
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+
+namespace ea::net {
+
+FdWatcherActor::FdWatcherActor(std::string name,
+                               std::shared_ptr<SocketTable> table,
+                               concurrent::Pool& pool)
+    : core::Actor(std::move(name)), table_(std::move(table)), pool_(pool) {
+  // fd-facing, like the five scan-mode system actors: readiness delivery
+  // must not queue behind bulk message churn under the stealing scheduler.
+  set_priority(core::ActorPriority::kHigh);
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) {
+    EA_WARN("net", "watcher: epoll_create1 failed (errno=%d)", errno);
+  }
+}
+
+FdWatcherActor::~FdWatcherActor() {
+  drain_chains();
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+bool FdWatcherActor::handle_requests() {
+  bool progress = false;
+  concurrent::Node* burst[kRequestBurst];
+  std::size_t got;
+  while ((got = requests_.pop_burst(burst, kRequestBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease lease(burst[b]);
+      WatchRequest req;
+      if (!read_struct(*burst[b], req) || req.socket < 0) continue;
+      progress = true;
+
+      if (req.op == WatchRequest::kUnwatch) {
+        auto it = watches_.find(req.socket);
+        if (it == watches_.end()) continue;
+        int fd = table_->fd(req.socket);
+        if (fd >= 0 && epfd_ >= 0) {
+          ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+        }
+        watches_.erase(it);
+        deferred_.erase(req.socket);
+        continue;
+      }
+
+      if (req.read_ready == nullptr && req.write_ready == nullptr) continue;
+      auto [it, inserted] = watches_.try_emplace(req.socket);
+      // Upsert: merge the requested interests into the registration so the
+      // READER and WRITER can each subscribe the same fd independently.
+      if (req.read_ready != nullptr) it->second.read_ready = req.read_ready;
+      if (req.write_ready != nullptr) it->second.write_ready = req.write_ready;
+      if (!inserted) {
+        // Replay readiness edges that fired before this subscriber existed
+        // (the new subscriber must not wait for an edge already consumed).
+        std::uint32_t wake = 0;
+        if (req.read_ready != nullptr) {
+          wake |= it->second.undelivered & kReadinessIn;
+        }
+        if (req.write_ready != nullptr) {
+          wake |= it->second.undelivered & kReadinessOut;
+        }
+        if (wake != 0) {
+          it->second.undelivered &= ~wake;
+          deferred_[req.socket] |= wake;
+          deferred_count_.store(deferred_.size(), std::memory_order_relaxed);
+        }
+        continue;  // fd already registered with the full mask
+      }
+
+      int fd = table_->fd(req.socket);
+      if (fd < 0 || epfd_ < 0) {
+        watches_.erase(it);
+        continue;  // closed before the request arrived: stale, drop
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+      ev.data.u64 = static_cast<std::uint64_t>(req.socket);
+      if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        if (errno == EEXIST) {
+          ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+        } else {
+          EA_WARN("net", "watcher: epoll_ctl ADD failed (errno=%d)", errno);
+          watches_.erase(it);
+        }
+      }
+    }
+  }
+  sync_watched_count();
+  return progress;
+}
+
+void FdWatcherActor::chain_append(concurrent::Mbox& target,
+                                  concurrent::Node* note) {
+  note->next = nullptr;
+  MboxChain* slot = nullptr;
+  for (std::size_t i = 0; i < chains_used_; ++i) {
+    if (chains_[i].target == &target) {
+      slot = &chains_[i];
+      break;
+    }
+  }
+  if (slot == nullptr && chains_used_ < kMaxChains) {
+    slot = &chains_[chains_used_++];
+    slot->target = &target;
+  }
+  if (slot == nullptr) {
+    target.push(note);  // table full (unreachable in practice): direct push
+    return;
+  }
+  note->prev = slot->tail;
+  if (slot->tail != nullptr) {
+    slot->tail->next = note;
+  } else {
+    slot->head = note;
+  }
+  slot->tail = note;
+  ++slot->count;
+}
+
+bool FdWatcherActor::deliver(SocketId id, std::uint32_t mask) {
+  auto it = watches_.find(id);
+  if (it == watches_.end()) return true;  // stale event: nothing to do
+  Watch& w = it->second;
+
+  const bool hup = (mask & kReadinessHup) != 0;
+  const std::uint32_t read_mask =
+      w.read_ready != nullptr ? (mask & (kReadinessIn | kReadinessHup)) : 0;
+  const std::uint32_t write_mask =
+      w.write_ready != nullptr ? (mask & (kReadinessOut | kReadinessHup)) : 0;
+  // Hangup with no read subscriber: nobody will drain the socket to EOF,
+  // so route the close straight to the CLOSER (tag = id, size = 0).
+  const bool closer_note =
+      hup && w.read_ready == nullptr && closer_input_ != nullptr;
+
+  // Injected exhaustion: the watcher must defer, never drop, the event.
+  const bool pool_empty = EA_FAIL_TRIGGERED("net.watcher.pool_empty");
+
+  // Grab every node this event needs up front so delivery is all-or-nothing
+  // (a partial delivery would lose the undelivered half of an ET edge).
+  concurrent::NodeLease read_note, write_note, close_note;
+  if (read_mask != 0) {
+    read_note = concurrent::NodeLease(pool_empty ? nullptr : pool_.get());
+    if (!read_note) return false;
+  }
+  if (write_mask != 0) {
+    write_note = concurrent::NodeLease(pool_empty ? nullptr : pool_.get());
+    if (!write_note) return false;
+  }
+  if (closer_note) {
+    close_note = concurrent::NodeLease(pool_empty ? nullptr : pool_.get());
+    if (!close_note) return false;
+  }
+
+  // Remember edges nobody is subscribed to yet (replayed on later kWatch).
+  if (!hup) {
+    if ((mask & kReadinessIn) != 0 && w.read_ready == nullptr) {
+      w.undelivered |= kReadinessIn;
+    }
+    if ((mask & kReadinessOut) != 0 && w.write_ready == nullptr) {
+      w.undelivered |= kReadinessOut;
+    }
+  }
+
+  std::uint64_t n = 0;
+  if (read_note) {
+    read_note->tag = static_cast<std::uint64_t>(id);
+    write_struct(*read_note.get(), ReadinessNote{read_mask});
+    chain_append(*w.read_ready, read_note.release());
+    ++n;
+  }
+  if (write_note) {
+    write_note->tag = static_cast<std::uint64_t>(id);
+    write_struct(*write_note.get(), ReadinessNote{write_mask});
+    chain_append(*w.write_ready, write_note.release());
+    ++n;
+  }
+  if (close_note) {
+    close_note->tag = static_cast<std::uint64_t>(id);
+    close_note->size = 0;
+    chain_append(*closer_input_, close_note.release());
+    ++n;
+  }
+  delivered_.fetch_add(n, std::memory_order_relaxed);
+
+  // A hung-up fd reports no further edges: retire the registration (the
+  // kernel drops the epoll entry when the fd is closed; the explicit erase
+  // just keeps the watch table from accumulating dead sockets).
+  if (hup) {
+    watches_.erase(it);
+    sync_watched_count();
+  }
+  return true;
+}
+
+bool FdWatcherActor::retry_deferred() {
+  bool progress = false;
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (!deliver(it->first, it->second)) break;  // pool still empty
+    it = deferred_.erase(it);
+    progress = true;
+  }
+  deferred_count_.store(deferred_.size(), std::memory_order_relaxed);
+  return progress;
+}
+
+void FdWatcherActor::flush_chains() {
+  for (std::size_t i = 0; i < chains_used_; ++i) {
+    MboxChain& c = chains_[i];
+    if (c.count != 0) c.target->push_chain(c.head, c.tail, c.count);
+    c = MboxChain{};
+  }
+  chains_used_ = 0;
+}
+
+void FdWatcherActor::drain_chains() noexcept {
+  for (std::size_t i = 0; i < chains_used_; ++i) {
+    concurrent::Node* n = chains_[i].head;
+    while (n != nullptr) {
+      concurrent::Node* next = n->next;
+      concurrent::NodeLease(n).reset();
+      n = next;
+    }
+    chains_[i] = MboxChain{};
+  }
+  chains_used_ = 0;
+}
+
+void FdWatcherActor::prune_dead() {
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    if (table_->fd(it->first) < 0) {
+      deferred_.erase(it->first);
+      it = watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  deferred_count_.store(deferred_.size(), std::memory_order_relaxed);
+  sync_watched_count();
+}
+
+bool FdWatcherActor::body() {
+  ++rounds_;
+  bool progress = handle_requests();
+  progress |= retry_deferred();
+
+  if (epfd_ >= 0) {
+    epoll_event evs[kEpollBatch];
+    int n = ::epoll_wait(epfd_, evs, kEpollBatch, 0);
+    for (int i = 0; i < n; ++i) {
+      auto id = static_cast<SocketId>(evs[i].data.u64);
+      const std::uint32_t e = evs[i].events;
+      std::uint32_t mask = 0;
+      // RDHUP (peer shut down writing) still leaves buffered bytes to read,
+      // so it maps to read-readiness; the READER discovers the EOF itself.
+      if ((e & (EPOLLIN | EPOLLRDHUP)) != 0) mask |= kReadinessIn;
+      if ((e & EPOLLOUT) != 0) mask |= kReadinessOut;
+      if ((e & (EPOLLHUP | EPOLLERR)) != 0) {
+        mask |= kReadinessHup | kReadinessIn;
+      }
+      if (mask == 0) continue;
+      if (deliver(id, mask)) {
+        progress = true;
+      } else {
+        // Note pool exhausted: coalesce into the deferral map — an
+        // edge-triggered event is reported once and must never be lost.
+        deferred_[id] |= mask;
+        deferrals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (n < 0 && errno != EINTR) {
+      EA_WARN("net", "watcher: epoll_wait failed (errno=%d)", errno);
+    }
+  }
+
+  flush_chains();
+  deferred_count_.store(deferred_.size(), std::memory_order_relaxed);
+  if ((rounds_ & 0xFFFu) == 0) prune_dead();
+  return progress;
+}
+
+void FdWatcherActor::on_quarantine() {
+  // Return everything in flight: queued requests, half-built note chains.
+  concurrent::Node* burst[kRequestBurst];
+  std::size_t got;
+  while ((got = requests_.pop_burst(burst, kRequestBurst)) != 0) {
+    for (std::size_t b = 0; b < got; ++b) {
+      concurrent::NodeLease(burst[b]).reset();
+    }
+  }
+  drain_chains();
+  deferred_.clear();
+  deferred_count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ea::net

@@ -1,0 +1,168 @@
+// Edge-triggered epoll readiness core (DESIGN.md §16).
+//
+// The paper's READER/WRITER (§4.2, Fig. 6) poll every registered socket
+// non-blockingly each round — one recv syscall per idle socket per round.
+// That caps realistic connection counts: at 50k mostly-idle clients the
+// scan burns 50k syscalls per round just to learn nothing happened.
+//
+// NetMode::kEpoll replaces the scan with a readiness plane: one
+// FdWatcherActor per net worker owns an epoll instance, registers every
+// watched socket once (EPOLLIN|EPOLLOUT|EPOLLRDHUP, edge-triggered), and
+// translates kernel events into readiness *notes* — plain nodes whose tag
+// is the socket id and whose payload is an event mask — delivered to the
+// READER's / WRITER's ready mboxes as burst chains (one lock acquisition
+// per event batch). Idle sockets then cost zero syscalls, and the stealing
+// scheduler parks idle net actors entirely: a parked watcher is body-polled
+// every Worker::kIdlePollRounds, so a fully idle plane costs one epoll_wait
+// per poll tick instead of one recv per socket per round.
+//
+// Ownership invariant: an epoll instance is owned by exactly ONE watcher
+// actor, and every fd is registered with exactly ONE watcher. All epoll_ctl
+// and epoll_wait calls for that instance happen inside the watcher's body
+// (actors are single-threaded by the runtime's dispatch contract), so the
+// watcher needs no lock of its own.
+//
+// Event-loss invariant: an edge-triggered event is reported by the kernel
+// ONCE. The watcher therefore never drops an event — if the note pool is
+// exhausted, the (socket, mask) pair is coalesced into a deferral map and
+// retried every round until a node is available.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/actor.hpp"
+#include "net/socket_table.hpp"
+
+namespace ea::net {
+
+// Watch registration, carried in a node payload to the watcher's requests()
+// mbox. kWatch upserts: a second request for the same socket merges the
+// non-null mboxes into the existing registration (READER and WRITER each
+// register their own interest in the same fd independently).
+struct WatchRequest {
+  enum Op : std::uint32_t { kWatch = 0, kUnwatch = 1 };
+  std::uint32_t op = kWatch;
+  SocketId socket = -1;
+  concurrent::Mbox* read_ready = nullptr;   // EPOLLIN/RDHUP notes land here
+  concurrent::Mbox* write_ready = nullptr;  // EPOLLOUT notes land here
+};
+
+// Readiness note payload bits (note tag = socket id, payload = ReadinessNote).
+inline constexpr std::uint32_t kReadinessIn = 1u << 0;
+inline constexpr std::uint32_t kReadinessOut = 1u << 1;
+// Peer hung up or the socket errored: drain what remains, then expect EOF.
+inline constexpr std::uint32_t kReadinessHup = 1u << 2;
+
+struct ReadinessNote {
+  std::uint32_t mask = 0;
+};
+
+// Kernel events fetched per epoll_wait call (stack buffer in body()).
+inline constexpr int kEpollBatch = 256;
+
+class FdWatcherActor : public core::Actor {
+ public:
+  // `pool` supplies the nodes readiness notes are delivered in; notes are
+  // tiny, so the runtime's public pool is the normal choice.
+  FdWatcherActor(std::string name, std::shared_ptr<SocketTable> table,
+                 concurrent::Pool& pool);
+  ~FdWatcherActor() override;
+
+  // Watch/unwatch requests (WatchRequest payloads) from READER/WRITER.
+  concurrent::Mbox& requests() noexcept { return requests_; }
+
+  // When set, a hangup on a socket with no read subscriber is routed as a
+  // close note (tag = id, size = 0) straight to the CLOSER's input — the
+  // EPOLLHUP→CLOSER delivery contract. Sockets with a read subscriber get
+  // the hangup as a read-readiness note instead, so the READER drains the
+  // final bytes and delivers its usual zero-length EOF node.
+  void set_closer_input(concurrent::Mbox* closer) noexcept {
+    closer_input_ = closer;
+  }
+
+  bool body() override;
+  bool has_pending_work() const override {
+    return !requests_.empty() ||
+           deferred_count_.load(std::memory_order_relaxed) != 0;
+  }
+  void on_quarantine() override;
+
+  // Observability (tests and stats).
+  std::uint64_t events_delivered() const noexcept {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t events_deferred() const noexcept {
+    return deferrals_.load(std::memory_order_relaxed);
+  }
+  std::size_t watched() const noexcept {
+    return watched_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Watch {
+    concurrent::Mbox* read_ready = nullptr;
+    concurrent::Mbox* write_ready = nullptr;
+    // Readiness bits that arrived while no subscriber was registered for
+    // them. An ET edge is reported once: e.g. the initial EPOLLOUT fires
+    // on registration (long before the WRITER's first blocked write arms
+    // its interest), so dropping it would strand the writer forever.
+    // kWatch upserts replay these bits through the deferral map.
+    std::uint32_t undelivered = 0;
+  };
+
+  bool handle_requests();
+  bool retry_deferred();
+  // Translates one kernel event mask for the socket's registration and
+  // appends notes to the per-mbox chains. Returns false if the note pool
+  // was exhausted (caller defers the event).
+  bool deliver(SocketId id, std::uint32_t mask);
+  void flush_chains();
+  void drain_chains() noexcept;  // quarantine path: nodes back to pools
+  void prune_dead();
+  void sync_watched_count() noexcept {
+    watched_count_.store(watches_.size(), std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<SocketTable> table_;
+  concurrent::Pool& pool_;
+  concurrent::Mbox requests_;
+  concurrent::Mbox* closer_input_ = nullptr;
+
+  int epfd_ = -1;
+  std::unordered_map<SocketId, Watch> watches_;
+  // Pool-exhaustion backlog: (socket → pending mask), coalesced so a socket
+  // deferred twice costs one entry. ET events are never dropped.
+  std::unordered_map<SocketId, std::uint32_t> deferred_;
+  std::uint64_t rounds_ = 0;
+
+  // Per-round chain accumulation: at most a handful of distinct target
+  // mboxes exist per watcher (its reader's and writer's ready mboxes plus
+  // the closer input), so a small linear table beats a map. Hand-rolled
+  // rather than ChainBuilder so on_quarantine() can walk a half-built
+  // chain and return its nodes (node conservation across actor failure).
+  static constexpr std::size_t kMaxChains = 8;
+  struct MboxChain {
+    concurrent::Mbox* target = nullptr;
+    concurrent::Node* head = nullptr;
+    concurrent::Node* tail = nullptr;
+    std::size_t count = 0;
+  };
+  void chain_append(concurrent::Mbox& target, concurrent::Node* note);
+  MboxChain chains_[kMaxChains];
+  std::size_t chains_used_ = 0;
+
+  // Lock-free mirrors for cross-thread probes (has_pending_work runs on
+  // the home worker while another worker may be dispatching the body).
+  std::atomic<std::size_t> deferred_count_{0};
+  std::atomic<std::size_t> watched_count_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> deferrals_{0};
+};
+
+}  // namespace ea::net

@@ -80,14 +80,20 @@ std::string utc_timestamp() {
 
 void BenchReport::add(const std::string& scenario, const std::string& mode,
                       double x, double value, const std::string& unit) {
-  entries_.push_back(Entry{scenario, mode, x, value, unit});
+  entries_.push_back(Entry{scenario, mode, x, value, unit, false, {}});
+}
+
+void BenchReport::add(const std::string& scenario, const std::string& mode,
+                      double x, double value, const std::string& unit,
+                      const BenchPercentiles& pcts) {
+  entries_.push_back(Entry{scenario, mode, x, value, unit, true, pcts});
 }
 
 std::string BenchReport::to_json() const {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escaped(name_) + "\",\n";
-  out += "  \"schema_version\": 2,\n";
+  out += "  \"schema_version\": 3,\n";
   out += "  \"git_sha\": \"" + escaped(resolve_git_sha()) + "\",\n";
   out += "  \"threads\": " +
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
@@ -98,7 +104,13 @@ std::string BenchReport::to_json() const {
     out += "    {\"scenario\": \"" + escaped(e.scenario) + "\", \"mode\": \"" +
            escaped(e.mode) + "\", \"x\": " + number(e.x) +
            ", \"value\": " + number(e.value) + ", \"unit\": \"" +
-           escaped(e.unit) + "\"}";
+           escaped(e.unit) + "\"";
+    if (e.has_pcts) {
+      out += ", \"p50_us\": " + number(e.pcts.p50_us) +
+             ", \"p99_us\": " + number(e.pcts.p99_us) +
+             ", \"p999_us\": " + number(e.pcts.p999_us);
+    }
+    out += "}";
     out += (i + 1 < entries_.size()) ? ",\n" : "\n";
   }
   out += "  ]\n";

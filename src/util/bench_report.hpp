@@ -5,16 +5,17 @@
 // trajectory of the message plane can be tracked mechanically across PRs
 // (scripts/check.sh validates the schema in its bench smoke leg).
 //
-// Schema (version 2):
+// Schema (version 3):
 //   {
 //     "bench": "<name>",
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "git_sha": "<hex or \"unknown\">",
 //     "threads": <hardware_concurrency>,
 //     "timestamp": "<ISO-8601 UTC>",
 //     "results": [
 //       {"scenario": "...", "mode": "...", "x": <number>,
-//        "value": <number>, "unit": "..."},
+//        "value": <number>, "unit": "...",
+//        "p50_us": <number>, "p99_us": <number>, "p999_us": <number>},
 //       ...
 //     ]
 //   }
@@ -23,6 +24,9 @@
 // numbers (EA_GIT_SHA overrides; falls back to reading .git/HEAD), how
 // much hardware concurrency the host reported, and when the run happened —
 // so committed BENCH_*.json artifacts are comparable across machines.
+// The percentile fields (v3) are OPTIONAL per row: throughput rows omit
+// them, latency rows carry the p50/p99/p999 tail measured by
+// util::LatencyHist (latency_hist.hpp) in microseconds.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +34,13 @@
 #include <vector>
 
 namespace ea::util {
+
+// Optional tail-latency annotation for a result row (microseconds).
+struct BenchPercentiles {
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
 
 class BenchReport {
  public:
@@ -41,6 +52,11 @@ class BenchReport {
   // (worker count), `value` the measurement in `unit`.
   void add(const std::string& scenario, const std::string& mode, double x,
            double value, const std::string& unit);
+
+  // Same, with the row's latency tail attached (schema v3 optional fields).
+  void add(const std::string& scenario, const std::string& mode, double x,
+           double value, const std::string& unit,
+           const BenchPercentiles& pcts);
 
   std::size_t size() const noexcept { return entries_.size(); }
 
@@ -57,6 +73,8 @@ class BenchReport {
     double x;
     double value;
     std::string unit;
+    bool has_pcts = false;
+    BenchPercentiles pcts;
   };
 
   std::string name_;

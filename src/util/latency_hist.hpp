@@ -1,0 +1,112 @@
+// Fixed-bucket latency histogram for tail-latency reporting.
+//
+// HDR-style bucketing: values below kSubBuckets get exact (linear)
+// buckets; above that, each power-of-two octave is split into kSubBuckets
+// sub-buckets, bounding relative error at 1/kSubBuckets (~3% with 32) over
+// the full range up to ~2^40. Everything is plain arrays — no allocation
+// after construction and no syscalls, so per-thread histograms can be
+// recorded on hot paths and merge()d at the end of a run (bench_c100k's
+// driver processes ship their buckets over a pipe the same way).
+//
+// Units are the caller's choice; the benches record microseconds and feed
+// percentile() straight into BenchReport's p50_us/p99_us/p999_us fields
+// (bench_report.hpp, schema v3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ea::util {
+
+class LatencyHist {
+ public:
+  static constexpr std::uint32_t kSubBucketBits = 5;  // 32 sub-buckets
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::uint32_t kOctaves = 36;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kOctaves) * kSubBuckets;
+
+  void record(std::uint64_t value) noexcept {
+    ++counts_[index_of(value)];
+    ++total_;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const LatencyHist& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  // Value at quantile q in [0, 1] (0.5 = median). Returns the upper bound
+  // of the bucket containing the q-th sample — i.e. at most one bucket
+  // width (~3% relative) above the true order statistic. 0 when empty.
+  std::uint64_t percentile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // Rank of the target sample, 1-based; q=1 maps to the last sample.
+    std::uint64_t rank = static_cast<std::uint64_t>(q * total_);
+    if (rank == 0) rank = 1;
+    if (rank > total_) rank = total_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        const std::uint64_t hi = upper_bound(i);
+        return hi < max_ ? hi : max_;
+      }
+    }
+    return max_;
+  }
+
+  // Raw bucket access for serialisation (bench driver → parent pipe).
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return counts_;
+  }
+  void add_bucket(std::size_t i, std::uint64_t n) noexcept {
+    if (i >= kBuckets) return;
+    counts_[i] += n;
+    total_ += n;
+    const std::uint64_t hi = upper_bound(i);
+    if (n != 0 && hi > max_) max_ = hi;
+  }
+
+  static std::size_t index_of(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    // Octave = position of the highest set bit above the sub-bucket bits;
+    // the sub-bucket is the next kSubBucketBits bits below it.
+    std::uint32_t msb = 63u - static_cast<std::uint32_t>(
+                                  __builtin_clzll(value));
+    std::uint32_t octave = msb - kSubBucketBits + 1;
+    if (octave >= kOctaves) {
+      octave = kOctaves - 1;
+      return static_cast<std::size_t>(octave + 1) * kSubBuckets - 1;
+    }
+    const std::uint32_t sub = static_cast<std::uint32_t>(
+        (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+    return static_cast<std::size_t>(octave) * kSubBuckets + sub;
+  }
+
+  // Largest value mapping to bucket `i` (inclusive).
+  static std::uint64_t upper_bound(std::size_t i) noexcept {
+    const std::uint32_t octave = static_cast<std::uint32_t>(i / kSubBuckets);
+    const std::uint32_t sub = static_cast<std::uint32_t>(i % kSubBuckets);
+    if (octave == 0) return sub;
+    const std::uint32_t shift = octave - 1;
+    const std::uint64_t base = static_cast<std::uint64_t>(kSubBuckets)
+                               << shift;
+    return base + (static_cast<std::uint64_t>(sub + 1) << shift) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ea::util

@@ -5,6 +5,7 @@
 
 #include "crypto/hkdf.hpp"
 #include "crypto/rng.hpp"
+#include "net/readiness.hpp"
 #include "sgxsim/attestation.hpp"
 #include "util/logging.hpp"
 #include "xmpp/e2e.hpp"
@@ -14,30 +15,40 @@ namespace ea::xmpp {
 // --- shared state ----------------------------------------------------------
 
 void Directory::put(const std::string& jid, Route route) {
-  concurrent::HleGuard guard(lock_);
-  users_[jid] = route;
+  Shard& s = shard(jid);
+  concurrent::HleGuard guard(s.lock);
+  s.users[jid] = route;
 }
 
 std::optional<Route> Directory::get(const std::string& jid) const {
-  concurrent::HleGuard guard(lock_);
-  auto it = users_.find(jid);
-  if (it == users_.end()) return std::nullopt;
+  Shard& s = shard(jid);
+  concurrent::HleGuard guard(s.lock);
+  auto it = s.users.find(jid);
+  if (it == s.users.end()) return std::nullopt;
   return it->second;
 }
 
 void Directory::remove(const std::string& jid) {
-  concurrent::HleGuard guard(lock_);
-  users_.erase(jid);
+  Shard& s = shard(jid);
+  concurrent::HleGuard guard(s.lock);
+  s.users.erase(jid);
 }
 
 std::size_t Directory::size() const {
-  concurrent::HleGuard guard(lock_);
-  return users_.size();
+  // One shard at a time (sequential, never nested — same-rank locks): the
+  // total is a statistical snapshot, exact only when quiescent.
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    concurrent::HleGuard guard(s.lock);
+    total += s.users.size();
+  }
+  return total;
 }
 
 void RoomTable::join(const std::string& room, const std::string& jid) {
-  concurrent::HleGuard guard(lock_);
-  auto& members = rooms_[room];
+  Shard& s = shard(room);
+  concurrent::HleGuard guard(s.lock);
+  auto& members = s.rooms[room];
   for (const std::string& m : members) {
     if (m == jid) return;
   }
@@ -45,44 +56,59 @@ void RoomTable::join(const std::string& room, const std::string& jid) {
 }
 
 void RoomTable::leave_all(const std::string& jid) {
-  concurrent::HleGuard guard(lock_);
-  for (auto& [room, members] : rooms_) {
-    std::erase(members, jid);
+  // Rooms hash across every shard, so the departure sweep visits each
+  // shard in turn — strictly sequential same-rank acquisition.
+  for (Shard& s : shards_) {
+    concurrent::HleGuard guard(s.lock);
+    for (auto& [room, members] : s.rooms) {
+      std::erase(members, jid);
+    }
   }
 }
 
 std::vector<std::string> RoomTable::members(const std::string& room) const {
-  concurrent::HleGuard guard(lock_);
-  auto it = rooms_.find(room);
-  return it == rooms_.end() ? std::vector<std::string>{} : it->second;
+  Shard& s = shard(room);
+  concurrent::HleGuard guard(s.lock);
+  auto it = s.rooms.find(room);
+  return it == s.rooms.end() ? std::vector<std::string>{} : it->second;
 }
 
 void RosterTable::add(const std::string& watcher, const std::string& contact) {
-  concurrent::HleGuard guard(lock_);
-  auto& watchers = watchers_by_contact_[contact];
-  bool known = false;
-  for (const auto& w : watchers) known |= (w == watcher);
-  if (!known) watchers.push_back(watcher);
-  auto& contacts = contacts_by_watcher_[watcher];
-  known = false;
-  for (const auto& c : contacts) known |= (c == contact);
-  if (!known) contacts.push_back(contact);
+  // Two shard locks, taken one after the other (released between): the
+  // directions are independent maps, so no cross-shard invariant needs a
+  // combined critical section.
+  {
+    Shard& s = watchers_by_contact_[xmpp_shard_of(contact)];
+    concurrent::HleGuard guard(s.lock);
+    auto& watchers = s.entries[contact];
+    bool known = false;
+    for (const auto& w : watchers) known |= (w == watcher);
+    if (!known) watchers.push_back(watcher);
+  }
+  {
+    Shard& s = contacts_by_watcher_[xmpp_shard_of(watcher)];
+    concurrent::HleGuard guard(s.lock);
+    auto& contacts = s.entries[watcher];
+    bool known = false;
+    for (const auto& c : contacts) known |= (c == contact);
+    if (!known) contacts.push_back(contact);
+  }
 }
 
 std::vector<std::string> RosterTable::watchers_of(
     const std::string& contact) const {
-  concurrent::HleGuard guard(lock_);
-  auto it = watchers_by_contact_.find(contact);
-  return it == watchers_by_contact_.end() ? std::vector<std::string>{}
-                                          : it->second;
+  const Shard& s = watchers_by_contact_[xmpp_shard_of(contact)];
+  concurrent::HleGuard guard(s.lock);
+  auto it = s.entries.find(contact);
+  return it == s.entries.end() ? std::vector<std::string>{} : it->second;
 }
 
 std::vector<std::string> RosterTable::contacts_of(
     const std::string& watcher) const {
-  concurrent::HleGuard guard(lock_);
-  auto it = contacts_by_watcher_.find(watcher);
-  return it == contacts_by_watcher_.end() ? std::vector<std::string>{}
-                                          : it->second;
+  const Shard& s = contacts_by_watcher_[xmpp_shard_of(watcher)];
+  concurrent::HleGuard guard(s.lock);
+  auto it = s.entries.find(watcher);
+  return it == s.entries.end() ? std::vector<std::string>{} : it->second;
 }
 
 int XmppShared::room_owner(const std::string& room) const {
@@ -536,6 +562,7 @@ XmppService install_xmpp_service(core::Runtime& rt,
   shared->inboxes.resize(static_cast<std::size_t>(config.instances));
   shared->reader_reqs.resize(static_cast<std::size_t>(config.instances));
   shared->writer_inputs.resize(static_cast<std::size_t>(config.instances));
+  const bool epoll = rt.options().net == core::NetMode::kEpoll;
   for (int i = 0; i < config.instances; ++i) {
     std::string suffix = std::to_string(i);
     auto xmpp = std::make_unique<XmppActor>("xmpp.i" + suffix, i, shared);
@@ -557,12 +584,27 @@ XmppService install_xmpp_service(core::Runtime& rt,
     shared->instance_enclaves.push_back(
         enclave_name.empty() ? sgxsim::kUntrusted
                              : rt.enclave(enclave_name).id());
+
+    std::vector<std::string> net_actors;
+    if (epoll) {
+      // One watcher per net worker (DESIGN.md §16): this instance's
+      // READER/WRITER drain only sockets its watcher flags, and idle
+      // connections cost the plane nothing.
+      auto watcher = std::make_unique<net::FdWatcherActor>(
+          "xmpp.watcher" + suffix, table, rt.public_pool());
+      watcher->set_closer_input(shared->closer_input);
+      reader->enable_readiness(&watcher->requests(), &rt.public_pool());
+      writer->enable_readiness(&watcher->requests(), &rt.public_pool());
+      rt.add_actor(std::move(watcher));
+      net_actors.push_back("xmpp.watcher" + suffix);
+    }
     rt.add_actor(std::move(reader));
     rt.add_actor(std::move(writer));
+    net_actors.push_back("xmpp.reader" + suffix);
+    net_actors.push_back("xmpp.writer" + suffix);
 
     rt.add_worker("xmpp.app" + suffix, {cpu++}, {"xmpp.i" + suffix});
-    rt.add_worker("xmpp.net" + std::to_string(i + 1), {cpu++},
-                  {"xmpp.reader" + suffix, "xmpp.writer" + suffix});
+    rt.add_worker("xmpp.net" + std::to_string(i + 1), {cpu++}, net_actors);
   }
 
   // Attested session keys between every pair of distinct instance

@@ -18,6 +18,7 @@
 // are packed into (Fig. 16).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -45,51 +46,80 @@ struct Route {
   int instance = -1;
 };
 
+// The routing tables are sharded by client-id (jid / room name) hash: a
+// single lock + map per table serialises every connect, route lookup and
+// presence update across all instances — exactly the contention
+// xmpp::BaselineServer exists to demonstrate. 16 shards (power of two so
+// the hash folds with a mask) each carry their own HleSpinLock; all shard
+// locks of one table share that table's LockRank, and no operation ever
+// holds two shards of the same table at once (leave_all/size walk shards
+// strictly sequentially, release before acquire — the kPosBucket
+// precedent), so the same-rank-nesting-forbidden rule stays intact and
+// the lock graph stays acyclic.
+inline constexpr std::size_t kXmppShards = 16;
+
+inline std::size_t xmpp_shard_of(const std::string& key) noexcept {
+  return std::hash<std::string>{}(key) & (kXmppShards - 1);
+}
+
 class Directory {
  public:
-  void put(const std::string& jid, Route route) EA_EXCLUDES(lock_);
-  std::optional<Route> get(const std::string& jid) const EA_EXCLUDES(lock_);
-  void remove(const std::string& jid) EA_EXCLUDES(lock_);
-  std::size_t size() const EA_EXCLUDES(lock_);
+  void put(const std::string& jid, Route route);
+  std::optional<Route> get(const std::string& jid) const;
+  void remove(const std::string& jid);
+  std::size_t size() const;
 
  private:
-  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kXmppDirectory};
-  std::map<std::string, Route> users_ EA_GUARDED_BY(lock_);
+  struct Shard {
+    mutable concurrent::HleSpinLock lock{
+        concurrent::LockRank::kXmppDirectory};
+    std::map<std::string, Route> users EA_GUARDED_BY(lock);
+  };
+  Shard& shard(const std::string& jid) const {
+    return shards_[xmpp_shard_of(jid)];
+  }
+  mutable std::array<Shard, kXmppShards> shards_;
 };
 
 class RoomTable {
  public:
   // Adds a member (idempotent).
-  void join(const std::string& room, const std::string& jid)
-      EA_EXCLUDES(lock_);
-  void leave_all(const std::string& jid) EA_EXCLUDES(lock_);
-  std::vector<std::string> members(const std::string& room) const
-      EA_EXCLUDES(lock_);
+  void join(const std::string& room, const std::string& jid);
+  void leave_all(const std::string& jid);
+  std::vector<std::string> members(const std::string& room) const;
 
  private:
-  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kXmppRooms};
-  std::map<std::string, std::vector<std::string>> rooms_ EA_GUARDED_BY(lock_);
+  struct Shard {
+    mutable concurrent::HleSpinLock lock{concurrent::LockRank::kXmppRooms};
+    std::map<std::string, std::vector<std::string>> rooms
+        EA_GUARDED_BY(lock);
+  };
+  Shard& shard(const std::string& room) const {
+    return shards_[xmpp_shard_of(room)];
+  }
+  mutable std::array<Shard, kXmppShards> shards_;
 };
 
 // Contact lists: who wants presence updates about whom. A watcher adds a
 // contact via an <iq type='set'><item jid='...'/></iq>; when the contact
 // (dis)connects, every online watcher receives a presence stanza.
+// The two directions are sharded independently (each by its own lookup
+// key); add() touches one shard of each map sequentially, never nested.
 class RosterTable {
  public:
-  void add(const std::string& watcher, const std::string& contact)
-      EA_EXCLUDES(lock_);
+  void add(const std::string& watcher, const std::string& contact);
   // Watchers interested in `contact`.
-  std::vector<std::string> watchers_of(const std::string& contact) const
-      EA_EXCLUDES(lock_);
-  std::vector<std::string> contacts_of(const std::string& watcher) const
-      EA_EXCLUDES(lock_);
+  std::vector<std::string> watchers_of(const std::string& contact) const;
+  std::vector<std::string> contacts_of(const std::string& watcher) const;
 
  private:
-  mutable concurrent::HleSpinLock lock_{concurrent::LockRank::kXmppRoster};
-  std::map<std::string, std::vector<std::string>> watchers_by_contact_
-      EA_GUARDED_BY(lock_);
-  std::map<std::string, std::vector<std::string>> contacts_by_watcher_
-      EA_GUARDED_BY(lock_);
+  struct Shard {
+    mutable concurrent::HleSpinLock lock{concurrent::LockRank::kXmppRoster};
+    std::map<std::string, std::vector<std::string>> entries
+        EA_GUARDED_BY(lock);
+  };
+  mutable std::array<Shard, kXmppShards> watchers_by_contact_;
+  mutable std::array<Shard, kXmppShards> contacts_by_watcher_;
 };
 
 struct XmppShared {

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <optional>
+#include <span>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "concurrent/arena.hpp"
 #include "concurrent/pool.hpp"
@@ -452,6 +456,71 @@ TEST(InstallNetworking, FullRuntimeEchoThroughSystemActors) {
   }
   EXPECT_EQ(net.table->fd(server_conn), -1);
   rt.stop();
+}
+
+TEST_F(NetActorsTest, ScanRotationPreventsHotSocketStarvation) {
+  // Regression for the scan-mode drain rotation (the WRITER's pattern,
+  // applied to the READER): a hot low-id socket that eats the entire node
+  // pool every round must not starve a later id forever. The pool holds
+  // exactly one read burst, the hot socket is kept topped up with more
+  // than a burst of buffered data, and the cold socket's delivery depends
+  // on the sweep NOT restarting at the lowest id every round.
+  concurrent::NodeArena small_arena(kReadBurst, 1024);
+  concurrent::Pool small_pool;
+  small_pool.adopt(small_arena);
+
+  Socket listener = Socket::listen_on(0);
+  ASSERT_TRUE(listener.valid());
+  auto accept_one = [&]() -> std::optional<Socket> {
+    auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (auto s = listener.accept_nb(); s.has_value()) return s;
+      std::this_thread::sleep_for(1ms);
+    }
+    return std::nullopt;
+  };
+
+  Socket hot = Socket::connect_to("127.0.0.1", listener.local_port());
+  auto hot_srv = accept_one();
+  ASSERT_TRUE(hot_srv.has_value());
+  SocketId hot_id = table_->add(std::move(*hot_srv));
+  Socket cold = Socket::connect_to("127.0.0.1", listener.local_port());
+  auto cold_srv = accept_one();
+  ASSERT_TRUE(cold_srv.has_value());
+  SocketId cold_id = table_->add(std::move(*cold_srv));
+  ASSERT_LT(hot_id, cold_id);  // sweep order without rotation: hot first
+
+  concurrent::Mbox hot_data, cold_data;
+  for (auto& [id, mbox] :
+       {std::pair<SocketId, concurrent::Mbox*>{hot_id, &hot_data},
+        std::pair<SocketId, concurrent::Mbox*>{cold_id, &cold_data}}) {
+    concurrent::Node* n = node();
+    ReadSubscribe sub;
+    sub.socket = id;
+    sub.data = mbox;
+    sub.pool = &small_pool;
+    write_struct(*n, sub);
+    reader_.requests().push(n);
+  }
+
+  std::vector<std::uint8_t> blob(16 * 1024, 'h');
+  (void)hot.write_nb(blob);
+  util::Bytes cold_msg = util::to_bytes("the cold socket gets a turn");
+  ASSERT_GT(cold.write_nb(cold_msg), 0);
+
+  // Keep the hot socket's kernel buffer above one burst and recycle its
+  // nodes immediately, so every round the hot socket *could* consume the
+  // whole pool again. Only the rotation lets the cold socket through.
+  ASSERT_TRUE(drive({&reader_}, [&] {
+    (void)hot.write_nb(std::span<const std::uint8_t>(blob).first(8 * 1024));
+    while (concurrent::Node* n = hot_data.pop()) {
+      concurrent::NodeLease(n).reset();
+    }
+    return !cold_data.empty();
+  }));
+  concurrent::NodeLease lease(cold_data.pop());
+  EXPECT_EQ(lease->tag, static_cast<std::uint64_t>(cold_id));
+  EXPECT_GT(lease->size, 0u);
 }
 
 TEST_F(NetActorsTest, OpenerConnectSucceedsToRealListener) {

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "util/affinity.hpp"
+#include "util/bench_report.hpp"
 #include "util/bytes.hpp"
 #include "util/cycles.hpp"
 #include "util/env.hpp"
+#include "util/latency_hist.hpp"
 #include "util/logging.hpp"
 
 namespace ea::util {
@@ -137,6 +143,122 @@ TEST_P(RandomPrintableSizes, ExactLength) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RandomPrintableSizes,
                          ::testing::Values(0, 1, 15, 16, 17, 150, 4096));
+
+// --- LatencyHist (latency_hist.hpp, feeds bench schema v3) ---------------
+
+TEST(LatencyHist, ExactBelowSubBucketRange) {
+  LatencyHist h;
+  for (std::uint64_t v : {0u, 1u, 5u, 31u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 31u);
+  // Values below kSubBuckets land in exact buckets: the percentile of a
+  // single-value histogram is that value.
+  LatencyHist one;
+  one.record(17);
+  EXPECT_EQ(one.percentile(0.5), 17u);
+  EXPECT_EQ(one.percentile(1.0), 17u);
+}
+
+TEST(LatencyHist, EmptyReportsZero) {
+  LatencyHist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(0.999), 0u);
+}
+
+TEST(LatencyHist, PercentilesTrackExactOrderStatistics) {
+  // Against a sorted copy of the samples, every reported percentile must
+  // sit within one bucket width (~1/32 relative) above the true order
+  // statistic — the HDR error bound the bench reports rely on.
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(5.0, 1.5);  // skewed, long tail
+  LatencyHist h;
+  std::vector<std::uint64_t> samples;
+  samples.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    auto v = static_cast<std::uint64_t>(dist(rng));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::size_t rank = static_cast<std::size_t>(q * samples.size());
+    if (rank == 0) rank = 1;
+    const double exact = static_cast<double>(samples[rank - 1]);
+    const double approx = static_cast<double>(h.percentile(q));
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact * (1.0 + 2.0 / LatencyHist::kSubBuckets) + 1.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.percentile(1.0), samples.back());
+}
+
+TEST(LatencyHist, MergeEqualsCombinedRecording) {
+  LatencyHist a, b, combined;
+  for (std::uint64_t v = 1; v < 5000; v += 7) {
+    (v % 2 == 0 ? a : b).record(v * v % 100'000);
+    combined.record(v * v % 100'000);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q));
+  }
+}
+
+TEST(LatencyHist, BucketRoundTripOverPipe) {
+  // bench_c100k's driver children serialise raw buckets to the parent;
+  // add_bucket must reconstruct an equivalent histogram.
+  LatencyHist src;
+  for (std::uint64_t v : {3u, 64u, 65u, 4097u, 1u << 20}) src.record(v);
+  LatencyHist dst;
+  for (std::size_t i = 0; i < LatencyHist::kBuckets; ++i) {
+    if (src.buckets()[i] != 0) dst.add_bucket(i, src.buckets()[i]);
+  }
+  EXPECT_EQ(dst.count(), src.count());
+  for (double q : {0.1, 0.5, 0.9, 1.0}) {
+    // max() degrades to the bucket upper bound after serialisation, so
+    // percentiles may differ by at most that clamp.
+    EXPECT_GE(dst.percentile(q), src.percentile(q));
+    EXPECT_LE(dst.percentile(q),
+              LatencyHist::upper_bound(LatencyHist::index_of(src.max())));
+  }
+  // Out-of-range bucket indexes are ignored, not UB.
+  dst.add_bucket(LatencyHist::kBuckets + 10, 5);
+  EXPECT_EQ(dst.count(), src.count());
+}
+
+TEST(LatencyHist, IndexAndBoundAreConsistent) {
+  // Every value maps to a bucket whose [.., upper_bound] range contains it.
+  for (std::uint64_t v = 0; v < 200'000; v = v * 2 + 1) {
+    const std::size_t i = LatencyHist::index_of(v);
+    EXPECT_LE(v, LatencyHist::upper_bound(i)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, LatencyHist::upper_bound(i - 1)) << v;
+    }
+  }
+}
+
+// --- BenchReport schema v3 -----------------------------------------------
+
+TEST(BenchReport, EmitsSchemaV3WithOptionalPercentiles) {
+  BenchReport report("unit");
+  report.add("tput", "epoll", 1000, 123.5, "msg/s");
+  report.add("lat", "epoll", 1000, 42.0, "us",
+             BenchPercentiles{10.0, 99.5, 250.0});
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
+  // Percentile fields appear exactly once: on the latency row only.
+  EXPECT_EQ(json.find("p50_us"), json.rfind("p50_us"));
+  EXPECT_NE(json.find("\"p50_us\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\": 99.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p999_us\": 250"), std::string::npos);
+  // The throughput row keeps the v2 shape.
+  EXPECT_NE(json.find("\"scenario\": \"tput\""), std::string::npos);
+  EXPECT_EQ(report.size(), 2u);
+}
 
 }  // namespace
 }  // namespace ea::util
