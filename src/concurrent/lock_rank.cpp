@@ -6,6 +6,8 @@ const char* lock_rank_name(LockRank rank) noexcept {
   switch (rank) {
     case LockRank::kUnranked:
       return "kUnranked";
+    case LockRank::kMigration:
+      return "kMigration";
     case LockRank::kXmppDirectory:
       return "kXmppDirectory";
     case LockRank::kXmppRooms:

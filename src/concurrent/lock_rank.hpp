@@ -39,6 +39,13 @@ namespace ea::concurrent {
 enum class LockRank : std::uint8_t {
   kUnranked = 0,  // opted out of checking (never use for new locks)
 
+  // core/migration — the coordinator's admission lock is the outermost
+  // lock in the process: a migration holds it across park → seal →
+  // transfer → resume, which touches mboxes, POS buckets, the enclave
+  // manager and the counter service, so every other rank must be
+  // acquirable under it.
+  kMigration = 8,  // MigrationCoordinator::mu_
+
   // xmpp/ — server tables, entered first from the connection actors.
   kXmppDirectory = 10,   // xmpp::Directory::lock_
   kXmppRooms = 12,       // xmpp::RoomTable::lock_

@@ -19,12 +19,14 @@ const char* to_string(ActorState state) noexcept {
       return "restarting";
     case ActorState::kQuarantined:
       return "quarantined";
+    case ActorState::kMigrating:
+      return "migrating";
   }
   return "unknown";
 }
 
 ChannelEnd* Actor::connect(const std::string& channel_name) {
-  return runtime_->connect_channel(channel_name, placement_);
+  return runtime_->connect_channel(channel_name, placement(), this);
 }
 
 void Actor::record_failure(const char* what) noexcept {
@@ -46,7 +48,7 @@ void Actor::record_failure(const char* what) noexcept {
 FailureInfo Actor::last_failure() const {
   FailureInfo info;
   info.actor = name_;
-  info.enclave = placement_;
+  info.enclave = placement();
   info.failure_count = failures();
   concurrent::HleGuard guard(failure_lock_);
   info.what = last_error_;
@@ -73,7 +75,14 @@ void Actor::enter_quarantine() noexcept {
 }
 
 bool invoke_contained(Actor& actor) {
-  if (actor.state_.load(std::memory_order_acquire) != ActorState::kRunnable) {
+  // Migration-barrier handshake (Dekker): publish "a body may be running"
+  // BEFORE checking the lifecycle. The coordinator does the mirror-image
+  // store(kMigrating, seq_cst) → load(executing_), so one of the two sides
+  // always observes the other; a body can never slip in after the
+  // coordinator concluded the actor is parked.
+  actor.executing_.store(true, std::memory_order_seq_cst);
+  if (actor.state_.load(std::memory_order_seq_cst) != ActorState::kRunnable) {
+    actor.executing_.store(false, std::memory_order_release);
     return false;
   }
   actor.invocations_.fetch_add(1, std::memory_order_relaxed);
@@ -85,12 +94,15 @@ bool invoke_contained(Actor& actor) {
     if (!actor.fault_exempt_ && EA_FAIL_TRIGGERED("actor.body.throw")) {
       throw std::runtime_error("injected fault: actor.body.throw");
     }
-    return actor.body();
+    const bool progress = actor.body();
+    actor.executing_.store(false, std::memory_order_release);
+    return progress;
   } catch (const std::exception& e) {
     actor.record_failure(e.what());
   } catch (...) {
     actor.record_failure("non-standard exception");
   }
+  actor.executing_.store(false, std::memory_order_release);
   return false;
 }
 

@@ -24,11 +24,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "concurrent/hle_lock.hpp"
 #include "sgxsim/enclave.hpp"
+#include "util/bytes.hpp"
 
 namespace ea::core {
 
@@ -41,6 +43,10 @@ enum class ActorState : std::uint8_t {
   kFailed = 1,       // body()/construct() threw; awaiting the supervisor
   kRestarting = 2,   // supervisor is running on_restart()
   kQuarantined = 3,  // restart budget exhausted; permanently parked
+  kMigrating = 4,    // parked at the migration barrier (DESIGN.md §17);
+                     // workers skip it, the supervisor leaves it alone, and
+                     // the MigrationCoordinator owns the exit transition
+                     // back to kRunnable (success or rollback)
 };
 
 const char* to_string(ActorState state) noexcept;
@@ -86,8 +92,13 @@ class Actor {
 
   const std::string& name() const noexcept { return name_; }
 
-  // Enclave this actor is deployed into (kUntrusted when outside).
-  sgxsim::EnclaveId placement() const noexcept { return placement_; }
+  // Enclave this actor is deployed into (kUntrusted when outside). Atomic:
+  // migration rewrites it while workers concurrently read it for dispatch
+  // (the stealing scheduler re-reads the placement on every dispatch, which
+  // is what makes live migration possible at all — DESIGN.md §17).
+  sgxsim::EnclaveId placement() const noexcept {
+    return placement_.load(std::memory_order_acquire);
+  }
 
   // --- hooks implemented by the application ------------------------------
 
@@ -119,6 +130,45 @@ class Actor {
   // be consuming. Must be thread-safe and cheap (lock-free mbox counters);
   // the default (no pending work) opts the actor out of stall detection.
   virtual bool has_pending_work() const { return false; }
+
+  // --- migration hooks (DESIGN.md §17) ------------------------------------
+  //
+  // An actor opts into live migration by overriding migratable() plus the
+  // state hooks below. export/import run inside the respective enclave with
+  // the actor parked at the migration barrier, so they may touch private
+  // state freely. The POS hooks keep ea_core decoupled from ea_pos: an
+  // actor that keys a POS partition exports it itself (the coordinator only
+  // carries the resulting bytes inside the sealed bundle).
+
+  // Whether this actor can be migrated at all. Actors pinned to host
+  // resources (raw fds, thread affinity) stay put.
+  virtual bool migratable() const { return false; }
+
+  // Serialises private state at the source (runs in the source enclave).
+  virtual util::Bytes export_state() { return {}; }
+
+  // Rebuilds private state at the destination (runs in the target enclave).
+  // Returning false fails the migration — the coordinator rolls back to the
+  // source copy.
+  virtual bool import_state(std::span<const std::uint8_t> state) {
+    return state.empty();
+  }
+
+  // Exports AND erases this actor's POS partition at the current placement
+  // (the erase is what makes resume-at-target the only live copy).
+  virtual util::Bytes export_pos_partition() { return {}; }
+
+  // Replays the POS partition at the destination.
+  virtual bool import_pos_partition(std::span<const std::uint8_t> blob) {
+    return blob.empty();
+  }
+
+  // Runs in the target enclave after a successful resume (re-derive keys,
+  // re-register with shared tables, …).
+  virtual void on_migrated(sgxsim::EnclaveId from, sgxsim::EnclaveId to) {
+    (void)from;
+    (void)to;
+  }
 
   // --- runtime plumbing ---------------------------------------------------
 
@@ -168,6 +218,7 @@ class Actor {
   friend class Runtime;
   friend class Worker;
   friend class SupervisorActor;
+  friend class MigrationCoordinator;
   friend bool invoke_contained(Actor& actor);
 
   // Containment bookkeeping: stores the failure record and moves the actor
@@ -181,7 +232,7 @@ class Actor {
   void enter_quarantine() noexcept;  // Failed|Restarting -> Quarantined
 
   std::string name_;
-  sgxsim::EnclaveId placement_ = sgxsim::kUntrusted;
+  std::atomic<sgxsim::EnclaveId> placement_{sgxsim::kUntrusted};
   Runtime* runtime_ = nullptr;
   std::atomic<std::uint64_t> invocations_{0};
 
@@ -196,6 +247,13 @@ class Actor {
   std::atomic<SchedState> sched_state_{SchedState::kParked};
 
   std::atomic<ActorState> state_{ActorState::kRunnable};
+  // Dekker flag for the migration barrier: invoke_contained() publishes
+  // executing_=true (seq_cst) BEFORE it loads state_, and the coordinator
+  // stores kMigrating (seq_cst) before it loads executing_. Either the body
+  // sees kMigrating and declines to run, or the coordinator sees
+  // executing_=true and waits — a body can never start after the barrier
+  // check passed.
+  std::atomic<bool> executing_{false};
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint32_t> restarts_{0};
   std::atomic<bool> stalled_{false};

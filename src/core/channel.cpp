@@ -1,6 +1,7 @@
 #include "core/channel.hpp"
 
 #include <cstring>
+#include <vector>
 
 #include "crypto/rng.hpp"
 #include "sgxsim/attestation.hpp"
@@ -63,33 +64,105 @@ Channel::Channel(std::string name, ChannelOptions options,
   ends_[1].side_ = 1;
 }
 
-ChannelEnd* Channel::connect(sgxsim::EnclaveId placement) {
+void Channel::decide_wire_format() {
+  encrypted_ = false;
+  key_.reset();
+  const bool cross_enclave = placements_[0] != placements_[1] &&
+                             placements_[0] != sgxsim::kUntrusted &&
+                             placements_[1] != sgxsim::kUntrusted;
+  if (cross_enclave && !options_.force_plain) {
+    auto& mgr = sgxsim::EnclaveManager::instance();
+    sgxsim::Enclave* a = mgr.find(placements_[0]);
+    sgxsim::Enclave* b = mgr.find(placements_[1]);
+    if (a != nullptr && b != nullptr) {
+      key_ = sgxsim::establish_session_key(*a, *b);
+      encrypted_ = key_.has_value();
+    }
+    if (!encrypted_) {
+      EA_WARN("core", "channel %s: attestation failed, staying plain",
+              name_.c_str());
+    }
+  }
+}
+
+ChannelEnd* Channel::connect(sgxsim::EnclaveId placement, Actor* owner) {
   if (connected_ >= 2) return nullptr;
   int side = connected_++;
   placements_[side] = placement;
+  owners_[side] = owner;
   if (connected_ == 2) {
     // Both placements known: decide the wire format once.
-    const bool cross_enclave = placements_[0] != placements_[1] &&
-                               placements_[0] != sgxsim::kUntrusted &&
-                               placements_[1] != sgxsim::kUntrusted;
-    if (cross_enclave && !options_.force_plain) {
-      auto& mgr = sgxsim::EnclaveManager::instance();
-      sgxsim::Enclave* a = mgr.find(placements_[0]);
-      sgxsim::Enclave* b = mgr.find(placements_[1]);
-      if (a != nullptr && b != nullptr) {
-        key_ = sgxsim::establish_session_key(*a, *b);
-        encrypted_ = key_.has_value();
-      }
-      if (!encrypted_) {
-        EA_WARN("core", "channel %s: attestation failed, staying plain",
-                name_.c_str());
-      }
-    }
+    decide_wire_format();
     EA_DEBUG("core", "channel %s connected (%u <-> %u) %s", name_.c_str(),
              placements_[0], placements_[1],
              encrypted_ ? "encrypted" : "plain");
   }
   return &ends_[side];
+}
+
+std::size_t Channel::rebind_for_migration(const Actor& owner,
+                                          sgxsim::EnclaveId new_placement) {
+  bool owned = false;
+  for (int side = 0; side < 2; ++side) {
+    if (owners_[side] == &owner) {
+      placements_[side] = new_placement;
+      owned = true;
+    }
+  }
+  if (!owned || connected_ < 2) return 0;
+
+  // Both endpoint actors are parked (coordinator contract), so the drain
+  // below races nothing. Pop everything through recv_at — it decrypts under
+  // the current (old) key and unpacks batch frames — before the format
+  // flips; re-injection below re-seals under the new format.
+  std::vector<concurrent::NodeLease> in_flight[2];
+  for (int recv_side = 0; recv_side < 2; ++recv_side) {
+    const int from_dir = recv_side == 0 ? 1 : 0;
+    while (true) {
+      const bool mbox_empty = dir_[from_dir].empty();
+      const std::uint32_t batch_left = pending_batch_[recv_side].remaining;
+      if (mbox_empty && batch_left == 0) break;
+      concurrent::NodeLease lease = recv_at(recv_side);
+      if (lease) {
+        in_flight[from_dir].push_back(std::move(lease));
+        continue;
+      }
+      // Empty lease while input remained: either a message was consumed
+      // and dropped (auth failure) — progress — or a batch unpack parked on
+      // pool exhaustion — no progress, so stop rather than spin. The frame
+      // stays queued for the resumed actor; nothing is freed here.
+      if (dir_[from_dir].empty() == mbox_empty &&
+          pending_batch_[recv_side].remaining == batch_left) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        EA_WARN("core",
+                "channel %s: rebind could not drain a batch frame "
+                "(pool exhausted); frame left in place",
+                name_.c_str());
+        break;
+      }
+    }
+  }
+
+  decide_wire_format();
+
+  std::size_t carried = 0;
+  for (int d = 0; d < 2; ++d) {
+    for (auto& lease : in_flight[d]) {
+      // dir_[0] carries side-0 sends; re-inject from the same sender so the
+      // AAD direction byte stays truthful under the new key.
+      if (send_node_from(/*side=*/d, std::move(lease))) {
+        ++carried;
+      } else {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        EA_WARN("core", "channel %s: message did not survive rebind re-seal",
+                name_.c_str());
+      }
+    }
+  }
+  EA_DEBUG("core", "channel %s rebound (%u <-> %u) %s, %zu in-flight carried",
+           name_.c_str(), placements_[0], placements_[1],
+           encrypted_ ? "encrypted" : "plain", carried);
+  return carried;
 }
 
 // --- sealing / opening ------------------------------------------------------

@@ -27,6 +27,7 @@
 
 namespace ea::core {
 
+class Actor;
 class Runtime;
 class Channel;
 
@@ -125,8 +126,26 @@ class Channel {
   // Binds the next free endpoint for an actor placed in `placement`.
   // First call returns the initiator end, second the client end; further
   // calls return nullptr (channels are point-to-point; mboxes themselves
-  // support MPMC and are used directly where fan-in is needed).
-  ChannelEnd* connect(sgxsim::EnclaveId placement);
+  // support MPMC and are used directly where fan-in is needed). `owner`
+  // (may be null for test harnesses that connect endpoints directly)
+  // records which actor holds the end, so migration can find and rebind
+  // the channels of a moving actor.
+  ChannelEnd* connect(sgxsim::EnclaveId placement, Actor* owner = nullptr);
+
+  // The actor bound to `side` (nullptr for harness-connected ends).
+  Actor* owner(int side) const noexcept { return owners_[side]; }
+
+  // Rewrites the placement of every end owned by `owner` to
+  // `new_placement` and re-derives the wire format (plain vs encrypted,
+  // session key) for the new enclave pair. Messages already queued were
+  // sealed under the OLD format, so both directions are drained (decrypted,
+  // batch frames unpacked) and re-injected under the new format, preserving
+  // FIFO order. Caller contract (MigrationCoordinator): BOTH endpoint
+  // actors are parked, so no concurrent send/recv runs. Returns the number
+  // of in-flight messages carried across; messages that cannot be re-sealed
+  // (pool exhaustion mid-unpack) are counted in frame_errors().
+  std::size_t rebind_for_migration(const Actor& owner,
+                                   sgxsim::EnclaveId new_placement);
 
   bool encrypted() const noexcept { return encrypted_; }
 
@@ -198,8 +217,13 @@ class Channel {
   ChannelOptions options_;
   concurrent::Pool& pool_;
 
+  // Re-evaluates the encryption decision for the current placements
+  // (connect() runs it once when both ends are known; rebind re-runs it).
+  void decide_wire_format();
+
   ChannelEnd ends_[2];
   sgxsim::EnclaveId placements_[2] = {sgxsim::kUntrusted, sgxsim::kUntrusted};
+  Actor* owners_[2] = {nullptr, nullptr};
   int connected_ = 0;
 
   concurrent::Mbox dir_[2];  // dir_[0]: A->B, dir_[1]: B->A

@@ -17,6 +17,14 @@ const WorkerHealth* HealthSnapshot::worker(
   return nullptr;
 }
 
+const EnclaveHealth* HealthSnapshot::enclave_by_name(
+    std::string_view name) const noexcept {
+  for (const EnclaveHealth& e : enclaves) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
 std::size_t HealthSnapshot::count_in_state(ActorState state) const noexcept {
   std::size_t n = 0;
   for (const ActorHealth& a : actors) {
@@ -58,6 +66,11 @@ std::string HealthSnapshot::to_string() const {
            std::to_string(w.steals) + " steals, queue_depth " +
            std::to_string(w.queue_depth) + ", ready_actors " +
            std::to_string(w.ready_actors) + '\n';
+  }
+  for (const EnclaveHealth& e : enclaves) {
+    out += "  enclave " + e.name + " (id " + std::to_string(e.id) + "): " +
+           std::to_string(e.committed) + " bytes committed of " +
+           std::to_string(e.epc_usable) + " usable EPC\n";
   }
   return out;
 }

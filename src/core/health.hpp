@@ -51,15 +51,29 @@ struct WorkerHealth {
   std::size_t ready_actors = 0;   // home actors not parked (queued/running)
 };
 
+// Per-enclave EPC accounting (DESIGN.md §17): `committed` is the enclave's
+// registered footprint (base pages + actor state, migration moves the
+// actor's share between enclaves), `epc_usable` the machine-wide usable EPC
+// from the cost model (~93 MiB before paging). The placement controller
+// watches committed/epc_usable per enclave against its watermark.
+struct EnclaveHealth {
+  sgxsim::EnclaveId id = sgxsim::kUntrusted;
+  std::string name;
+  std::uint64_t committed = 0;
+  std::uint64_t epc_usable = 0;
+};
+
 struct HealthSnapshot {
   std::vector<ActorHealth> actors;
   std::vector<ChannelHealth> channels;
   std::vector<WorkerHealth> workers;
+  std::vector<EnclaveHealth> enclaves;
   PoolHealth pool;  // the runtime's public pool
 
   // Lookup helpers; nullptr when `name` is unknown.
   const ActorHealth* actor(std::string_view name) const noexcept;
   const WorkerHealth* worker(std::string_view name) const noexcept;
+  const EnclaveHealth* enclave_by_name(std::string_view name) const noexcept;
 
   // Deployment-level predicates the soak tests assert on.
   std::size_t count_in_state(ActorState state) const noexcept;

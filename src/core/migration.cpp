@@ -1,0 +1,576 @@
+#include "core/migration.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+#include "core/channel.hpp"
+#include "core/runtime.hpp"
+#include "core/worker.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "sgxsim/attested_exchange.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/monotonic_counter.hpp"
+#include "sgxsim/sealing.hpp"
+#include "sgxsim/transition.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+
+namespace ea::core {
+namespace {
+
+// Monotonic-counter namespace for migration tickets: one logical counter
+// per actor (slot = FNV-1a of the name), shared by every enclave identity —
+// departure increments it, resume consumes it (ROTE-style shared counter).
+const crypto::Sha256Digest& migration_namespace() {
+  static const crypto::Sha256Digest ns = crypto::sha256("ea-migration-ticket");
+  return ns;
+}
+
+std::uint32_t ticket_slot(const std::string& actor_name) {
+  std::uint32_t h = 2166136261u;  // FNV-1a
+  for (char c : actor_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::uint64_t fresh_nonce() {
+  std::uint8_t buf[8];
+  crypto::secure_random(buf);
+  return util::load_le64(buf);
+}
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// AAD pinning the transfer frames to this protocol (a migration bundle can
+// never be confused with channel traffic under the same key).
+constexpr char kTransferAad[] = "ea-migrate-bundle";
+
+std::span<const std::uint8_t> aad_span() {
+  return {reinterpret_cast<const std::uint8_t*>(kTransferAad),
+          sizeof(kTransferAad) - 1};
+}
+
+constexpr char kBundleMagic[8] = {'E', 'A', 'M', 'I', 'G', 'R', '0', '1'};
+
+}  // namespace
+
+const char* to_string(MigrateResult result) noexcept {
+  switch (result) {
+    case MigrateResult::kOk:
+      return "ok";
+    case MigrateResult::kNotFound:
+      return "not-found";
+    case MigrateResult::kNotMigratable:
+      return "not-migratable";
+    case MigrateResult::kBusy:
+      return "busy";
+    case MigrateResult::kSchedUnsupported:
+      return "sched-unsupported";
+    case MigrateResult::kSamePlacement:
+      return "same-placement";
+    case MigrateResult::kRouteQuarantined:
+      return "route-quarantined";
+    case MigrateResult::kSealFailed:
+      return "seal-failed";
+    case MigrateResult::kTransferFailed:
+      return "transfer-failed";
+    case MigrateResult::kResumeRefused:
+      return "resume-refused";
+    case MigrateResult::kImportFailed:
+      return "import-failed";
+    case MigrateResult::kAffinityFailed:
+      return "affinity-failed";
+  }
+  return "unknown";
+}
+
+// Wire layout: magic(8) ‖ ticket(8) ‖ source(4) ‖ target(4) ‖
+// state_len(4) ‖ state ‖ pos_len(4) ‖ pos, little-endian.
+struct MigrationCoordinator::Bundle {
+  std::uint64_t ticket = 0;
+  sgxsim::EnclaveId source = sgxsim::kUntrusted;
+  sgxsim::EnclaveId target = sgxsim::kUntrusted;
+  util::Bytes state;
+  util::Bytes pos;
+
+  util::Bytes serialize() const {
+    util::Bytes out(8 + 8 + 4 + 4 + 4 + state.size() + 4 + pos.size());
+    std::uint8_t* p = out.data();
+    std::memcpy(p, kBundleMagic, 8);
+    util::store_le64(p + 8, ticket);
+    util::store_le32(p + 16, source);
+    util::store_le32(p + 20, target);
+    util::store_le32(p + 24, static_cast<std::uint32_t>(state.size()));
+    if (!state.empty()) std::memcpy(p + 28, state.data(), state.size());
+    std::size_t at = 28 + state.size();
+    util::store_le32(p + at, static_cast<std::uint32_t>(pos.size()));
+    if (!pos.empty()) std::memcpy(p + at + 4, pos.data(), pos.size());
+    return out;
+  }
+
+  static bool parse(std::span<const std::uint8_t> in, Bundle& out) {
+    if (in.size() < 32 || std::memcmp(in.data(), kBundleMagic, 8) != 0) {
+      return false;
+    }
+    out.ticket = util::load_le64(in.data() + 8);
+    out.source = util::load_le32(in.data() + 16);
+    out.target = util::load_le32(in.data() + 20);
+    const std::uint32_t state_len = util::load_le32(in.data() + 24);
+    if (in.size() - 28 < static_cast<std::size_t>(state_len) + 4) return false;
+    out.state.assign(in.begin() + 28, in.begin() + 28 + state_len);
+    const std::size_t at = 28 + state_len;
+    const std::uint32_t pos_len = util::load_le32(in.data() + at);
+    if (in.size() - at - 4 < pos_len) return false;
+    out.pos.assign(in.begin() + at + 4, in.begin() + at + 4 + pos_len);
+    return true;
+  }
+};
+
+// --- park/unpark barrier ----------------------------------------------------
+
+bool MigrationCoordinator::park(Actor& actor) {
+  ActorState expected = ActorState::kRunnable;
+  if (!actor.state_.compare_exchange_strong(expected, ActorState::kMigrating,
+                                            std::memory_order_seq_cst)) {
+    return false;
+  }
+  // Dekker wait (see Actor::executing_): after this loop no body quantum of
+  // the actor runs anywhere — a dispatch that raced the store above either
+  // finished (executing_ observed false) or will observe kMigrating and
+  // decline. Bodies are non-blocking by contract, so the wait is bounded by
+  // one quantum.
+  while (actor.executing_.load(std::memory_order_seq_cst)) {
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+void MigrationCoordinator::unpark(Actor& actor) {
+  // Release: the next dispatcher's acquire load of kRunnable must observe
+  // every state write the import performed.
+  actor.state_.store(ActorState::kRunnable, std::memory_order_release);
+}
+
+// --- coordinator ------------------------------------------------------------
+
+MigrateResult MigrationCoordinator::migrate(const std::string& actor_name,
+                                            const std::string& target_enclave) {
+  Actor* actor = rt_.find_actor(actor_name);
+  if (actor == nullptr) return MigrateResult::kNotFound;
+  // Find-only while running: creating an enclave mid-run would mutate the
+  // runtime's enclave map under concurrent health() walks.
+  auto it = rt_.enclaves().find(target_enclave);
+  sgxsim::Enclave* target =
+      it != rt_.enclaves().end() ? it->second : nullptr;
+  if (target == nullptr) {
+    if (rt_.running()) return MigrateResult::kNotFound;
+    target = &rt_.enclave(target_enclave);
+  }
+  return migrate(*actor, *target);
+}
+
+MigrateResult MigrationCoordinator::migrate(Actor& actor,
+                                            sgxsim::Enclave& target) {
+  // The static scheduler's uniform-affinity fast path enters the enclave
+  // once and never re-reads placements (worker.cpp run_single_enclave);
+  // only the stealing scheduler re-evaluates placement per dispatch.
+  if (rt_.running() && rt_.options().sched != SchedMode::kSteal) {
+    return MigrateResult::kSchedUnsupported;
+  }
+  if (!actor.migratable()) return MigrateResult::kNotMigratable;
+  const sgxsim::EnclaveId src_id = actor.placement();
+  // Untrusted actors have no sealed identity to hand off (and nothing an
+  // EPC watermark would want to move).
+  if (src_id == sgxsim::kUntrusted) return MigrateResult::kNotMigratable;
+  if (src_id == target.id()) return MigrateResult::kSamePlacement;
+  sgxsim::Enclave* source = sgxsim::EnclaveManager::instance().find(src_id);
+  if (source == nullptr) return MigrateResult::kNotFound;
+
+  concurrent::HleGuard guard(mu_);
+  for (const auto& [from, to] : quarantined_routes_) {
+    if (from == src_id && to == target.id()) {
+      return MigrateResult::kRouteQuarantined;
+    }
+  }
+  return migrate_locked(actor, *source, target);
+}
+
+bool MigrationCoordinator::route_quarantined(sgxsim::EnclaveId source,
+                                             sgxsim::EnclaveId target) const {
+  concurrent::HleGuard guard(mu_);
+  for (const auto& [from, to] : quarantined_routes_) {
+    if (from == source && to == target) return true;
+  }
+  return false;
+}
+
+MigrationStats MigrationCoordinator::stats() const {
+  MigrationStats s;
+  s.attempted = attempted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rolled_back = rolled_back_.load(std::memory_order_relaxed);
+  s.forks_prevented = forks_prevented_.load(std::memory_order_relaxed);
+  s.in_flight_carried = in_flight_carried_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MigrationCoordinator::quarantine_route(sgxsim::EnclaveId source,
+                                            sgxsim::EnclaveId target) {
+  quarantined_routes_.emplace_back(source, target);
+  EA_WARN("core", "migration route %u -> %u quarantined", source, target);
+}
+
+void MigrationCoordinator::restore_at_source(
+    Actor& actor, sgxsim::Enclave& source,
+    std::span<const std::uint8_t> rollback_blob, const Bundle& in_hand) {
+  // The canonical restore path unseals the rollback copy — proving the
+  // sealed bundle alone suffices to bring the source back. The in-hand
+  // plaintext is only a belt-and-braces fallback for a broken sealer.
+  Bundle restored;
+  bool from_seal = false;
+  std::optional<util::Bytes> plain = sgxsim::unseal(source, rollback_blob);
+  if (plain.has_value()) {
+    from_seal = Bundle::parse(*plain, restored);
+    util::secure_zero(*plain);
+  }
+  const Bundle& use = from_seal ? restored : in_hand;
+  {
+    sgxsim::EnclaveScope scope(source);
+    try {
+      actor.import_state(use.state);
+      actor.import_pos_partition(use.pos);
+    } catch (const std::exception& e) {
+      EA_WARN("core", "migration rollback import threw for %s: %s",
+              actor.name().c_str(), e.what());
+    } catch (...) {
+      EA_WARN("core", "migration rollback import threw for %s",
+              actor.name().c_str());
+    }
+  }
+  util::secure_zero(restored.state);
+  util::secure_zero(restored.pos);
+}
+
+MigrateResult MigrationCoordinator::migrate_locked(Actor& actor,
+                                                   sgxsim::Enclave& source,
+                                                   sgxsim::Enclave& target) {
+  attempted_.fetch_add(1, std::memory_order_relaxed);
+  if (!park(actor)) return MigrateResult::kBusy;
+  const std::uint64_t pause_start_us = steady_now_us();
+
+  // --- export inside the source enclave ----------------------------------
+  Bundle bundle;
+  bundle.source = source.id();
+  bundle.target = target.id();
+  bool export_ok = true;
+  {
+    sgxsim::EnclaveScope scope(source);
+    try {
+      bundle.state = actor.export_state();
+      bundle.pos = actor.export_pos_partition();  // exports AND erases
+    } catch (const std::exception& e) {
+      EA_WARN("core", "migration export threw for %s: %s",
+              actor.name().c_str(), e.what());
+      export_ok = false;
+    } catch (...) {
+      export_ok = false;
+    }
+  }
+  auto wipe_bundle = [&bundle] {
+    util::secure_zero(bundle.state);
+    util::secure_zero(bundle.pos);
+  };
+  if (!export_ok || EA_FAIL_TRIGGERED("migrate.seal.fail")) {
+    // Source-local failure before anything left the enclave: put the POS
+    // partition back (export erased it) and resume in place. No route
+    // blame — the wire was never touched.
+    if (!bundle.pos.empty()) {
+      sgxsim::EnclaveScope scope(source);
+      actor.import_pos_partition(bundle.pos);
+    }
+    wipe_bundle();
+    unpark(actor);
+    rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    return MigrateResult::kSealFailed;
+  }
+
+  // --- departure ticket ----------------------------------------------------
+  const crypto::Sha256Digest& ns = migration_namespace();
+  const std::uint32_t slot = ticket_slot(actor.name());
+  auto& counters = sgxsim::MonotonicCounterService::instance();
+  bundle.ticket = counters.increment_ns(ns, slot);
+
+  util::Bytes plain = bundle.serialize();
+  // Rollback copy, sealed to the source identity: only the source enclave
+  // can restore it, and the embedded ticket keeps even the rollback replay
+  // honest (the restore path consumes the ticket as the winner).
+  util::Bytes rollback_blob = sgxsim::seal(source, plain);
+
+  auto wipe_all = [&] {
+    wipe_bundle();
+    util::secure_zero(plain);
+  };
+
+  // --- attested transfer ---------------------------------------------------
+  const std::uint64_t nonce_src = fresh_nonce();
+  const std::uint64_t nonce_tgt = fresh_nonce();
+  sgxsim::AttestedExchange ex_src(source, nonce_tgt);
+  sgxsim::AttestedExchange ex_tgt(target, nonce_src);
+  sgxsim::AttestationVerifier verifier;
+  // Each side pins the peer's expected measurement: a runtime substituting
+  // a different enclave on either end fails the handshake.
+  std::optional<crypto::AeadKey> key_src = ex_src.complete(
+      ex_tgt.quote(), nonce_src, verifier, &target.measurement());
+  std::optional<crypto::AeadKey> key_tgt = ex_tgt.complete(
+      ex_src.quote(), nonce_tgt, verifier, &source.measurement());
+
+  std::optional<util::Bytes> received_plain;
+  if (key_src.has_value() && key_tgt.has_value()) {
+    util::Bytes wire = crypto::seal_with_counter(*key_src, bundle.ticket,
+                                                 aad_span(), plain);
+    if (!EA_FAIL_TRIGGERED("migrate.transfer.drop")) {
+      received_plain = crypto::open_framed(*key_tgt, aad_span(), wire);
+    }
+    util::secure_zero(wire);
+  }
+  Bundle received;
+  const bool transfer_ok = received_plain.has_value() &&
+                           Bundle::parse(*received_plain, received) &&
+                           received.ticket == bundle.ticket &&
+                           received.source == source.id() &&
+                           received.target == target.id();
+  if (received_plain.has_value()) util::secure_zero(*received_plain);
+  if (!transfer_ok) {
+    // The bundle never (verifiably) reached the target: restore the source
+    // from the SEALED copy, consume the ticket as the restore winner — if a
+    // copy of the transfer ever surfaces later, its resume finds the ticket
+    // spent — and quarantine the route, never the actor.
+    restore_at_source(actor, source, rollback_blob, bundle);
+    counters.consume(ns, slot, bundle.ticket);
+    quarantine_route(source.id(), target.id());
+    rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    wipe_all();
+    unpark(actor);
+    EA_WARN("core", "migration of %s %s -> %s failed in transfer; rolled back",
+            actor.name().c_str(), source.name().c_str(),
+            target.name().c_str());
+    return MigrateResult::kTransferFailed;
+  }
+
+  // --- worker affinity (grant BEFORE the placement flip so there is never
+  // a placement no worker may dispatch) -------------------------------------
+  bool granted = !rt_.running();  // pre-start: configure_sched derives it
+  for (const auto& worker : rt_.workers()) {
+    for (Actor* home : worker->actors()) {
+      if (home == &actor) {
+        granted |= worker->grant_affinity(target.id());
+        break;
+      }
+    }
+  }
+  if (!granted) {
+    restore_at_source(actor, source, rollback_blob, received);
+    counters.consume(ns, slot, bundle.ticket);
+    rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    wipe_all();
+    util::secure_zero(received.state);
+    util::secure_zero(received.pos);
+    unpark(actor);
+    return MigrateResult::kAffinityFailed;
+  }
+
+  // --- resume-once ticket consume ------------------------------------------
+  const bool consumed = counters.consume(ns, slot, received.ticket);
+  if (consumed && EA_FAIL_TRIGGERED("migrate.resume.dup")) {
+    // Injected duplicate resume of the SAME bundle: the compare-and-
+    // increment must refuse it — if it did not, the fork guard is broken.
+    if (counters.consume(ns, slot, received.ticket)) {
+      EA_WARN("core",
+              "migration fork guard BROKEN: duplicate ticket consume "
+              "succeeded for %s",
+              actor.name().c_str());
+    } else {
+      forks_prevented_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!consumed) {
+    // The ticket was already spent — this resume is the second copy of a
+    // fork. Refuse it; the source copy (restored below) is the only
+    // survivor.
+    forks_prevented_.fetch_add(1, std::memory_order_relaxed);
+    restore_at_source(actor, source, rollback_blob, received);
+    quarantine_route(source.id(), target.id());
+    rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    wipe_all();
+    util::secure_zero(received.state);
+    util::secure_zero(received.pos);
+    unpark(actor);
+    return MigrateResult::kResumeRefused;
+  }
+
+  // --- placement flip + EPC accounting move --------------------------------
+  source.sub_committed(actor.state_bytes());
+  target.add_committed(actor.state_bytes());
+  actor.placement_.store(target.id(), std::memory_order_release);
+
+  // --- channel route rewrite ------------------------------------------------
+  // Peers are parked through the same barrier so the drain/re-seal races
+  // nothing; a peer that is Failed/Quarantined is not running bodies and
+  // needs no barrier.
+  std::size_t carried = 0;
+  for (const auto& [name, ch] : rt_.channels()) {
+    Actor* o0 = ch->owner(0);
+    Actor* o1 = ch->owner(1);
+    if (o0 != &actor && o1 != &actor) continue;
+    Actor* peer = (o0 == &actor) ? o1 : o0;
+    bool peer_parked = false;
+    if (peer != nullptr && peer != &actor) peer_parked = park(*peer);
+    carried += ch->rebind_for_migration(actor, target.id());
+    if (peer_parked) unpark(*peer);
+  }
+  in_flight_carried_.fetch_add(carried, std::memory_order_relaxed);
+
+  // --- import inside the target enclave ------------------------------------
+  bool import_ok = false;
+  {
+    sgxsim::EnclaveScope scope(target);
+    try {
+      import_ok = actor.import_state(received.state) &&
+                  actor.import_pos_partition(received.pos);
+      if (import_ok) actor.on_migrated(source.id(), target.id());
+    } catch (const std::exception& e) {
+      EA_WARN("core", "migration import threw for %s: %s",
+              actor.name().c_str(), e.what());
+      import_ok = false;
+    } catch (...) {
+      import_ok = false;
+    }
+  }
+  if (!import_ok) {
+    // Undo the flip, rewrite the routes back, restore from the sealed copy.
+    actor.placement_.store(source.id(), std::memory_order_release);
+    target.sub_committed(actor.state_bytes());
+    source.add_committed(actor.state_bytes());
+    for (const auto& [name, ch] : rt_.channels()) {
+      Actor* o0 = ch->owner(0);
+      Actor* o1 = ch->owner(1);
+      if (o0 != &actor && o1 != &actor) continue;
+      Actor* peer = (o0 == &actor) ? o1 : o0;
+      bool peer_parked = false;
+      if (peer != nullptr && peer != &actor) peer_parked = park(*peer);
+      ch->rebind_for_migration(actor, source.id());
+      if (peer_parked) unpark(*peer);
+    }
+    restore_at_source(actor, source, rollback_blob, received);
+    quarantine_route(source.id(), target.id());
+    rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    wipe_all();
+    util::secure_zero(received.state);
+    util::secure_zero(received.pos);
+    unpark(actor);
+    return MigrateResult::kImportFailed;
+  }
+
+  unpark(actor);
+  pause_hist_.record(steady_now_us() - pause_start_us);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  wipe_all();
+  util::secure_zero(received.state);
+  util::secure_zero(received.pos);
+  EA_INFO("core", "actor %s migrated %s -> %s (%zu in-flight carried)",
+          actor.name().c_str(), source.name().c_str(), target.name().c_str(),
+          carried);
+  return MigrateResult::kOk;
+}
+
+// --- placement controller ---------------------------------------------------
+
+PlacementControllerActor::PlacementControllerActor(
+    MigrationCoordinator& coordinator, PlacementControllerOptions options)
+    : Actor("core.placement"), coordinator_(coordinator), options_(options) {
+  // Pressure response should not queue behind bulk message churn.
+  set_priority(ActorPriority::kHigh);
+}
+
+bool PlacementControllerActor::body() {
+  const std::uint64_t now_us = steady_now_us();
+  if (now_us - last_sweep_us_ < options_.sweep_interval_us) return false;
+  last_sweep_us_ = now_us;
+  return sweep();
+}
+
+bool PlacementControllerActor::sweep() {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  Runtime& rt = coordinator_.runtime();
+  const std::uint64_t budget = options_.epc_budget_bytes != 0
+                                   ? options_.epc_budget_bytes
+                                   : sgxsim::cost_model().epc_usable_bytes;
+  const auto watermark_bytes = static_cast<std::uint64_t>(
+      options_.watermark * static_cast<double>(budget));
+
+  // Probe every enclave; the worst overcommitted one is the eviction
+  // source. The failpoint overrides the probed value so tests can model an
+  // enclave marching toward the cliff without allocating 90 MiB.
+  sgxsim::Enclave* worst = nullptr;
+  std::uint64_t worst_committed = 0;
+  for (const auto& [name, enclave] : rt.enclaves()) {
+    long probed = static_cast<long>(enclave->committed_bytes());
+    (void)EA_FAIL_VALUE("migrate.epc.probe", probed);
+    const auto committed = static_cast<std::uint64_t>(probed);
+    if (committed >= watermark_bytes && committed > worst_committed) {
+      worst = enclave;
+      worst_committed = committed;
+    }
+  }
+  if (worst == nullptr) return false;
+
+  // Cheapest-to-move: the migratable Runnable actor with the smallest
+  // declared state footprint (smallest pause, smallest transfer).
+  Actor* victim = nullptr;
+  for (const auto& a : rt.actors()) {
+    if (a->placement() != worst->id()) continue;
+    if (!a->migratable() || a->lifecycle() != ActorState::kRunnable) continue;
+    if (victim == nullptr || a->state_bytes() < victim->state_bytes()) {
+      victim = a.get();
+    }
+  }
+  if (victim == nullptr) return false;
+
+  // Target: the least-committed other enclave reachable over a clean route.
+  sgxsim::Enclave* target = nullptr;
+  for (const auto& [name, enclave] : rt.enclaves()) {
+    if (enclave == worst) continue;
+    if (coordinator_.route_quarantined(worst->id(), enclave->id())) continue;
+    if (target == nullptr ||
+        enclave->committed_bytes() < target->committed_bytes()) {
+      target = enclave;
+    }
+  }
+  if (target == nullptr) return false;
+
+  const MigrateResult r = coordinator_.migrate(*victim, *target);
+  if (r == MigrateResult::kOk) {
+    migrations_triggered_.fetch_add(1, std::memory_order_relaxed);
+    EA_INFO("core",
+            "placement: evicted %s off %s (%llu committed >= watermark %llu)",
+            victim->name().c_str(), worst->name().c_str(),
+            static_cast<unsigned long long>(worst_committed),
+            static_cast<unsigned long long>(watermark_bytes));
+    return true;
+  }
+  EA_DEBUG("core", "placement: eviction of %s failed: %s",
+           victim->name().c_str(), to_string(r));
+  return false;
+}
+
+}  // namespace ea::core

@@ -1,0 +1,201 @@
+// Live actor migration with sealed-state handoff (DESIGN.md §17).
+//
+// The paper's deployment flexibility is static: actor-to-enclave placement
+// is fixed by the config at startup, so an enclave drifting toward the
+// ~93 MiB EPC cliff degrades every co-located actor with no recourse. This
+// module makes placement dynamic, following *Migrating SGX Enclaves with
+// Persistent State* for the handoff protocol and *SGX-Aware Container
+// Orchestration* for the EPC-driven placement policy:
+//
+//   park ──▶ export ──▶ seal ──▶ transfer ──▶ consume-ticket ──▶ resume
+//     │         │         │          │              │
+//     └─────────┴─────────┴──────────┴──────────────┴──▶ rollback (source)
+//
+//  * park      — CAS Runnable→kMigrating plus a Dekker handshake with
+//                invoke_contained()'s executing_ flag: after the barrier no
+//                body quantum of the actor can run anywhere. Messages keep
+//                queueing in the actor's mboxes — those ARE the tombstone
+//                mailboxes; nothing is dropped, delivery merely stalls for
+//                the pause window.
+//  * export    — the actor serialises its private state and its POS
+//                partition inside the SOURCE enclave (the POS hooks keep
+//                ea_core decoupled from ea_pos).
+//  * seal      — the bundle is sealed to the source enclave's identity
+//                (MRENCLAVE) as the rollback copy, then transferred under a
+//                fresh AEAD key from an attested X25519 exchange in which
+//                each side pins the other's expected measurement.
+//  * ticket    — a monotonic-counter ticket (namespace "ea-migration-
+//                ticket", slot = hash(actor)) is incremented at departure
+//                and embedded in the bundle; resuming CONSUMES it with a
+//                compare-and-increment. A second resume of the same bundle
+//                — the resume-twice fork — finds the counter already
+//                advanced and is refused.
+//  * resume    — scheduler affinity masks are extended (the stealing
+//                scheduler re-reads placement per dispatch, which is what
+//                makes live migration possible; the static scheduler's
+//                enter-once fast path is rejected while running), the
+//                placement flips, channel routes are rewritten in place
+//                (in-flight messages re-sealed under the new pair key,
+//                FIFO preserved), and the actor imports its state inside
+//                the TARGET enclave.
+//  * rollback  — any failure after export restores the source copy from
+//                the sealed bundle and quarantines the (source, target)
+//                ROUTE, never the actor: the actor resumes at the source
+//                and later migrations simply avoid the bad route.
+//
+// PlacementControllerActor closes the loop: it polls per-enclave EPC
+// accounting (sgxsim committed-bytes, surfaced through Runtime::health())
+// and migrates the cheapest-to-move actor off any enclave crossing a
+// configurable EPC watermark.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concurrent/hle_lock.hpp"
+#include "core/actor.hpp"
+#include "sgxsim/enclave.hpp"
+#include "util/latency_hist.hpp"
+
+namespace ea::core {
+
+class Runtime;
+
+enum class MigrateResult : std::uint8_t {
+  kOk = 0,
+  kNotFound,          // unknown actor or enclave
+  kNotMigratable,     // actor did not opt in (or is placed untrusted)
+  kBusy,              // actor not Runnable (failed/restarting/migrating)
+  kSchedUnsupported,  // runtime running with the static scheduler, whose
+                      // enter-once fast path never re-reads placement
+  kSamePlacement,     // source == target
+  kRouteQuarantined,  // a previous migration failed on this route
+  kSealFailed,        // export/seal failed; actor restored at source
+  kTransferFailed,    // attested transfer failed; rolled back, route
+                      // quarantined
+  kResumeRefused,     // ticket already consumed (resume-twice fork); the
+                      // duplicate resume was refused and the source restored
+  kImportFailed,      // target-side import failed; rolled back
+  kAffinityFailed,    // no home worker could extend its affinity mask
+};
+
+const char* to_string(MigrateResult result) noexcept;
+
+struct MigrationStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rolled_back = 0;       // source restored from sealed bundle
+  std::uint64_t forks_prevented = 0;   // duplicate resumes refused by ticket
+  std::uint64_t in_flight_carried = 0; // channel messages re-sealed across
+                                       // rebinds (zero lost by construction)
+};
+
+// Serialises migrations process-wide (one in flight at a time) and owns the
+// rollback/quarantine bookkeeping. Its lock ranks kMigration — the
+// outermost rank in the table — because a migration reaches into mboxes,
+// POS buckets, the enclave manager and the counter service while holding it.
+class MigrationCoordinator {
+ public:
+  explicit MigrationCoordinator(Runtime& rt) : rt_(rt) {}
+
+  MigrationCoordinator(const MigrationCoordinator&) = delete;
+  MigrationCoordinator& operator=(const MigrationCoordinator&) = delete;
+
+  // Migrates `actor_name` into the named enclave (created on first use,
+  // like Runtime::enclave()). Safe to call while the runtime runs iff the
+  // stealing scheduler is active; always allowed before start().
+  MigrateResult migrate(const std::string& actor_name,
+                        const std::string& target_enclave);
+  MigrateResult migrate(Actor& actor, sgxsim::Enclave& target);
+
+  // True when a failed migration quarantined source→target (directional).
+  bool route_quarantined(sgxsim::EnclaveId source,
+                         sgxsim::EnclaveId target) const;
+
+  MigrationStats stats() const;
+
+  // Migration pause time (park → resume) in microseconds.
+  const util::LatencyHist& pause_hist() const noexcept { return pause_hist_; }
+
+  // The runtime this coordinator migrates within (the placement controller
+  // walks its enclave and actor tables).
+  Runtime& runtime() const noexcept { return rt_; }
+
+ private:
+  struct Bundle;
+
+  // Park/unpark protocol (see actor.hpp's executing_ comment). park()
+  // returns false when the actor is not Runnable.
+  static bool park(Actor& actor);
+  static void unpark(Actor& actor);
+
+  MigrateResult migrate_locked(Actor& actor, sgxsim::Enclave& source,
+                               sgxsim::Enclave& target)
+      EA_REQUIRES(mu_);
+  // Restores the actor at the source from the sealed rollback blob (falling
+  // back to the in-hand bundle if unsealing fails, which cannot happen
+  // outside a broken sealing service).
+  void restore_at_source(Actor& actor, sgxsim::Enclave& source,
+                         std::span<const std::uint8_t> rollback_blob,
+                         const Bundle& in_hand) EA_REQUIRES(mu_);
+  void quarantine_route(sgxsim::EnclaveId source, sgxsim::EnclaveId target)
+      EA_REQUIRES(mu_);
+
+  Runtime& rt_;
+  mutable concurrent::HleSpinLock mu_{concurrent::LockRank::kMigration};
+  std::vector<std::pair<sgxsim::EnclaveId, sgxsim::EnclaveId>>
+      quarantined_routes_ EA_GUARDED_BY(mu_);
+  util::LatencyHist pause_hist_ EA_GUARDED_BY(mu_);
+
+  std::atomic<std::uint64_t> attempted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rolled_back_{0};
+  std::atomic<std::uint64_t> forks_prevented_{0};
+  std::atomic<std::uint64_t> in_flight_carried_{0};
+};
+
+// EPC-watermark placement policy (the *SGX-Aware Container Orchestration*
+// idea at actor granularity): watch per-enclave committed bytes and evict
+// the cheapest migratable actor BEFORE an enclave crosses the paging cliff.
+struct PlacementControllerOptions {
+  // Fraction of the EPC budget at which an enclave is considered
+  // overcommitted and an eviction is triggered.
+  double watermark = 0.80;
+  // Per-enclave EPC budget in bytes; 0 uses the machine-wide usable EPC
+  // from the cost model (~93 MiB). Tests set a small budget so the
+  // watermark is reachable without allocating real memory.
+  std::uint64_t epc_budget_bytes = 0;
+  // Minimum microseconds between probe sweeps (the controller is a normal
+  // actor; its body paces itself and reports no pending work).
+  std::uint64_t sweep_interval_us = 2000;
+};
+
+class PlacementControllerActor : public Actor {
+ public:
+  PlacementControllerActor(MigrationCoordinator& coordinator,
+                           PlacementControllerOptions options = {});
+
+  bool body() override;
+
+  std::uint64_t migrations_triggered() const noexcept {
+    return migrations_triggered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t probes() const noexcept {
+    return probes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One sweep: probe every enclave, evict off the worst overcommitted one.
+  bool sweep();
+
+  MigrationCoordinator& coordinator_;
+  PlacementControllerOptions options_;
+  std::uint64_t last_sweep_us_ = 0;
+  std::atomic<std::uint64_t> migrations_triggered_{0};
+  std::atomic<std::uint64_t> probes_{0};
+};
+
+}  // namespace ea::core

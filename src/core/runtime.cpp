@@ -79,8 +79,9 @@ Actor* Runtime::find_actor(const std::string& name) {
 }
 
 ChannelEnd* Runtime::connect_channel(const std::string& name,
-                                     sgxsim::EnclaveId placement) {
-  ChannelEnd* end = channel(name).connect(placement);
+                                     sgxsim::EnclaveId placement,
+                                     Actor* owner) {
+  ChannelEnd* end = channel(name).connect(placement, owner);
   if (end == nullptr) {
     throw std::logic_error("channel " + name + " already fully connected");
   }
@@ -123,7 +124,7 @@ void Runtime::start() {
     worker->configure_sched(options_.sched, peers, actors_.size());
   }
   for (auto& worker : workers_) worker->start();
-  running_ = true;
+  running_.store(true, std::memory_order_release);
   EA_INFO("core",
           "runtime started: %zu actors, %zu workers, %zu enclaves, sched=%s",
           actors_.size(), workers_.size(), enclaves_.size(),
@@ -131,10 +132,10 @@ void Runtime::start() {
 }
 
 void Runtime::stop() {
-  if (!running_) return;
+  if (!running_.load(std::memory_order_acquire)) return;
   for (auto& worker : workers_) worker->request_stop();
   for (auto& worker : workers_) worker->join();
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 std::string Runtime::stats_string() const {
@@ -212,6 +213,16 @@ HealthSnapshot Runtime::health() const {
     w.queue_depth = worker->queue_depth();
     w.ready_actors = worker->ready_home_actors();
     snap.workers.push_back(std::move(w));
+  }
+  snap.enclaves.reserve(enclaves_.size());
+  const std::uint64_t epc_usable = sgxsim::cost_model().epc_usable_bytes;
+  for (const auto& [name, enclave] : enclaves_) {
+    EnclaveHealth e;
+    e.id = enclave->id();
+    e.name = name;
+    e.committed = enclave->committed_bytes();
+    e.epc_usable = epc_usable;
+    snap.enclaves.push_back(std::move(e));
   }
   snap.pool.free = pool_.size();
   snap.pool.capacity = pool_.capacity();

@@ -6,6 +6,7 @@
 // enclaves), then create and start the workers.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -86,8 +87,12 @@ class Runtime {
   // Stops and joins all workers.
   void stop();
 
-  // True while workers are running.
-  bool running() const noexcept { return running_; }
+  // True while workers are running. Read from worker threads (the
+  // migration coordinator gates live-vs-prestart paths on it), so the
+  // flag is atomic: start()'s store releases, readers acquire.
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
 
   // --- shared resources ----------------------------------------------------
 
@@ -119,10 +124,22 @@ class Runtime {
   // while running.
   HealthSnapshot health() const;
 
+  // All channels, keyed by name (migration walks these to find the ends a
+  // moving actor owns; also handy for diagnostics).
+  const std::map<std::string, std::unique_ptr<Channel>>& channels()
+      const noexcept {
+    return channels_;
+  }
+
+  // Enclaves this runtime created, keyed by name.
+  const std::map<std::string, sgxsim::Enclave*>& enclaves() const noexcept {
+    return enclaves_;
+  }
+
  private:
   friend class Actor;
   ChannelEnd* connect_channel(const std::string& name,
-                              sgxsim::EnclaveId placement);
+                              sgxsim::EnclaveId placement, Actor* owner);
 
   RuntimeOptions options_;
   concurrent::NodeArena arena_;
@@ -135,7 +152,7 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::map<std::string, std::unique_ptr<Channel>> channels_;
   bool started_ = false;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace ea::core

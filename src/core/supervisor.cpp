@@ -98,6 +98,11 @@ void SupervisorActor::sweep(Clock::time_point now) {
         break;
       case ActorState::kRestarting:   // only this thread restarts; unreachable
       case ActorState::kQuarantined:  // terminal
+      case ActorState::kMigrating:    // parked at the migration barrier; the
+                                      // coordinator owns the exit transition
+                                      // and rolls back on failure — never
+                                      // restart or quarantine a mid-flight
+                                      // actor (DESIGN.md §17)
         break;
     }
   }

@@ -52,15 +52,12 @@ void Worker::configure_sched(SchedMode mode, std::vector<Worker*> peers,
                              std::size_t queue_capacity) {
   mode_ = mode;
   peers_ = std::move(peers);
-  affinity_.clear();
+  affinity_count_.store(0, std::memory_order_relaxed);
   for (Actor* a : actors_) {
     if (a->placement() != sgxsim::kUntrusted) {
-      affinity_.push_back(a->placement());
+      grant_affinity(a->placement());
     }
   }
-  std::sort(affinity_.begin(), affinity_.end());
-  affinity_.erase(std::unique(affinity_.begin(), affinity_.end()),
-                  affinity_.end());
   if (mode_ == SchedMode::kSteal) {
     high_q_.reserve(queue_capacity);
     norm_q_.reserve(queue_capacity);
@@ -73,7 +70,44 @@ void Worker::configure_sched(SchedMode mode, std::vector<Worker*> peers,
 
 bool Worker::can_run(sgxsim::EnclaveId enclave) const noexcept {
   if (enclave == sgxsim::kUntrusted) return true;
-  return std::binary_search(affinity_.begin(), affinity_.end(), enclave);
+  // Acquire on the count pairs with grant_affinity's release store, so a
+  // reader that sees the new count sees the slot value. Linear scan over a
+  // handful of slots beats the old sorted vector's binary search anyway.
+  const std::uint32_t n = affinity_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (affinity_slots_[i].load(std::memory_order_relaxed) == enclave) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<sgxsim::EnclaveId> Worker::affinity() const {
+  const std::uint32_t n = affinity_count_.load(std::memory_order_acquire);
+  std::vector<sgxsim::EnclaveId> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(affinity_slots_[i].load(std::memory_order_relaxed));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Worker::grant_affinity(sgxsim::EnclaveId enclave) {
+  if (enclave == sgxsim::kUntrusted) return true;
+  const std::uint32_t n = affinity_count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (affinity_slots_[i].load(std::memory_order_relaxed) == enclave) {
+      return true;  // already granted
+    }
+  }
+  if (n >= kMaxAffinity) return false;
+  // Slot first, count second (release): a concurrent can_run() either sees
+  // the old count (misses the new grant, conservative) or the new count
+  // with an initialised slot. Single writer by the coordinator contract.
+  affinity_slots_[n].store(enclave, std::memory_order_relaxed);
+  affinity_count_.store(n + 1, std::memory_order_release);
+  return true;
 }
 
 std::size_t Worker::ready_home_actors() const noexcept {

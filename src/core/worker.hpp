@@ -23,6 +23,7 @@
 //    fast path of the static scheduler.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -122,10 +123,16 @@ class Worker {
   // workers whose home set entered that enclave.
   bool can_run(sgxsim::EnclaveId enclave) const noexcept;
 
-  // The enclaves this worker is entitled to enter (sorted, deduplicated).
-  const std::vector<sgxsim::EnclaveId>& affinity() const noexcept {
-    return affinity_;
-  }
+  // Snapshot of the enclaves this worker is entitled to enter.
+  std::vector<sgxsim::EnclaveId> affinity() const;
+
+  // Extends the affinity mask at runtime — migration grants the migrated
+  // actor's home workers entry to the target enclave so dispatch and
+  // steal-filtering keep working after the placement flip. Single-writer
+  // (the MigrationCoordinator serialises under its admission lock) against
+  // concurrent lock-free can_run() readers. No-op when already granted;
+  // returns false only when the fixed slot table is full.
+  bool grant_affinity(sgxsim::EnclaveId enclave);
 
   // Worker currently executing on this thread (nullptr off worker
   // threads). Tests use this to assert the affinity invariant on every
@@ -201,7 +208,15 @@ class Worker {
 
   SchedMode mode_ = SchedMode::kStatic;
   std::vector<Worker*> peers_;  // all workers incl. this one (steal victims)
-  std::vector<sgxsim::EnclaveId> affinity_;
+  // Affinity mask as a fixed table of atomic slots so can_run() — called on
+  // every steal probe, possibly by other workers' threads — stays lock-free
+  // while grant_affinity() appends concurrently. The count is published
+  // with release AFTER the slot value, so a reader that observes the new
+  // count observes the slot. 32 enclaves per worker is far beyond any
+  // deployment here (the paper's testbed tops out at 8).
+  static constexpr std::size_t kMaxAffinity = 32;
+  std::array<std::atomic<sgxsim::EnclaveId>, kMaxAffinity> affinity_slots_{};
+  std::atomic<std::uint32_t> affinity_count_{0};
   concurrent::RunQueue high_q_;
   concurrent::RunQueue norm_q_;
   sgxsim::EnclaveId entered_ = sgxsim::kUntrusted;  // sticky enclave context

@@ -5,6 +5,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +20,10 @@ bool set_nonblocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
+
+// Every in-tree dial targets a loopback listener, so establishment (or
+// refusal) is near-immediate; the bound only matters for a dead peer.
+constexpr int kConnectConfirmTimeoutMs = 1000;
 
 }  // namespace
 
@@ -83,9 +88,24 @@ Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
     return Socket();
   }
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
-    ::close(fd);
-    return Socket();
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Socket();
+    }
+    // Pending non-blocking connect: confirm establishment before reporting
+    // the socket up. A refused dial can also surface as EINPROGRESS (the
+    // refusal only appears later via SO_ERROR), and callers — the OPENER
+    // in particular — treat a valid return as "connection up": the
+    // reconnector would bump its epoch for a socket that never existed.
+    pollfd pfd{fd, POLLOUT, 0};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::poll(&pfd, 1, kConnectConfirmTimeoutMs) != 1 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Socket();
+    }
   }
   return Socket(fd);
 }

@@ -73,6 +73,9 @@ bool EncryptedPos::erase(std::span<const std::uint8_t> key) {
 bool EncryptedPos::store_sealed_master(
     const sgxsim::Enclave& enclave, std::string_view slot,
     std::span<const std::uint8_t> master_key) {
+  // `sealed` is ciphertext; the plaintext master_key span is owned (and
+  // wiped) by the caller.
+  // ea-lint: allow-next-line(seal-plaintext-zeroize)
   util::Bytes sealed = sgxsim::seal(enclave, master_key);
   return store_.set(util::to_bytes(slot), sealed);
 }
@@ -83,7 +86,11 @@ std::optional<EncryptedPos> EncryptedPos::load_sealed_master(
   if (!sealed.has_value()) return std::nullopt;
   std::optional<util::Bytes> master = sgxsim::unseal(enclave, *sealed);
   if (!master.has_value()) return std::nullopt;
-  return EncryptedPos(store, *master);
+  // The constructor derives det_key_/pair_key_ from the master key; the
+  // unsealed plaintext itself must not outlive this function.
+  EncryptedPos pos(store, *master);
+  util::secure_zero(*master);
+  return pos;
 }
 
 }  // namespace ea::pos

@@ -41,6 +41,19 @@ class Enclave {
   void add_committed(std::uint64_t bytes) noexcept {
     committed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  // Releases previously committed pages — migration moves an actor's state
+  // accounting from the source enclave to the target. Saturates at zero
+  // rather than wrapping if callers over-release.
+  void sub_committed(std::uint64_t bytes) noexcept {
+    std::uint64_t cur = committed_bytes_.load(std::memory_order_relaxed);
+    while (true) {
+      std::uint64_t next = cur > bytes ? cur - bytes : 0;
+      if (committed_bytes_.compare_exchange_weak(cur, next,
+                                                 std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
   std::uint64_t committed_bytes() const noexcept {
     return committed_bytes_.load(std::memory_order_relaxed);
   }

@@ -22,6 +22,31 @@ std::uint64_t MonotonicCounterService::increment(const Enclave& enclave,
   return ++counters_[{enclave.measurement(), slot}];
 }
 
+std::uint64_t MonotonicCounterService::read_ns(const crypto::Sha256Digest& ns,
+                                               std::uint32_t slot) const {
+  HostMutexGuard lock(mu_);
+  auto it = counters_.find({ns, slot});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t MonotonicCounterService::increment_ns(
+    const crypto::Sha256Digest& ns, std::uint32_t slot) {
+  HostMutexGuard lock(mu_);
+  return ++counters_[{ns, slot}];
+}
+
+bool MonotonicCounterService::consume(const crypto::Sha256Digest& ns,
+                                      std::uint32_t slot,
+                                      std::uint64_t expected) {
+  HostMutexGuard lock(mu_);
+  std::uint64_t& value = counters_[{ns, slot}];
+  if (value != expected) {
+    return false;
+  }
+  ++value;
+  return true;
+}
+
 void MonotonicCounterService::reset_for_testing() {
   HostMutexGuard lock(mu_);
   counters_.clear();
@@ -38,7 +63,9 @@ util::Bytes seal_with_rollback_protection(
   if (!plaintext.empty()) {
     std::memcpy(body.data() + 8, plaintext.data(), plaintext.size());
   }
-  return seal(enclave, body);
+  util::Bytes sealed = seal(enclave, body);
+  util::secure_zero(body);  // staging copy of the caller's secret
+  return sealed;
 }
 
 std::optional<util::Bytes> unseal_with_rollback_protection(
@@ -49,8 +76,13 @@ std::optional<util::Bytes> unseal_with_rollback_protection(
   std::uint64_t version = util::load_le64(body->data());
   std::uint64_t current =
       MonotonicCounterService::instance().read(enclave, slot);
-  if (version != current) return std::nullopt;  // stale (rolled back) blob
-  return util::Bytes(body->begin() + 8, body->end());
+  if (version != current) {
+    util::secure_zero(*body);
+    return std::nullopt;  // stale (rolled back) blob
+  }
+  util::Bytes plain(body->begin() + 8, body->end());
+  util::secure_zero(*body);  // staging copy; the caller owns `plain`
+  return plain;
 }
 
 }  // namespace ea::sgxsim

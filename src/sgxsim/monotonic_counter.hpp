@@ -34,6 +34,25 @@ class MonotonicCounterService {
   std::uint64_t increment(const Enclave& enclave, std::uint32_t slot)
       EA_EXCLUDES(mu_);
 
+  // Namespace-keyed counters for cross-enclave protocols. The digest is an
+  // arbitrary protocol namespace (e.g. SHA-256 of "ea-migration-ticket")
+  // rather than one enclave's measurement, so two enclaves negotiating a
+  // migration observe the same counter — the trusted-counter-service model
+  // of ROTE [36], where the counter is bound to the protocol, not a replica.
+  std::uint64_t read_ns(const crypto::Sha256Digest& ns, std::uint32_t slot)
+      const EA_EXCLUDES(mu_);
+  std::uint64_t increment_ns(const crypto::Sha256Digest& ns,
+                             std::uint32_t slot) EA_EXCLUDES(mu_);
+
+  // Advances the namespace counter iff its current value equals `expected`;
+  // returns whether this caller performed the advance. Exactly one of N
+  // racing callers presenting the same expected value wins, which is the
+  // resume-once ticket migration relies on for fork prevention: resuming a
+  // sealed bundle consumes its embedded ticket, and a second resume of the
+  // same bundle (a fork) finds the counter already advanced.
+  bool consume(const crypto::Sha256Digest& ns, std::uint32_t slot,
+               std::uint64_t expected) EA_EXCLUDES(mu_);
+
   void reset_for_testing() EA_EXCLUDES(mu_);
 
  private:

@@ -496,6 +496,103 @@ bool XmppActor::send_raw(int instance, net::SocketId socket,
   return true;
 }
 
+// --- live migration (DESIGN.md §17) -----------------------------------------
+//
+// Bundle layout (little-endian):
+//   routed(8) ‖ nonce_seed(8) ‖ client_count(4) ‖ per client:
+//   socket(8) ‖ jid_len(4)‖jid ‖ authed(1) ‖ in_stream(1) ‖
+//   buffer_len(4)‖buffer
+
+util::Bytes XmppActor::export_state() {
+  util::Bytes out;
+  auto put_u32 = [&out](std::uint32_t v) {
+    std::uint8_t le[4];
+    util::store_le32(le, v);
+    out.insert(out.end(), le, le + 4);
+  };
+  auto put_u64 = [&out](std::uint64_t v) {
+    std::uint8_t le[8];
+    util::store_le64(le, v);
+    out.insert(out.end(), le, le + 8);
+  };
+  auto put_str = [&](const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+  };
+  put_u64(routed_);
+  put_u64(nonce_seed_);
+  put_u32(static_cast<std::uint32_t>(clients_.size()));
+  for (const auto& [socket, client] : clients_) {
+    put_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(socket)));
+    put_str(client.jid);
+    out.push_back(client.authed ? 1 : 0);
+    out.push_back(client.stream.in_stream() ? 1 : 0);
+    put_str(client.stream.buffer());
+  }
+  return out;
+}
+
+bool XmppActor::import_state(std::span<const std::uint8_t> state) {
+  std::size_t at = 0;
+  auto get_u32 = [&](std::uint32_t& v) {
+    if (state.size() - at < 4) return false;
+    v = util::load_le32(state.data() + at);
+    at += 4;
+    return true;
+  };
+  auto get_u64 = [&](std::uint64_t& v) {
+    if (state.size() - at < 8) return false;
+    v = util::load_le64(state.data() + at);
+    at += 8;
+    return true;
+  };
+  auto get_str = [&](std::string& s) {
+    std::uint32_t len = 0;
+    if (!get_u32(len) || state.size() - at < len) return false;
+    s.assign(reinterpret_cast<const char*>(state.data() + at), len);
+    at += len;
+    return true;
+  };
+  std::uint64_t routed = 0;
+  std::uint64_t nonce_seed = 0;
+  std::uint32_t count = 0;
+  if (!get_u64(routed) || !get_u64(nonce_seed) || !get_u32(count)) {
+    return false;
+  }
+  std::map<net::SocketId, ClientState> clients;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t socket_raw = 0;
+    std::string jid;
+    std::string buffer;
+    if (!get_u64(socket_raw) || !get_str(jid)) return false;
+    if (state.size() - at < 2) return false;
+    const bool authed = state[at++] != 0;
+    const bool in_stream = state[at++] != 0;
+    if (!get_str(buffer)) return false;
+    auto socket =
+        static_cast<net::SocketId>(static_cast<std::int64_t>(socket_raw));
+    ClientState& client = clients[socket];
+    client.jid = std::move(jid);
+    client.authed = authed;
+    client.stream.restore(std::move(buffer), in_stream);
+  }
+  if (at != state.size()) return false;
+  routed_ = routed;
+  nonce_seed_ = nonce_seed;
+  clients_ = std::move(clients);
+  return true;
+}
+
+void XmppActor::on_migrated(sgxsim::EnclaveId from, sgxsim::EnclaveId to) {
+  // Single-instance deployments only (see migratable()): nothing else reads
+  // instance_enclaves concurrently, and there are no pair keys to rekey.
+  if (static_cast<std::size_t>(index_) < shared_->instance_enclaves.size()) {
+    shared_->instance_enclaves[static_cast<std::size_t>(index_)] = to;
+  }
+  EA_INFO("xmpp", "instance %d migrated enclave %u -> %u (%zu clients)",
+          index_, from, to, clients_.size());
+}
+
 // --- installation ------------------------------------------------------------
 
 XmppService install_xmpp_service(core::Runtime& rt,

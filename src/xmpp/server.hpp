@@ -203,6 +203,18 @@ class XmppActor : public core::Actor {
 
   std::uint64_t messages_routed() const noexcept { return routed_; }
 
+  // Live migration (DESIGN.md §17). The per-client list — jid, auth flag
+  // and the incremental parser state of every connection — serialises into
+  // the sealed bundle; inbox_ is the tombstone mbox (READER keeps queueing
+  // into it while the actor is parked, and the drain after resume loses
+  // nothing). Only single-instance deployments opt in: cross-instance
+  // transfer keys are attested against the install-time placement, and
+  // rekeying every peer pair mid-run is future work.
+  bool migratable() const override { return shared_->instances == 1; }
+  util::Bytes export_state() override;
+  bool import_state(std::span<const std::uint8_t> state) override;
+  void on_migrated(sgxsim::EnclaveId from, sgxsim::EnclaveId to) override;
+
  private:
   struct ClientState {
     StanzaStream stream;

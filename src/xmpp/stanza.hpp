@@ -65,6 +65,17 @@ class StanzaStream {
 
   std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
 
+  // Migration snapshot/restore (DESIGN.md §17): the incremental parse state
+  // is exactly the byte buffer plus the stream-open flag, so a mid-stanza
+  // connection survives an actor migration byte-for-byte.
+  const std::string& buffer() const noexcept { return buffer_; }
+  bool in_stream() const noexcept { return in_stream_; }
+  void restore(std::string buffer, bool in_stream) {
+    buffer_ = std::move(buffer);
+    in_stream_ = in_stream;
+    failed_ = false;
+  }
+
  private:
   std::string buffer_;
   bool in_stream_ = false;

@@ -1,0 +1,237 @@
+// Migration fault-injection tests (ctest labels: fault, migrate;
+// EA_FAILPOINTS builds only).
+//
+// The four shipped migration failpoints, each proving a DESIGN.md §17
+// rollback property:
+//
+//   migrate.seal.fail     export/seal dies source-locally → the actor
+//                         resumes in place, nothing leaves the enclave;
+//   migrate.transfer.drop the bundle never reaches the target → the source
+//                         copy is restored FROM THE SEALED BUNDLE and the
+//                         (source, target) route — never the actor — is
+//                         quarantined;
+//   migrate.resume.dup    a duplicate resume of the same bundle → the
+//                         monotonic-counter consume refuses it (the
+//                         resume-twice fork is counted, not executed);
+//   migrate.epc.probe     injected per-enclave committed bytes → the
+//                         placement controller evicts without having to
+//                         allocate real EPC-scale state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/health.hpp"
+#include "core/migration.hpp"
+#include "core/runtime.hpp"
+#include "pos/pos.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "util/bytes.hpp"
+#include "util/failpoint.hpp"
+
+namespace fp = ea::util::failpoint;
+
+namespace ea::core {
+namespace {
+
+class MigrationFaultTest : public ::testing::Test {
+ protected:
+  MigrationFaultTest() {
+    sgxsim::cost_model().ecall_cycles = 0;
+    sgxsim::cost_model().ocall_cycles = 0;
+    sgxsim::cost_model().rng_cycles_per_byte = 0;
+    fp::clear_all();
+  }
+  ~MigrationFaultTest() override { fp::clear_all(); }
+  sgxsim::ScopedCostModel scoped_;
+};
+
+// Migratable actor with one-counter private state plus an optional POS
+// partition, so rollback visibly restores BOTH.
+class VictimActor : public Actor {
+ public:
+  explicit VictimActor(std::string name) : Actor(std::move(name)) {}
+
+  bool body() override { return false; }
+  bool migratable() const override { return true; }
+
+  util::Bytes export_state() override {
+    util::Bytes out(8);
+    util::store_le64(out.data(), value_);
+    return out;
+  }
+  bool import_state(std::span<const std::uint8_t> state) override {
+    if (state.size() != 8) return false;
+    value_ = util::load_le64(state.data());
+    ++imports_;
+    return import_ok_;
+  }
+  util::Bytes export_pos_partition() override {
+    if (pos_ == nullptr) return {};
+    util::Bytes blob = pos_->export_partition(prefix_);
+    pos_->erase_partition(prefix_);  // resume-at-target is the only live copy
+    return blob;
+  }
+  bool import_pos_partition(std::span<const std::uint8_t> blob) override {
+    if (pos_ == nullptr) return blob.empty();
+    return pos_->import_partition(blob);
+  }
+
+  std::uint64_t value_ = 7;
+  int imports_ = 0;
+  bool import_ok_ = true;
+  pos::Pos* pos_ = nullptr;
+  util::Bytes prefix_;
+};
+
+struct Deployment {
+  Runtime rt;
+  VictimActor* victim = nullptr;
+  sgxsim::Enclave* src = nullptr;
+  sgxsim::Enclave* dst = nullptr;
+  std::uint64_t src_base = 0;
+  std::uint64_t dst_base = 0;
+
+  explicit Deployment(const std::string& tag) {
+    src = &rt.enclave(tag + ".src");
+    dst = &rt.enclave(tag + ".dst");
+    src_base = src->committed_bytes();
+    dst_base = dst->committed_bytes();
+    auto owned = std::make_unique<VictimActor>(tag + ".victim");
+    victim = owned.get();
+    rt.add_actor(std::move(owned), tag + ".src");
+  }
+};
+
+TEST_F(MigrationFaultTest, SealFailureResumesInPlace) {
+  Deployment d("sealf");
+  MigrationCoordinator coordinator(d.rt);
+  ASSERT_TRUE(fp::set("migrate.seal.fail", "once"));
+
+  EXPECT_EQ(coordinator.migrate(*d.victim, *d.dst), MigrateResult::kSealFailed);
+  EXPECT_EQ(fp::hits("migrate.seal.fail"), 1u);
+  EXPECT_EQ(d.victim->lifecycle(), ActorState::kRunnable);
+  EXPECT_EQ(d.victim->placement(), d.src->id());
+  EXPECT_EQ(d.victim->value_, 7u);
+  EXPECT_EQ(d.src->committed_bytes(),
+            d.src_base + d.victim->state_bytes());  // accounting untouched
+  MigrationStats stats = coordinator.stats();
+  EXPECT_EQ(stats.rolled_back, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  // A seal failure is source-local: the route keeps working.
+  EXPECT_FALSE(coordinator.route_quarantined(d.src->id(), d.dst->id()));
+  EXPECT_EQ(coordinator.migrate(*d.victim, *d.dst), MigrateResult::kOk);
+}
+
+TEST_F(MigrationFaultTest, TransferDropRestoresSourceAndQuarantinesRoute) {
+  Deployment d("drop");
+  // POS partition attached: the export erases it, so only a genuine
+  // rollback restore can bring the keys back.
+  pos::PosOptions popts;
+  popts.bucket_count = 8;
+  popts.entry_count = 128;
+  popts.entry_payload = 128;
+  pos::Pos store(popts);
+  d.victim->pos_ = &store;
+  d.victim->prefix_ = util::to_bytes("drop.victim/");
+  ASSERT_TRUE(store.set(util::to_bytes("drop.victim/k"),
+                        util::to_bytes("payload")));
+
+  MigrationCoordinator coordinator(d.rt);
+  ASSERT_TRUE(fp::set("migrate.transfer.drop", "once"));
+
+  EXPECT_EQ(coordinator.migrate(*d.victim, *d.dst),
+            MigrateResult::kTransferFailed);
+  EXPECT_EQ(fp::hits("migrate.transfer.drop"), 1u);
+
+  // The actor is restored at the source — Runnable, state and POS
+  // partition intact — and ONLY the route is quarantined.
+  EXPECT_EQ(d.victim->lifecycle(), ActorState::kRunnable);
+  EXPECT_EQ(d.victim->placement(), d.src->id());
+  EXPECT_EQ(d.victim->value_, 7u);
+  EXPECT_EQ(d.victim->imports_, 1);  // restored via the sealed bundle
+  auto restored = store.get(util::to_bytes("drop.victim/k"));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, util::to_bytes("payload"));
+  EXPECT_EQ(d.src->committed_bytes(), d.src_base + d.victim->state_bytes());
+  EXPECT_EQ(d.dst->committed_bytes(), d.dst_base);
+
+  EXPECT_TRUE(coordinator.route_quarantined(d.src->id(), d.dst->id()));
+  EXPECT_EQ(coordinator.stats().rolled_back, 1u);
+  // The quarantined route refuses further attempts ...
+  EXPECT_EQ(coordinator.migrate(*d.victim, *d.dst),
+            MigrateResult::kRouteQuarantined);
+  // ... but the ACTOR is not quarantined: a third enclave works first try.
+  sgxsim::Enclave& alt = d.rt.enclave("drop.alt");
+  EXPECT_EQ(coordinator.migrate(*d.victim, alt), MigrateResult::kOk);
+  EXPECT_EQ(d.victim->placement(), alt.id());
+  auto moved = store.get(util::to_bytes("drop.victim/k"));
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(*moved, util::to_bytes("payload"));
+}
+
+TEST_F(MigrationFaultTest, DuplicateResumeTripsTheCounterGuard) {
+  Deployment d("dup");
+  MigrationCoordinator coordinator(d.rt);
+  ASSERT_TRUE(fp::set("migrate.resume.dup", "once"));
+
+  // The migration itself succeeds; the injected SECOND consume of the same
+  // ticket — the resume-twice fork — must be refused by the
+  // compare-and-increment and counted as a prevented fork.
+  EXPECT_EQ(coordinator.migrate(*d.victim, *d.dst), MigrateResult::kOk);
+  EXPECT_EQ(fp::hits("migrate.resume.dup"), 1u);
+  MigrationStats stats = coordinator.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.forks_prevented, 1u);
+  EXPECT_EQ(d.victim->placement(), d.dst->id());
+}
+
+TEST_F(MigrationFaultTest, ImportFailureRollsBackPlacementAndAccounting) {
+  Deployment d("impf");
+  d.victim->import_ok_ = false;  // target-side import refuses
+  MigrationCoordinator coordinator(d.rt);
+
+  EXPECT_EQ(coordinator.migrate(*d.victim, *d.dst),
+            MigrateResult::kImportFailed);
+  EXPECT_EQ(d.victim->lifecycle(), ActorState::kRunnable);
+  EXPECT_EQ(d.victim->placement(), d.src->id());
+  EXPECT_EQ(d.src->committed_bytes(), d.src_base + d.victim->state_bytes());
+  EXPECT_EQ(d.dst->committed_bytes(), d.dst_base);
+  EXPECT_TRUE(coordinator.route_quarantined(d.src->id(), d.dst->id()));
+  EXPECT_EQ(coordinator.stats().rolled_back, 1u);
+}
+
+TEST_F(MigrationFaultTest, EpcProbeFailpointDrivesTheController) {
+  Runtime rt;
+  // Map order decides probe order: "epcfp.a" is probed first, so the
+  // injected value lands on it.
+  sgxsim::Enclave& a = rt.enclave("epcfp.a");
+  sgxsim::Enclave& b = rt.enclave("epcfp.b");
+  auto owned = std::make_unique<VictimActor>("epcfp.victim");
+  VictimActor* victim = owned.get();
+  rt.add_actor(std::move(owned), "epcfp.a");
+
+  MigrationCoordinator coordinator(rt);
+  PlacementControllerOptions po;
+  po.watermark = 0.80;
+  po.epc_budget_bytes = 64 * 1024 * 1024;
+  po.sweep_interval_us = 0;
+  PlacementControllerActor controller(coordinator, po);
+
+  // Without injection the enclave is far below the watermark: no eviction.
+  EXPECT_FALSE(controller.body());
+  EXPECT_EQ(victim->placement(), a.id());
+
+  // Inject one probe reading of 60 MiB (>= 0.8 * 64 MiB): the controller
+  // must evict the victim off epcfp.a without any real allocation.
+  ASSERT_TRUE(fp::set("migrate.epc.probe", "once(62914560)"));
+  EXPECT_TRUE(controller.body());
+  EXPECT_EQ(fp::hits("migrate.epc.probe"), 1u);
+  EXPECT_EQ(victim->placement(), b.id());
+  EXPECT_EQ(controller.migrations_triggered(), 1u);
+  EXPECT_EQ(coordinator.stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace ea::core

@@ -1,0 +1,434 @@
+// Live actor migration tests (ctest label: migrate; tier-1).
+//
+// DESIGN.md §17 end to end, without fault injection (the rollback and
+// duplicate-resume paths live in migration_fault_test.cpp):
+//
+//  * the monotonic-counter ticket has exactly one consume winner;
+//  * POS partition export/import round-trips and export leaves no live keys;
+//  * a pre-start migration moves placement AND the EPC accounting;
+//  * every refusal code (not-migratable, untrusted, same placement, static
+//    scheduler while running, unknown names) fires before any state moves;
+//  * a live migration under the stealing scheduler mid-traffic loses and
+//    reorders nothing on an encrypted channel rebound in place;
+//  * per-enclave EPC accounting is visible through Runtime::health();
+//  * the placement controller evicts the cheapest actor off an enclave
+//    crossing the EPC watermark before the paging cliff.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/health.hpp"
+#include "core/migration.hpp"
+#include "core/runtime.hpp"
+#include "core/worker.hpp"
+#include "crypto/sha256.hpp"
+#include "pos/pos.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/monotonic_counter.hpp"
+#include "util/bytes.hpp"
+
+namespace ea::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool eventually(std::function<bool()> pred,
+                std::chrono::milliseconds limit = 10s) {
+  auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() {
+    sgxsim::cost_model().ecall_cycles = 0;
+    sgxsim::cost_model().ocall_cycles = 0;
+    sgxsim::cost_model().rng_cycles_per_byte = 0;
+  }
+  sgxsim::ScopedCostModel scoped_;
+};
+
+// A migratable actor whose private state is one counter; the export/import
+// hooks round-trip it so a migration visibly carries state.
+class MigratoryActor : public Actor {
+ public:
+  explicit MigratoryActor(std::string name) : Actor(std::move(name)) {}
+
+  bool body() override { return false; }
+  bool migratable() const override { return migratable_; }
+  std::uint64_t state_bytes() const override { return state_bytes_; }
+
+  util::Bytes export_state() override {
+    util::Bytes out(8);
+    util::store_le64(out.data(), value_);
+    ++exports_;
+    return out;
+  }
+  bool import_state(std::span<const std::uint8_t> state) override {
+    if (state.size() != 8) return false;
+    value_ = util::load_le64(state.data());
+    ++imports_;
+    return true;
+  }
+  void on_migrated(sgxsim::EnclaveId from, sgxsim::EnclaveId to) override {
+    migrated_from_ = from;
+    migrated_to_ = to;
+  }
+
+  bool migratable_ = true;
+  std::uint64_t state_bytes_ = 4096;
+  std::uint64_t value_ = 0;
+  int exports_ = 0;
+  int imports_ = 0;
+  sgxsim::EnclaveId migrated_from_ = sgxsim::kUntrusted;
+  sgxsim::EnclaveId migrated_to_ = sgxsim::kUntrusted;
+};
+
+TEST_F(MigrationTest, TicketConsumeHasExactlyOneWinner) {
+  auto& svc = sgxsim::MonotonicCounterService::instance();
+  const crypto::Sha256Digest ns = crypto::sha256("migration-test-ns");
+  const std::uint64_t ticket = svc.increment_ns(ns, 7);
+  EXPECT_EQ(svc.read_ns(ns, 7), ticket);
+  // First consume of the expected value wins and advances the counter ...
+  EXPECT_TRUE(svc.consume(ns, 7, ticket));
+  // ... so the duplicate (a resume-twice fork) is refused, as is any stale
+  // expectation.
+  EXPECT_FALSE(svc.consume(ns, 7, ticket));
+  EXPECT_FALSE(svc.consume(ns, 7, ticket - 1));
+  EXPECT_EQ(svc.read_ns(ns, 7), ticket + 1);
+  // Slots and namespaces are independent.
+  EXPECT_EQ(svc.read_ns(ns, 8), 0u);
+}
+
+TEST_F(MigrationTest, PosPartitionExportImportRoundTrips) {
+  pos::PosOptions options;
+  options.bucket_count = 8;
+  options.entry_count = 256;
+  options.entry_payload = 128;
+  pos::Pos source(options);
+
+  auto key = [](const std::string& s) { return util::to_bytes(s); };
+  ASSERT_TRUE(source.set(key("actor1/a"), key("v1")));
+  ASSERT_TRUE(source.set(key("actor1/b"), key("v2")));
+  ASSERT_TRUE(source.set(key("actor1/b"), key("v2-new")));  // latest wins
+  ASSERT_TRUE(source.set(key("actor2/x"), key("other")));
+  ASSERT_TRUE(source.erase(key("actor1/a")));
+  ASSERT_TRUE(source.set(key("actor1/a"), key("v1-back")));
+
+  util::Bytes prefix = key("actor1/");
+  util::Bytes blob = source.export_partition(prefix);
+  EXPECT_EQ(source.erase_partition(prefix), 2u);
+  EXPECT_FALSE(source.get(key("actor1/a")).has_value());
+  EXPECT_FALSE(source.get(key("actor1/b")).has_value());
+  // Foreign partitions are untouched.
+  ASSERT_TRUE(source.get(key("actor2/x")).has_value());
+
+  pos::Pos target(options);
+  ASSERT_TRUE(target.import_partition(blob));
+  auto a = target.get(key("actor1/a"));
+  auto b = target.get(key("actor1/b"));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, key("v1-back"));
+  EXPECT_EQ(*b, key("v2-new"));
+  EXPECT_FALSE(target.get(key("actor2/x")).has_value());
+
+  // Truncated blobs are rejected, not misparsed.
+  util::Bytes broken(blob.begin(), blob.begin() + blob.size() / 2);
+  pos::Pos scratch(options);
+  EXPECT_FALSE(scratch.import_partition(broken));
+}
+
+TEST_F(MigrationTest, PreStartMigrationMovesStateAndEpcAccounting) {
+  Runtime rt;
+  sgxsim::Enclave& src = rt.enclave("pre.src");
+  sgxsim::Enclave& dst = rt.enclave("pre.dst");
+  // Enclave creation commits a baseline (SECS/TCS/heap pages); the actor's
+  // accounting rides on top of it.
+  const std::uint64_t src_base = src.committed_bytes();
+  const std::uint64_t dst_base = dst.committed_bytes();
+  auto owned = std::make_unique<MigratoryActor>("pre.actor");
+  MigratoryActor* actor = owned.get();
+  actor->value_ = 42;
+  rt.add_actor(std::move(owned), "pre.src");
+  ASSERT_EQ(src.committed_bytes(), src_base + actor->state_bytes());
+  ASSERT_EQ(dst.committed_bytes(), dst_base);
+
+  MigrationCoordinator coordinator(rt);
+  EXPECT_EQ(coordinator.migrate("pre.actor", "pre.dst"), MigrateResult::kOk);
+
+  EXPECT_EQ(actor->placement(), dst.id());
+  EXPECT_EQ(actor->lifecycle(), ActorState::kRunnable);
+  EXPECT_EQ(actor->value_, 42u);
+  EXPECT_EQ(actor->exports_, 1);
+  EXPECT_EQ(actor->imports_, 1);
+  EXPECT_EQ(actor->migrated_from_, src.id());
+  EXPECT_EQ(actor->migrated_to_, dst.id());
+  EXPECT_EQ(src.committed_bytes(), src_base);
+  EXPECT_EQ(dst.committed_bytes(), dst_base + actor->state_bytes());
+
+  MigrationStats stats = coordinator.stats();
+  EXPECT_EQ(stats.attempted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rolled_back, 0u);
+  EXPECT_EQ(coordinator.pause_hist().count(), 1u);
+}
+
+TEST_F(MigrationTest, RefusalCodesFireBeforeAnyStateMoves) {
+  Runtime rt;
+  rt.enclave("ref.src");
+  sgxsim::Enclave& dst = rt.enclave("ref.dst");
+  auto owned = std::make_unique<MigratoryActor>("ref.actor");
+  MigratoryActor* actor = owned.get();
+  rt.add_actor(std::move(owned), "ref.src");
+  auto untrusted_owned = std::make_unique<MigratoryActor>("ref.untrusted");
+  MigratoryActor* untrusted = untrusted_owned.get();
+  rt.add_actor(std::move(untrusted_owned), "");
+  rt.add_worker("ref.w", {}, {"ref.actor", "ref.untrusted"});
+
+  MigrationCoordinator coordinator(rt);
+  EXPECT_EQ(coordinator.migrate("no-such-actor", "ref.dst"),
+            MigrateResult::kNotFound);
+  EXPECT_EQ(coordinator.migrate(*untrusted, dst), MigrateResult::kNotMigratable);
+  actor->migratable_ = false;
+  EXPECT_EQ(coordinator.migrate(*actor, dst), MigrateResult::kNotMigratable);
+  actor->migratable_ = true;
+  sgxsim::Enclave& src = rt.enclave("ref.src");
+  EXPECT_EQ(coordinator.migrate(*actor, src), MigrateResult::kSamePlacement);
+
+  // The static scheduler's enter-once fast path cannot follow a placement
+  // change, so live migration is refused while it runs.
+  rt.start();
+  EXPECT_EQ(coordinator.migrate(*actor, dst), MigrateResult::kSchedUnsupported);
+  rt.stop();
+
+  EXPECT_EQ(actor->placement(), src.id());
+  EXPECT_EQ(coordinator.stats().attempted, 0u);
+}
+
+// --- live migration under the stealing scheduler ----------------------------
+
+// Untrusted driver: window-sends sequence numbers and asserts the echoes
+// come back complete and strictly in order — the zero-loss/zero-reorder
+// probe for migration mid-traffic.
+class PingActor : public Actor {
+ public:
+  PingActor(std::string name, std::uint64_t total)
+      : Actor(std::move(name)), total_(total) {}
+
+  void construct(Runtime&) override { end_ = connect("mig.chan"); }
+
+  bool body() override {
+    bool progress = false;
+    while (concurrent::NodeLease lease = end_->recv()) {
+      progress = true;
+      if (lease->data().size() != 8) {
+        violations_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::uint64_t seq = util::load_le64(lease->data().data());
+      if (seq != acked_.load(std::memory_order_relaxed)) {
+        violations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      acked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t acked = acked_.load(std::memory_order_relaxed);
+    while (next_ < total_ && next_ < acked + 32) {
+      std::uint8_t wire[8];
+      util::store_le64(wire, next_);
+      if (!end_->send(std::span<const std::uint8_t>(wire, 8))) break;
+      ++next_;
+      progress = true;
+    }
+    return progress;
+  }
+
+  std::uint64_t acked() const noexcept {
+    return acked_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ChannelEnd* end_ = nullptr;
+  std::uint64_t total_;
+  std::uint64_t next_ = 0;
+  std::atomic<std::uint64_t> acked_{0};
+  std::atomic<std::uint64_t> violations_{0};
+};
+
+// Enclaved echo with migratable private state (its echo count).
+class EchoActor : public MigratoryActor {
+ public:
+  using MigratoryActor::MigratoryActor;
+
+  void construct(Runtime&) override { end_ = connect("mig.chan"); }
+
+  bool body() override {
+    bool progress = false;
+    while (concurrent::NodeLease lease = end_->recv()) {
+      ++value_;  // private state the migration must carry
+      end_->send(lease->data());
+      progress = true;
+    }
+    return progress;
+  }
+
+ private:
+  ChannelEnd* end_ = nullptr;
+};
+
+TEST_F(MigrationTest, LiveMigrationLosesNoMessageOnEncryptedChannel) {
+  RuntimeOptions options;
+  options.sched = SchedMode::kSteal;
+  Runtime rt(options);
+  rt.enclave("live.e0");
+  sgxsim::Enclave& e1 = rt.enclave("live.e1");
+  sgxsim::Enclave& e2 = rt.enclave("live.e2");
+
+  constexpr std::uint64_t kTotal = 60000;
+  // The ping side sits in its own enclave so the channel crosses enclave
+  // boundaries (and is transparently encrypted) before AND after every hop.
+  auto ping_owned = std::make_unique<PingActor>("live.ping", kTotal);
+  PingActor* ping = ping_owned.get();
+  rt.add_actor(std::move(ping_owned), "live.e0");
+  auto echo_owned = std::make_unique<EchoActor>("live.echo");
+  EchoActor* echo = echo_owned.get();
+  rt.add_actor(std::move(echo_owned), "live.e1");
+  rt.add_worker("live.w1", {}, {"live.ping"});
+  rt.add_worker("live.w2", {}, {"live.echo"});
+  rt.start();
+
+  MigrationCoordinator coordinator(rt);
+  ASSERT_TRUE(eventually([&] { return ping->acked() > 100; }));
+  const std::uint64_t acked_before_first_move = ping->acked();
+
+  // Bounce the echo actor between the enclaves mid-traffic; the channel is
+  // encrypted throughout (distinct enclave pair) but rekeys per rebind.
+  int moves = 0;
+  auto move_deadline = std::chrono::steady_clock::now() + 10s;
+  while (moves < 4 && ping->acked() < kTotal &&
+         std::chrono::steady_clock::now() < move_deadline) {
+    sgxsim::Enclave& target = (echo->placement() == e1.id()) ? e2 : e1;
+    MigrateResult r = coordinator.migrate(*echo, target);
+    ASSERT_TRUE(r == MigrateResult::kOk || r == MigrateResult::kBusy)
+        << to_string(r);
+    if (r == MigrateResult::kOk) ++moves;
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_GE(moves, 1);
+  // The first move happened while the stream was far from done.
+  EXPECT_LT(acked_before_first_move, kTotal);
+
+  EXPECT_TRUE(eventually([&] { return ping->acked() == kTotal; }))
+      << "acked " << ping->acked() << " of " << kTotal;
+  rt.stop();
+
+  EXPECT_EQ(ping->violations(), 0u) << "echo stream lost or reordered";
+  EXPECT_EQ(echo->value_, kTotal);  // private state carried across every hop
+  Channel& chan = rt.channel("mig.chan");
+  EXPECT_TRUE(chan.encrypted());
+  EXPECT_EQ(chan.auth_failures(), 0u);
+  EXPECT_EQ(chan.frame_errors(), 0u);
+
+  MigrationStats stats = coordinator.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(moves));
+  EXPECT_EQ(stats.rolled_back, 0u);
+  EXPECT_EQ(coordinator.pause_hist().count(),
+            static_cast<std::uint64_t>(moves));
+}
+
+TEST_F(MigrationTest, EpcAccountingVisibleInHealth) {
+  Runtime rt;
+  const std::uint64_t base = rt.enclave("health.e1").committed_bytes();
+  auto owned = std::make_unique<MigratoryActor>("health.actor");
+  owned->state_bytes_ = 12345;
+  rt.add_actor(std::move(owned), "health.e1");
+
+  HealthSnapshot snap = rt.health();
+  ASSERT_EQ(snap.enclaves.size(), 1u);
+  const EnclaveHealth* e = snap.enclave_by_name("health.e1");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->committed, base + 12345u);
+  EXPECT_EQ(e->epc_usable, sgxsim::cost_model().epc_usable_bytes);
+  EXPECT_EQ(snap.enclave_by_name("no-such-enclave"), nullptr);
+  // The human-readable rendering carries the accounting too.
+  EXPECT_NE(snap.to_string().find(std::to_string(e->committed) +
+                                  " bytes committed"),
+            std::string::npos);
+}
+
+TEST_F(MigrationTest, PlacementControllerEvictsBeforeEpcWatermark) {
+  RuntimeOptions options;
+  options.sched = SchedMode::kSteal;
+  Runtime rt(options);
+  sgxsim::Enclave& hot = rt.enclave("wm.hot");
+  sgxsim::Enclave& cold = rt.enclave("wm.cold");
+
+  // 600 + 300 KiB of actor state on top of the enclave-creation baseline.
+  // The budget is chosen so the watermark line sits at baseline + 750 KiB:
+  // the loaded enclave (baseline + 900 KiB) is over the line but under the
+  // cliff, and EITHER actor alone is under it — exactly one eviction (of
+  // the cheaper actor) reaches a steady state with no ping-pong.
+  const std::uint64_t base = hot.committed_bytes();
+  const std::uint64_t cold_base = cold.committed_bytes();
+  auto big_owned = std::make_unique<MigratoryActor>("wm.big");
+  MigratoryActor* big = big_owned.get();
+  big->state_bytes_ = 600 * 1024;
+  rt.add_actor(std::move(big_owned), "wm.hot");
+  auto small_owned = std::make_unique<MigratoryActor>("wm.small");
+  MigratoryActor* small = small_owned.get();
+  small->state_bytes_ = 300 * 1024;
+  rt.add_actor(std::move(small_owned), "wm.hot");
+
+  MigrationCoordinator coordinator(rt);
+  PlacementControllerOptions po;
+  po.watermark = 0.80;
+  po.epc_budget_bytes =
+      static_cast<std::uint64_t>((base + 750.0 * 1024) / 0.80);
+  po.sweep_interval_us = 200;
+  auto ctl_owned = std::make_unique<PlacementControllerActor>(coordinator, po);
+  PlacementControllerActor* ctl = ctl_owned.get();
+  rt.add_actor(std::move(ctl_owned), "");
+  rt.add_worker("wm.w1", {}, {"wm.big", "wm.small"});
+  rt.add_worker("wm.w2", {}, {"core.placement"});
+  rt.start();
+
+  // One eviction: the CHEAPEST actor moves off the hot enclave, and the
+  // enclave drops below the watermark before ever reaching the cliff.
+  ASSERT_TRUE(eventually([&] { return ctl->migrations_triggered() >= 1; }));
+  ASSERT_TRUE(eventually([&] { return small->placement() == cold.id(); }));
+  EXPECT_EQ(big->placement(), hot.id()) << "controller moved the wrong actor";
+  // Let several more sweeps run: under the watermark, nothing else moves.
+  std::this_thread::sleep_for(50ms);
+  rt.stop();
+
+  HealthSnapshot snap = rt.health();
+  EXPECT_EQ(snap.enclave_by_name("wm.hot")->committed,
+            base + big->state_bytes_);
+  EXPECT_EQ(snap.enclave_by_name("wm.cold")->committed,
+            cold_base + small->state_bytes_);
+  // The hot enclave never reached the cliff: accounting peaked at the
+  // pre-eviction total, below the budget.
+  EXPECT_LT(base + big->state_bytes_ + small->state_bytes_,
+            po.epc_budget_bytes);
+  EXPECT_EQ(ctl->migrations_triggered(), 1u);
+  EXPECT_GE(ctl->probes(), 1u);
+  EXPECT_EQ(coordinator.stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace ea::core

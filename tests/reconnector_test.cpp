@@ -1,0 +1,200 @@
+// Reconnector epoch edge cases (ctest label: net).
+//
+// The reconnector's epoch counter is a correctness anchor: owners fold it
+// into AEAD nonce schedules ((epoch << 32) | counter), so a duplicate bump
+// or a bump from a stale socket would reuse nonce space. These tests drive
+// the OPENER and RECONNECTOR bodies by hand (no worker threads), making the
+// races deterministic:
+//
+//   * a stale OpenReply — the redial already timed out and a fresh attempt
+//     is in flight — must not double-bump the epoch or leak its socket;
+//   * quarantine with status/control traffic queued must conserve nodes and
+//     resume cleanly: on_restart writes off mid-open attempts and the
+//     following redial produces exactly one Up note per epoch;
+//   * max_attempts exhaustion publishes a terminal gave_up note and the
+//     connection never redials again.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "concurrent/mbox.hpp"
+#include "concurrent/pool.hpp"
+#include "core/backoff.hpp"
+#include "core/health.hpp"
+#include "core/runtime.hpp"
+#include "net/actors.hpp"
+#include "net/reconnector.hpp"
+#include "net/socket.hpp"
+#include "net/socket_table.hpp"
+#include "sgxsim/cost_model.hpp"
+
+namespace ea {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ReconnectorTest : public ::testing::Test {
+ protected:
+  ReconnectorTest() {
+    sgxsim::cost_model().ecall_cycles = 0;
+    sgxsim::cost_model().ocall_cycles = 0;
+    sgxsim::cost_model().rng_cycles_per_byte = 0;
+  }
+  sgxsim::ScopedCostModel scoped_;
+};
+
+// Hand-driven deployment: networking + a reconnector owned by the test (not
+// the runtime), so every body() call below is explicit and single-threaded.
+struct Rig {
+  core::Runtime rt;
+  net::NetSubsystem net;
+  net::ReconnectorActor recon;
+  concurrent::Mbox data;
+  concurrent::Mbox status;
+  net::Socket listener;
+  std::uint16_t port = 0;
+
+  Rig() : net(net::install_networking(rt, "net.sys", {0})),
+          recon("recon.test", net, rt.public_pool()) {
+    listener = net::Socket::listen_on(0);
+    EXPECT_TRUE(listener.valid());
+    port = listener.local_port();
+  }
+
+  std::uint64_t add(std::uint32_t max_attempts, std::uint16_t to_port) {
+    net::ConnSpec spec;
+    std::memcpy(spec.host, "127.0.0.1", sizeof("127.0.0.1"));
+    spec.port = to_port;
+    spec.data = &data;
+    spec.status = &status;
+    spec.backoff = core::BackoffPolicy{0, 0, 2, 0};  // retry immediately
+    spec.max_attempts = max_attempts;
+    return recon.add_connection(spec);
+  }
+
+  // Pumps OPENER + RECONNECTOR until a status note arrives (or times out).
+  bool pump_until_status(net::ConnStatus& out,
+                         std::chrono::milliseconds budget) {
+    auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      net.opener->body();
+      recon.body();
+      if (concurrent::Node* n = status.pop()) {
+        concurrent::NodeLease lease(n);
+        return net::read_struct(*n, out);
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    return false;
+  }
+};
+
+TEST_F(ReconnectorTest, StaleReplyAfterRedialDoesNotDoubleBumpEpoch) {
+  Rig rig;
+  rig.add(0, rig.port);
+  rig.recon.construct(rig.rt);  // issues open #1 — left unanswered
+
+  // Let attempt #1 age past the open deadline WITHOUT running the OPENER:
+  // the reconnector writes it off and immediately redials (attempt #2).
+  // Only then does the OPENER run, answering BOTH queued requests — so the
+  // reply for the timed-out attempt races the in-flight redial.
+  std::this_thread::sleep_for(250ms);
+  rig.recon.body();  // timeout -> fail_attempt -> kBackoff (due now)
+  EXPECT_EQ(rig.recon.open_failures(), 1u);
+  rig.recon.body();  // redial: open #2 queued behind open #1
+
+  net::ConnStatus st{};
+  ASSERT_TRUE(rig.pump_until_status(st, 5000ms));
+  EXPECT_EQ(st.up, 1);
+  EXPECT_EQ(st.epoch, 1u);
+
+  // Drain the second (stale) reply: it must be swallowed — its socket
+  // closed, no second Up note, no second epoch bump.
+  for (int i = 0; i < 20; ++i) {
+    rig.net.opener->body();
+    rig.recon.body();
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(rig.recon.opens(), 1u);
+  EXPECT_EQ(rig.status.pop(), nullptr) << "stale reply published a status";
+  // The stale socket was closed, not leaked: only the Up one remains.
+  EXPECT_EQ(rig.net.table->size(), 1u);
+  EXPECT_NE(rig.net.table->fd(st.socket), -1);
+
+  // A genuine down + redial afterwards bumps the epoch exactly once more.
+  concurrent::Node* note = rig.rt.public_pool().get();
+  ASSERT_NE(note, nullptr);
+  note->tag = 0;
+  note->size = 0;
+  rig.recon.control().push(note);
+  rig.recon.body();  // down -> closer request + backoff
+  rig.net.closer->body();
+  ASSERT_TRUE(rig.pump_until_status(st, 5000ms));
+  EXPECT_EQ(st.up, 1);
+  EXPECT_EQ(st.epoch, 2u);
+  EXPECT_EQ(rig.recon.reconnects(), 1u);
+}
+
+TEST_F(ReconnectorTest, QuarantineConservesNodesAndRestartRedials) {
+  Rig rig;
+  rig.add(0, rig.port);
+  rig.recon.construct(rig.rt);  // open #1 in flight -> state kOpening
+
+  // Queue control/reply traffic the quarantine must release: a down note
+  // and the OPENER's reply both sit unprocessed.
+  concurrent::Node* note = rig.rt.public_pool().get();
+  ASSERT_NE(note, nullptr);
+  note->tag = 0;
+  note->size = 0;
+  rig.recon.control().push(note);
+  rig.net.opener->body();  // reply for open #1 lands in replies_
+
+  core::HealthSnapshot before = rig.rt.health();
+  rig.recon.on_quarantine();
+  core::HealthSnapshot after = rig.rt.health();
+  EXPECT_EQ(after.pool.free, before.pool.free + 2)
+      << "quarantine leaked queued control/reply nodes";
+  EXPECT_EQ(rig.status.pop(), nullptr)
+      << "a status note was published during quarantine";
+
+  // Restart: the mid-open attempt (its reply was just drained) is written
+  // off, the redial goes out, and exactly one Up note with epoch 1 arrives.
+  rig.recon.on_restart();
+  EXPECT_GE(rig.recon.open_failures(), 1u);
+  net::ConnStatus st{};
+  ASSERT_TRUE(rig.pump_until_status(st, 5000ms));
+  EXPECT_EQ(st.up, 1);
+  EXPECT_EQ(st.gave_up, 0);
+  EXPECT_EQ(st.epoch, 1u);
+  EXPECT_EQ(rig.recon.opens(), 1u);
+}
+
+TEST_F(ReconnectorTest, MaxAttemptsPublishesTerminalGaveUpStatus) {
+  Rig rig;
+  // Port 1 on loopback: connects are refused immediately.
+  rig.add(2, 1);
+  rig.recon.construct(rig.rt);
+
+  net::ConnStatus st{};
+  ASSERT_TRUE(rig.pump_until_status(st, 5000ms));
+  EXPECT_EQ(st.up, 0);
+  EXPECT_EQ(st.gave_up, 1);
+  EXPECT_EQ(st.epoch, 0u) << "a failed connection must never bump the epoch";
+  EXPECT_EQ(rig.recon.gave_up(), 1u);
+  EXPECT_EQ(rig.recon.open_failures(), 2u);
+
+  // Terminal: no further redial activity, ever.
+  for (int i = 0; i < 20; ++i) {
+    rig.net.opener->body();
+    rig.recon.body();
+  }
+  EXPECT_EQ(rig.recon.opens(), 0u);
+  EXPECT_EQ(rig.recon.open_failures(), 2u);
+  EXPECT_EQ(rig.status.pop(), nullptr);
+}
+
+}  // namespace
+}  // namespace ea

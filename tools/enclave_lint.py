@@ -23,6 +23,11 @@ v2 adds the concurrency-correctness passes (DESIGN.md §13):
     function body (DESIGN.md §15): a path that announces an epoch and
     returns without leaving pins the global epoch and stalls POS
     reclamation forever. The RAII Section halves carry inline waivers.
+  * seal-plaintext-zeroize — a function that calls into the sealing layer
+    (seal/unseal/seal_with_counter/open_framed) and declares util::Bytes
+    locals must secure_zero() before release (DESIGN.md §17): those locals
+    hold sealed-bundle plaintext (exported actor state) staged in
+    untrusted memory during a migration.
 
 The per-module policy lives in tools/enclave_policy.toml. Files can carry
 inline waivers:
@@ -92,6 +97,22 @@ EPOCH_CALL = re.compile(r"\b(epoch_enter|epoch_leave)\s*\(")
 EPOCH_DECL = re.compile(
     r"\bvoid\s+(?:[A-Za-z_]\w*::)*(?:epoch_enter|epoch_leave)\s*\("
 )
+
+# Sealed-bundle hygiene (rule `seal-plaintext-zeroize`): a function that
+# moves state through the SEALING layer (sgxsim::seal/unseal — migration
+# bundles, sealed master keys) and owns byte buffers must wipe them before
+# release (DESIGN.md §17 — sealed-state plaintext in untrusted memory
+# outlives the enclave it came from). The channel AEAD helpers
+# (seal_with_counter/open_framed) are deliberately out of scope: their
+# plaintext is in-flight message payload owned by the node lifecycle, not
+# an at-rest state bundle.
+SEAL_CALL = re.compile(r"\b(unseal|seal)\s*\(")
+SEAL_DECL = re.compile(
+    r"\b(?!return\b|throw\b)[A-Za-z_][\w:<>]*\s+"
+    r"(?:[A-Za-z_]\w*::)*(?:unseal|seal)\s*\("
+)
+BYTES_LOCAL = re.compile(r"\b(?:util::)?Bytes\s+\w+\s*[;({=]")
+SECURE_ZERO = re.compile(r"\bsecure_zero\s*\(")
 FUNC_OPEN = re.compile(r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>&*\s]+)?\{")
 CONTROL_HEAD = re.compile(r"^\s*(?:\}?\s*)?(?:if|for|while|switch|catch)\b")
 
@@ -447,6 +468,74 @@ def check_epoch_pairing(path: Path, stripped: list[str]) -> list[Violation]:
     return violations
 
 
+def check_seal_zeroize(path: Path, stripped: list[str]) -> list[Violation]:
+    """Rule `seal-plaintext-zeroize`: a function body that calls into the
+    sealing layer (`seal`/`unseal`/`seal_with_counter`/`open_framed`) and
+    declares `util::Bytes` locals must contain at least one `secure_zero`
+    call.
+
+    Those locals hold sealed-bundle *plaintext* — exported actor state and
+    POS partitions staged in untrusted memory during a migration. A return
+    path that drops them unwiped leaves enclave secrets lying in host
+    memory after the bundle is gone (DESIGN.md §17). Wiping through a
+    helper lambda counts: facts are attributed to the outermost enclosing
+    function, so `auto wipe = [&] { secure_zero(...); }` satisfies the
+    rule for the whole body.
+    """
+    violations: list[Violation] = []
+    frames: list[int] = []  # depth before each open function body
+    depth = 0
+    seal_lines: list[int] = []
+    bytes_seen = False
+    zero_seen = False
+
+    def judge() -> None:
+        nonlocal seal_lines, bytes_seen, zero_seen
+        if seal_lines and bytes_seen and not zero_seen:
+            violations.append(
+                Violation(
+                    path,
+                    seal_lines[0],
+                    "seal-plaintext-zeroize",
+                    "this function stages sealed-bundle plaintext "
+                    "(seal/unseal call plus util::Bytes locals) but never "
+                    "secure_zero()s a buffer; every exit path must wipe "
+                    "exported state before releasing it to untrusted "
+                    "memory (DESIGN.md §17)",
+                )
+            )
+        seal_lines, bytes_seen, zero_seen = [], False, False
+
+    for idx, code in enumerate(stripped):
+        lineno = idx + 1
+        if code.lstrip().startswith("#"):
+            continue
+        opens_func = bool(FUNC_OPEN.search(code)) and not CONTROL_HEAD.match(
+            code
+        )
+        delta = code.count("{") - code.count("}")
+        if opens_func and delta > 0:
+            frames.append(depth)
+        if frames:
+            decl_spans = [m.span() for m in SEAL_DECL.finditer(code)]
+            for m in SEAL_CALL.finditer(code):
+                if any(s <= m.start(1) < e for s, e in decl_spans):
+                    continue  # declaration/definition of the API itself
+                seal_lines.append(lineno)
+            # A `Bytes` on the opener line is the return type, not a local.
+            if not opens_func and BYTES_LOCAL.search(code):
+                bytes_seen = True
+            if SECURE_ZERO.search(code):
+                zero_seen = True
+        depth += delta
+        while frames and depth <= frames[-1]:
+            frames.pop()
+            if not frames:
+                judge()
+    judge()  # unterminated (truncated file)
+    return violations
+
+
 def extract_lock_facts(rel: str, stripped: list[str]) -> LockExtract:
     """Single lexical pass: guard scopes, function contexts, call sites.
 
@@ -745,6 +834,15 @@ def lint_file(
                 continue
             violations.append(v)
 
+    if not policy.exempt(rel, "seal-plaintext-zeroize"):
+        for v in check_seal_zeroize(path, stripped):
+            if "seal-plaintext-zeroize" in line_waiver_map.get(
+                v.line, set()
+            ):
+                scan.waiver_count += 1
+                continue
+            violations.append(v)
+
     # Lock facts are extracted for EVERY scanned file (trusted or not):
     # a deadlock between an untrusted guard and a trusted one is still a
     # deadlock.
@@ -754,7 +852,7 @@ def lint_file(
 
 # --- scan cache (satellite: skip unchanged files) ---------------------------
 
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 
 def scan_to_jsonable(scan: FileScan) -> dict:
@@ -937,11 +1035,15 @@ def run_lint(
         module = rel.split("/", 1)[0]
         scan = scans[rel]
         if module in untrusted:
-            # Host-side modules keep only the concurrency-correctness
-            # rules; the enclave regex rules were never evaluated for them
-            # (v1 semantics preserved) — drop anything else defensively.
+            # Host-side modules keep only the concurrency-correctness rules
+            # and the sealed-plaintext hygiene pass (host memory is exactly
+            # where a leaked bundle would linger); the enclave regex rules
+            # were never evaluated for them (v1 semantics preserved) — drop
+            # anything else defensively.
             scan.violations = [
-                v for v in scan.violations if v.rule == "tsa-unjustified"
+                v
+                for v in scan.violations
+                if v.rule in ("tsa-unjustified", "seal-plaintext-zeroize")
             ]
         all_violations.extend(scan.violations)
         total_waivers += scan.waiver_count

@@ -1,0 +1,43 @@
+// Fixture: a migration-style helper that unseals a rollback bundle into
+// util::Bytes locals and returns without wiping them. The plaintext — an
+// actor's exported private state — stays resident in untrusted host memory
+// after the function exits, readable long after the enclave that produced
+// it is gone. The `seal-plaintext-zeroize` rule must fire on the unseal
+// call; the wiped variants below (direct and through a cleanup lambda)
+// must stay clean.
+
+namespace util {
+struct Bytes {
+  unsigned char* data();
+  unsigned long size() const;
+};
+void secure_zero(Bytes& buffer);
+}  // namespace util
+
+namespace fixture {
+
+util::Bytes seal(const util::Bytes& plain);
+util::Bytes unseal(const util::Bytes& blob);
+bool import_state(const util::Bytes& state);
+
+bool leaky_restore(const util::Bytes& blob) {
+  util::Bytes plain = unseal(blob);  // EXPECT: seal-plaintext-zeroize
+  return import_state(plain);  // plaintext state left behind on return
+}
+
+bool wiped_restore(const util::Bytes& blob) {
+  util::Bytes plain = unseal(blob);
+  const bool ok = import_state(plain);
+  util::secure_zero(plain);
+  return ok;
+}
+
+bool lambda_wiped_restore(const util::Bytes& blob) {
+  util::Bytes plain = unseal(blob);
+  auto wipe = [&plain] { util::secure_zero(plain); };
+  const bool ok = import_state(plain);
+  wipe();
+  return ok;
+}
+
+}  // namespace fixture
